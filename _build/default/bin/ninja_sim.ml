@@ -1,0 +1,134 @@
+(* ninja-sim: run any of the paper's experiments from the command line.
+
+   Examples:
+     ninja_sim list
+     ninja_sim run table2
+     ninja_sim run fig8 --full
+     ninja_sim run all --csv out/
+*)
+
+open Cmdliner
+open Ninja_experiments
+
+let print_tables ~csv_dir name tables =
+  List.iter Ninja_metrics.Table.print tables;
+  match csv_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.iteri
+      (fun i table ->
+        let path = Filename.concat dir (Printf.sprintf "%s-%d.csv" name i) in
+        let oc = open_out path in
+        output_string oc (Ninja_metrics.Table.to_csv table);
+        close_out oc;
+        Printf.printf "wrote %s\n%!" path)
+      tables
+
+let list_cmd =
+  let doc = "List the available experiments." in
+  let run () =
+    List.iter
+      (fun e -> Printf.printf "%-18s %s\n" e.Registry.name e.Registry.description)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Run an experiment (or 'all') and print its tables." in
+  let name_arg =
+    let doc = "Experiment name (see 'list'), or 'all'." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let full =
+    let doc = "Use the paper's full-scale parameters (slower) instead of quick mode." in
+    Arg.(value & flag & info [ "full" ] ~doc)
+  in
+  let csv_dir =
+    let doc = "Also write each table as CSV into $(docv)." in
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
+  in
+  let run name full csv_dir =
+    let mode = if full then Exp_common.Full else Exp_common.Quick in
+    let entries =
+      if String.equal name "all" then Ok Registry.all
+      else
+        match Registry.find name with
+        | Some e -> Ok [ e ]
+        | None ->
+          Error
+            (Printf.sprintf "unknown experiment %S; expected one of: all, %s" name
+               (String.concat ", " Registry.names))
+    in
+    match entries with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok entries ->
+      List.iter
+        (fun e ->
+          Printf.printf "== %s: %s ==\n%!" e.Registry.name e.Registry.description;
+          print_tables ~csv_dir e.Registry.name (e.Registry.run mode))
+        entries
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ name_arg $ full $ csv_dir)
+
+(* `ninja_sim script [FILE]`: execute a Fig. 5-style migration script
+   against a canned demo scenario (2 VMs on the IB cluster running a
+   bcast+reduce job). With no FILE, runs the paper's Fig. 5 script. *)
+let script_cmd =
+  let doc = "Execute a textual migration script (see Script_lang; default: the paper's Fig. 5)." in
+  let file =
+    let doc = "Script file; '-' or absent runs the built-in Fig. 5 script." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    let text =
+      match file with
+      | None | Some "-" -> Ninja_core.Script_lang.fig5
+      | Some path ->
+        let ic = open_in path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+    in
+    match Ninja_core.Script_lang.parse text with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok commands ->
+      let open Ninja_engine in
+      let open Ninja_hardware in
+      let sim = Sim.create ~seed:3L () in
+      let cluster = Cluster.create sim () in
+      let hosts = [ Cluster.find_node cluster "ib00"; Cluster.find_node cluster "ib01" ] in
+      let ninja = Ninja_core.Ninja.setup cluster ~hosts () in
+      ignore
+        (Ninja_core.Ninja.launch ninja ~procs_per_vm:4 (fun ctx ->
+             Ninja_workloads.Bcast_reduce.run ctx ~data_per_node:4.0e9 ~procs_per_vm:4
+               ~steps:60 ()));
+      Printf.printf "executing %d script commands against a 2-VM demo job:\n"
+        (List.length commands);
+      List.iter
+        (fun c -> Printf.printf "  %s\n" (Ninja_core.Script_lang.command_to_string c))
+        commands;
+      Sim.spawn sim (fun () ->
+          Sim.sleep (Time.sec 10);
+          let b = Ninja_core.Script_lang.execute ninja commands in
+          Format.printf "script done: %a@." Ninja_metrics.Breakdown.pp b;
+          List.iter
+            (fun vm ->
+              Printf.printf "%s now on %s\n" (Ninja_vmm.Vm.name vm)
+                (Ninja_vmm.Vm.host vm).Node.name)
+            (Ninja_core.Ninja.vms ninja);
+          Ninja_core.Ninja.wait_job ninja);
+      Sim.run sim;
+      Printf.printf "job finished at %.1f simulated seconds.\n" (Time.to_sec_f (Sim.now sim))
+  in
+  Cmd.v (Cmd.info "script" ~doc) Term.(const run $ file)
+
+let () =
+  let doc = "Ninja migration reproduction: run the paper's experiments on the simulator." in
+  let info = Cmd.info "ninja_sim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; script_cmd ]))

@@ -1,0 +1,63 @@
+(* Server consolidation for utilisation (paper §II-A).
+
+   Overnight, a half-idle 4-VM job is packed two-per-host onto the
+   Ethernet cluster (freeing two IB nodes for other tenants), then spread
+   back out in the morning. Shows the over-commit cost on iteration times
+   and the hosts freed.
+
+     dune exec examples/consolidation.exe
+*)
+
+open Ninja_engine
+open Ninja_hardware
+open Ninja_metrics
+open Ninja_core
+open Ninja_scheduler
+open Ninja_workloads
+
+let () =
+  let sim = Sim.create ~seed:31L () in
+  let cluster = Cluster.create sim () in
+  let hosts prefix n =
+    List.init n (fun i -> Cluster.find_node cluster (Printf.sprintf "%s%02d" prefix i))
+  in
+  let ib = hosts "ib" 4 and eth = hosts "eth" 4 in
+  let ninja = Ninja.setup cluster ~hosts:ib () in
+  let sched = Cloud_scheduler.create ninja in
+
+  let used_hosts () =
+    Ninja.vms ninja
+    |> List.map (fun vm -> (Ninja_vmm.Vm.host vm).Node.name)
+    |> List.sort_uniq compare
+    |> String.concat ", "
+  in
+
+  ignore
+    (Ninja.launch ninja ~procs_per_vm:8 (fun ctx ->
+         Npb.run ctx Npb.LU Npb.C
+           ~on_iteration:(fun i dt ->
+             if i mod 50 = 0 then Printf.printf "  LU iteration %3d: %5.2f s/iter\n" i dt)
+           ()));
+
+  Sim.spawn sim (fun () ->
+      Sim.sleep (Time.sec 30);
+      print_endline "\n== night: consolidating 4 VMs onto 2 Ethernet hosts ==";
+      let b =
+        Cloud_scheduler.execute sched
+          (Cloud_scheduler.Consolidate
+             { vms_per_host = 2; targets = [ List.nth eth 0; List.nth eth 1 ] })
+      in
+      Format.printf "   overhead: %a@." Breakdown.pp b;
+      Printf.printf "   hosts in use: %s\n" (used_hosts ());
+      Sim.sleep (Time.sec 60);
+      print_endline "\n== morning: spreading back onto the InfiniBand cluster ==";
+      let b = Cloud_scheduler.execute sched (Cloud_scheduler.Rebalance { targets = ib }) in
+      Format.printf "   overhead: %a@." Breakdown.pp b;
+      Printf.printf "   hosts in use: %s\n" (used_hosts ());
+      Ninja.wait_job ninja);
+
+  print_endline "consolidation scenario (LU class C, 32 processes)";
+  Sim.run sim;
+  Printf.printf "\ndone at %.1f s; %d scheduler actions recorded.\n"
+    (Time.to_sec_f (Sim.now sim))
+    (List.length (Cloud_scheduler.history sched))

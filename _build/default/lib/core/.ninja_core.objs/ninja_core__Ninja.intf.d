@@ -1,0 +1,1 @@
+lib/core/ninja.mli: Breakdown Cluster Device Guest Hypercall Migration Mpi Ninja_guestos Ninja_hardware Ninja_metrics Ninja_mpi Ninja_symvirt Ninja_vmm Node Runtime Snapshot Vm

@@ -1,0 +1,1 @@
+lib/core/script.ml: Breakdown Cluster Controller Device Ivar List Migration Ninja Ninja_engine Ninja_hardware Ninja_metrics Ninja_mpi Ninja_symvirt Ninja_vmm Node Qmp Runtime Sim Time Vm

@@ -1,0 +1,1 @@
+lib/core/script.mli: Breakdown Ninja Ninja_metrics

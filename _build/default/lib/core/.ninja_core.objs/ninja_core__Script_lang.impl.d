@@ -1,0 +1,1 @@
+lib/core/script_lang.ml: Breakdown List Ninja_metrics Option Printf Script String

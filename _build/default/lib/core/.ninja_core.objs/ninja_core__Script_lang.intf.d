@@ -1,0 +1,1 @@
+lib/core/script_lang.mli: Ninja Ninja_metrics

@@ -1,0 +1,222 @@
+open Ninja_engine
+open Ninja_guestos
+open Ninja_hardware
+open Ninja_metrics
+open Ninja_mpi
+open Ninja_symvirt
+open Ninja_vmm
+
+type vnode = { vm : Vm.t; guest : Guest.t; endpoint : Hypercall.t }
+
+type t = {
+  cluster : Cluster.t;
+  sim : Sim.t;
+  trace : Trace.t;
+  nodes : vnode list;
+  mutable procs_per_vm : int;
+  mutable rt : Runtime.t option;
+  (* Multi-fence protocol state: while true, coordinators that wake from a
+     SymVirt signal immediately re-enter symvirt_wait, giving the
+     controller one fence per VMM operation group (Fig. 5). *)
+  mutable operation_active : bool;
+  mutable abort_check : unit -> bool;
+}
+
+exception Not_launched
+
+let hca_tag = "vf0"
+
+let hca_addr = "04:00.0"
+
+let make cluster nodes =
+  {
+    cluster;
+    sim = Cluster.sim cluster;
+    trace = Cluster.trace cluster;
+    nodes;
+    procs_per_vm = 0;
+    rt = None;
+    operation_active = false;
+    abort_check = (fun () -> false);
+  }
+
+let setup cluster ~hosts ?(vcpus = 8) ?(mem_gb = 20.0) ?(attach_hca = true) () =
+  if hosts = [] then invalid_arg "Ninja.setup: no hosts";
+  let nodes =
+    List.mapi
+      (fun i host ->
+        let vm =
+          Vm.create cluster
+            ~name:(Printf.sprintf "vm%d" i)
+            ~host ~vcpus ~mem_bytes:(Units.gb mem_gb) ()
+        in
+        if attach_hca && Node.has_ib host then
+          Vm.attach_device vm (Device.make ~tag:hca_tag ~pci_addr:hca_addr Device.Ib_hca);
+        let guest = Guest.boot vm in
+        { vm; guest; endpoint = Hypercall.create vm })
+      hosts
+  in
+  make cluster nodes
+
+let of_vms cluster ~vms =
+  if vms = [] then invalid_arg "Ninja.of_vms: no VMs";
+  let nodes =
+    List.map (fun vm -> { vm; guest = Guest.boot vm; endpoint = Hypercall.create vm }) vms
+  in
+  make cluster nodes
+
+let set_abort_check t f = t.abort_check <- f
+
+let cluster t = t.cluster
+
+let vnodes t = t.nodes
+
+let vms t = List.map (fun n -> n.vm) t.nodes
+
+let endpoint_of t vm =
+  match List.find_opt (fun n -> n.vm == vm) t.nodes with
+  | Some n -> n.endpoint
+  | None -> invalid_arg "Ninja: VM is not managed by this instance"
+
+(* The SymVirt coordinator, installed as the SELF CRS callbacks: at
+   checkpoint time each MPI process issues symvirt_wait, and keeps
+   re-entering the wait while a multi-fence operation is in flight (the
+   guest briefly runs between fences so the OS can process ACPI events,
+   Fig. 4/5). The continue callback is a no-op here because BTL
+   reconstruction and link confirmation live in the runtime's continue
+   path. *)
+let ft_hooks t =
+  {
+    Rank.on_checkpoint =
+      (fun proc ->
+        let ep = endpoint_of t (Rank.vm proc) in
+        Hypercall.guest_wait ep;
+        while t.operation_active do
+          Hypercall.guest_wait ep
+        done;
+        if t.abort_check () then raise Rank.Job_aborted);
+    Rank.on_continue = (fun _ -> ());
+  }
+
+let launch t ~procs_per_vm ?(continue_like_restart = true) body =
+  (match t.rt with Some _ -> invalid_arg "Ninja.launch: job already launched" | None -> ());
+  t.procs_per_vm <- procs_per_vm;
+  let members = List.map (fun n -> (n.vm, n.guest)) t.nodes in
+  let rt =
+    Runtime.mpirun t.cluster ~members ~procs_per_vm ~continue_like_restart
+      ~ft_hooks:(ft_hooks t) body
+  in
+  t.rt <- Some rt;
+  rt
+
+let runtime t = match t.rt with Some rt -> rt | None -> raise Not_launched
+
+let procs_per_vm t = t.procs_per_vm
+
+let wait_job t = Runtime.wait (runtime t)
+
+let controller t =
+  Controller.create t.cluster
+    ~members:
+      (List.map
+         (fun n -> { Controller.vm = n.vm; endpoint = n.endpoint; procs = t.procs_per_vm })
+         t.nodes)
+
+let span_since sim t0 = Time.diff (Sim.now sim) t0
+
+let default_detach vm =
+  match Vm.find_device vm ~tag:hca_tag with Some _ -> [ hca_tag ] | None -> []
+
+let default_attach plan vm =
+  if Node.has_ib (plan vm) then [ Device.make ~tag:hca_tag ~pci_addr:hca_addr Device.Ib_hca ]
+  else []
+
+(* The complete Fig. 4 control flow. [`Multi] (the default) brackets each
+   VMM operation group in its own wait_all/signal pair, exactly like the
+   Fig. 5 script — the guest runs briefly between fences so the OS can
+   process ACPI events; [`Single] holds one fence across all three phases
+   (measured overheads are equal, asserted by tests). *)
+let migrate t ~plan ?(transport = Migration.Tcp) ?hotplug_noise
+    ?(protocol = `Multi_fence) ?detach:detach_f ?attach:attach_f () =
+  let rt = runtime t in
+  if Runtime.is_finished rt then
+    invalid_arg "Ninja.migrate: the MPI job has already finished (nothing to fence)";
+  let sim = t.sim in
+  let detach_f = Option.value detach_f ~default:default_detach in
+  let attach_f = Option.value attach_f ~default:(default_attach plan) in
+  let moving = List.exists (fun n -> (plan n.vm).Node.id <> (Vm.host n.vm).Node.id) t.nodes in
+  let noise =
+    match hotplug_noise with
+    | Some n -> n
+    | None -> if moving then Calibration.hotplug_noise_factor else 1.0
+  in
+  let multi = protocol = `Multi_fence in
+  let ctl = controller t in
+  let t0 = Sim.now sim in
+  Trace.record t.trace ~category:"ninja" "migration triggered";
+  (* 1. Trigger: the runtime tells every process to reach a safe point and
+     call into the coordinator; the controller waits for the fence. *)
+  t.operation_active <- multi;
+  let complete = Runtime.request_checkpoint rt in
+  Controller.wait_all ctl;
+  let coordination = span_since sim t0 in
+  let fence_boundary ~last =
+    if multi then begin
+      if last then t.operation_active <- false;
+      Controller.signal ctl;
+      if not last then Controller.wait_all ctl
+    end
+    else if last then Controller.signal ctl
+  in
+  (* 2. Detach VMM-bypass devices (agents, in parallel). *)
+  let t1 = Sim.now sim in
+  ignore
+    (Controller.run_agents ctl (fun vm ->
+         List.map (fun tag -> Qmp.Device_del { tag; noise }) (detach_f vm)));
+  let detach = span_since sim t1 in
+  fence_boundary ~last:false;
+  (* 3. Live migration (agents, in parallel). *)
+  let t2 = Sim.now sim in
+  ignore (Controller.migration ctl ~plan ~transport ());
+  let migration = span_since sim t2 in
+  fence_boundary ~last:false;
+  (* 4. Re-attach where the destination hardware allows it. *)
+  let t3 = Sim.now sim in
+  ignore
+    (Controller.run_agents ctl (fun vm ->
+         List.map (fun device -> Qmp.Device_add { device; noise }) (attach_f vm)));
+  let attach = span_since sim t3 in
+  (* 5. Final signal; guests confirm link-up and rebuild transports. *)
+  fence_boundary ~last:true;
+  Runtime.await_checkpoint_complete complete;
+  let linkup = Runtime.last_linkup_wait rt in
+  let total = span_since sim t0 in
+  let breakdown = { Breakdown.coordination; detach; migration; attach; linkup; total } in
+  Trace.recordf t.trace ~category:"ninja" "migration done: %a" Breakdown.pp breakdown;
+  breakdown
+
+let plan_of_dsts t dsts =
+  if List.length dsts <> List.length t.nodes then
+    invalid_arg "Ninja: destination list length does not match VM count";
+  let table = List.combine (vms t) dsts in
+  fun vm -> List.assq vm table
+
+let fallback t ~dsts = migrate t ~plan:(plan_of_dsts t dsts) ()
+
+let recovery t ~dsts = migrate t ~plan:(plan_of_dsts t dsts) ()
+
+let self_migration t = migrate t ~plan:(fun vm -> Vm.host vm) ()
+
+let checkpoint_to_store t store ~name_prefix =
+  let rt = runtime t in
+  let ctl = controller t in
+  let complete = Runtime.request_checkpoint rt in
+  Controller.wait_all ctl;
+  let snaps =
+    List.mapi
+      (fun i n -> Snapshot.save store n.vm ~name:(Printf.sprintf "%s-%d" name_prefix i))
+      t.nodes
+  in
+  Controller.signal ctl;
+  Runtime.await_checkpoint_complete complete;
+  snaps

@@ -1,0 +1,116 @@
+(** Ninja migration: interconnect-transparent migration of a whole
+    virtualised MPI cluster (the paper's contribution, §III).
+
+    A [Ninja.t] owns a set of VMs running one MPI job, with the full
+    SymVirt assembly wired up: a hypercall endpoint per VM, coordinator
+    callbacks inside every MPI process (registered as OPAL CRS SELF
+    handlers), and a host-side controller with per-VM agents.
+
+    {!migrate} performs the complete Fig. 4 flow:
+
+    trigger → CRCP quiesce → SymVirt fence (VMs paused) → detach bypass
+    devices → precopy migration → re-attach where the destination has the
+    hardware → signal → BTL reconstruction (+ link-up wait) → resume —
+
+    and returns the overhead breakdown the paper reports. Fallback
+    (IB→Ethernet) and recovery (Ethernet→IB) are the same flow with
+    different destinations; the transport switch falls out of BTL
+    exclusivity, not from any special-casing here. *)
+
+open Ninja_guestos
+open Ninja_hardware
+open Ninja_metrics
+open Ninja_mpi
+open Ninja_symvirt
+open Ninja_vmm
+
+type t
+
+type vnode = { vm : Vm.t; guest : Guest.t; endpoint : Hypercall.t }
+
+val setup :
+  Cluster.t ->
+  hosts:Node.t list ->
+  ?vcpus:int ->
+  ?mem_gb:float ->
+  ?attach_hca:bool ->
+  unit ->
+  t
+(** One VM per host entry (named vm0, vm1, ...). With [attach_hca] (the
+    default), hosts that have an InfiniBand port get a VMM-bypass HCA
+    passed through at ["04:00.0"] with tag ["vf0"]. *)
+
+val of_vms : Cluster.t -> vms:Vm.t list -> t
+(** Wrap existing VMs (e.g. snapshot-restored ones) instead of creating
+    fresh ones: boots a guest and creates a SymVirt endpoint for each. *)
+
+val set_abort_check : t -> (unit -> bool) -> unit
+(** When the check returns true as coordinators wake from a SymVirt
+    signal, they raise [Rank.Job_aborted] so every process unwinds cleanly
+    — how a fault-tolerance layer kills an incarnation at a fence. *)
+
+val cluster : t -> Cluster.t
+
+val vnodes : t -> vnode list
+
+val vms : t -> Vm.t list
+
+val launch :
+  t ->
+  procs_per_vm:int ->
+  ?continue_like_restart:bool ->
+  (Mpi.ctx -> unit) ->
+  Runtime.t
+(** Start the MPI job across the VMs with the SymVirt coordinator
+    installed (checkpoint callback = [symvirt_wait], as libsymvirt.so does
+    via LD_PRELOAD + the SELF CRS component). *)
+
+val runtime : t -> Runtime.t
+(** Raises {!Not_launched} before {!launch}. *)
+
+val procs_per_vm : t -> int
+
+val wait_job : t -> unit
+
+(** {1 Migration} *)
+
+exception Not_launched
+
+val migrate :
+  t ->
+  plan:(Vm.t -> Node.t) ->
+  ?transport:Migration.transport ->
+  ?hotplug_noise:float ->
+  ?protocol:[ `Multi_fence | `Single_fence ] ->
+  ?detach:(Vm.t -> string list) ->
+  ?attach:(Vm.t -> Device.t list) ->
+  unit ->
+  Breakdown.t
+(** The full Ninja migration of every VM (concurrently, one agent each).
+    [hotplug_noise] defaults to the calibrated "migration noise" factor
+    when any VM actually changes host, and 1.0 for self-migration.
+    [protocol] defaults to [`Multi_fence]: each VMM operation group gets
+    its own SymVirt wait/signal pair as in the Fig. 5 script, the guests
+    briefly running between fences; [`Single_fence] holds one fence across
+    all phases (equal measured overheads). [detach] defaults to the VM's
+    bypass HCA if present; [attach] defaults to an HCA wherever the
+    destination node has an IB port. The Table II experiment overrides
+    both to hotplug the interconnect device under test (including virtio
+    NICs for the Ethernet rows). *)
+
+val fallback : t -> dsts:Node.t list -> Breakdown.t
+(** Migrate VM i to [dsts.(i)] — e.g. from the IB cluster to the Ethernet
+    cluster. Raises [Invalid_argument] on a length mismatch. *)
+
+val recovery : t -> dsts:Node.t list -> Breakdown.t
+(** Same mechanics as {!fallback}; named for the Fig. 2 phase. *)
+
+val self_migration : t -> Breakdown.t
+(** Each VM migrates to its own host (the Table II measurement mode). *)
+
+(** {1 Checkpoint/restart to shared storage (§II, proactive FT)} *)
+
+val checkpoint_to_store : t -> Snapshot.store -> name_prefix:string -> Snapshot.t list
+(** Quiesce the job at a SymVirt fence and save a consistent snapshot of
+    every VM, then resume — the proactive fault-tolerance building block
+    from the authors' SymVirt paper that §II's use cases rely on. *)

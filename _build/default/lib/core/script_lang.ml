@@ -1,0 +1,107 @@
+open Ninja_metrics
+
+type command =
+  | Wait_all
+  | Device_detach of string
+  | Device_attach of { host : string; tag : string }
+  | Migration of string list * string list
+  | Signal
+  | Quit
+
+let command_to_string = function
+  | Wait_all -> "wait_all"
+  | Device_detach tag -> "device_detach " ^ tag
+  | Device_attach { host; tag } -> Printf.sprintf "device_attach %s %s" host tag
+  | Migration (src, dst) ->
+    Printf.sprintf "migration %s %s" (String.concat "," src) (String.concat "," dst)
+  | Signal -> "signal"
+  | Quit -> "quit"
+
+let split_hosts s = String.split_on_char ',' s |> List.filter (fun h -> h <> "")
+
+let parse_line lineno line =
+  let line = match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line in
+  match String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> "") with
+  | [] -> Ok None
+  | [ "wait_all" ] -> Ok (Some Wait_all)
+  | [ "device_detach"; tag ] -> Ok (Some (Device_detach tag))
+  | [ "device_attach"; host; tag ] -> Ok (Some (Device_attach { host; tag }))
+  | [ "migration"; src; dst ] ->
+    let src = split_hosts src and dst = split_hosts dst in
+    if List.length src <> List.length dst then
+      Error (Printf.sprintf "line %d: hostlist lengths differ" lineno)
+    else if src = [] then Error (Printf.sprintf "line %d: empty hostlist" lineno)
+    else Ok (Some (Migration (src, dst)))
+  | [ "signal" ] -> Ok (Some Signal)
+  | [ "quit" ] -> Ok (Some Quit)
+  | word :: _ -> Error (Printf.sprintf "line %d: unknown command %S" lineno word)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match parse_line lineno line with
+      | Ok None -> go (lineno + 1) acc rest
+      | Ok (Some c) -> go (lineno + 1) (c :: acc) rest
+      | Error _ as e -> e)
+  in
+  go 1 [] lines
+
+let fig5 =
+  {|# A simplified version of the Ninja migration script (paper Fig. 5).
+### 1. fallback migration
+wait_all
+# 1a. device detach
+device_detach vf0
+# 1b. migration
+migration ib00,ib01 eth00,eth01
+signal
+
+### 2. recovery migration
+wait_all
+# 2a. migration
+migration eth00,eth01 ib00,ib01
+# 2b. device attach
+device_attach 04:00.0 vf0
+signal
+quit
+|}
+
+(* Each wait_all ... signal section runs on its own controller, like the
+   successive symvirt.Controller instances of Fig. 5. *)
+let execute ninja commands =
+  let total = ref Breakdown.zero in
+  let current = ref None in
+  let require_open what =
+    match !current with
+    | Some ctl -> ctl
+    | None -> failwith (Printf.sprintf "script: %s before wait_all" what)
+  in
+  let close () =
+    match !current with
+    | Some ctl ->
+      total := Breakdown.add !total (Script.quit ctl);
+      current := None
+    | None -> ()
+  in
+  List.iter
+    (fun command ->
+      match command with
+      | Wait_all ->
+        if Option.is_some !current then failwith "script: nested wait_all";
+        let ctl = Script.controller ninja in
+        Script.wait_all ctl;
+        current := Some ctl
+      | Device_detach tag -> Script.device_detach (require_open "device_detach") ~tag
+      | Device_attach { host; tag } ->
+        Script.device_attach (require_open "device_attach") ~host ~tag
+      | Migration (src, dst) -> Script.migration (require_open "migration") ~src ~dst
+      | Signal ->
+        let ctl = require_open "signal" in
+        Script.signal ctl;
+        close ()
+      | Quit -> close ())
+    commands;
+  close ();
+  !total

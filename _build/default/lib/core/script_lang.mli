@@ -1,0 +1,46 @@
+(** A tiny textual script language mirroring the paper's Fig. 5 Python
+    migration scripts, so operational flows can be written as data:
+
+    {v
+      # 1. fallback migration
+      wait_all
+      device_detach vf0
+      migration ib00,ib01 eth00,eth01
+      signal
+      # 2. recovery migration
+      wait_all
+      migration eth00,eth01 ib00,ib01
+      device_attach 04:00.0 vf0
+      signal
+      quit
+    v}
+
+    Blank lines and [#] comments are ignored. [quit] is optional (implied
+    at end of input). Parsing is pure; {!execute} drives a {!Script}
+    controller, opening a fresh controller at each [wait_all] after a
+    [signal] (each wait/signal pair is one Ninja operation, like the two
+    numbered sections of Fig. 5). *)
+
+type command =
+  | Wait_all
+  | Device_detach of string  (** tag *)
+  | Device_attach of { host : string; tag : string }  (** PCI addr, tag *)
+  | Migration of string list * string list  (** source and dest hostlists *)
+  | Signal
+  | Quit
+
+val parse : string -> (command list, string) result
+(** Errors carry a 1-based line number and reason. *)
+
+val command_to_string : command -> string
+
+val fig5 : string
+(** The paper's Fig. 5 script (simplified), adapted to this simulator's
+    node names — fallback of 2 VMs to the Ethernet cluster and recovery
+    back. *)
+
+val execute : Ninja.t -> command list -> Ninja_metrics.Breakdown.t
+(** Run the script against a launched Ninja instance (call from a fiber).
+    Returns the accumulated overhead breakdown across all wait/signal
+    sections. Raises [Failure] on protocol misuse (e.g. an operation
+    before [wait_all]). *)

@@ -1,0 +1,1 @@
+lib/engine/channel.ml: Queue Sim

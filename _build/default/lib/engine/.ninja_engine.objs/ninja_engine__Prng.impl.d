@@ -1,0 +1,1 @@
+lib/engine/prng.ml: Array Float Int64

@@ -1,0 +1,1 @@
+lib/engine/ps_resource.mli: Sim

@@ -1,0 +1,1 @@
+lib/engine/rated.ml: Float Ivar List Sim Time

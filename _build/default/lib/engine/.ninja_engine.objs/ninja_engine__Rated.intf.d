@@ -1,0 +1,1 @@
+lib/engine/rated.mli: Sim

@@ -1,0 +1,1 @@
+lib/engine/sim.ml: Effect Fun Hashtbl List Pheap Printf Prng String Time

@@ -1,0 +1,21 @@
+(** Unbounded FIFO message queue between fibers.
+
+    Senders never block; receivers block while the queue is empty. Used for
+    mailbox-style actors (the QMP monitor, the SymVirt controller, MPI
+    unexpected-message queues). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val send : 'a t -> 'a -> unit
+
+val recv : 'a t -> 'a
+(** Blocks until a message is available. Competing receivers are served in
+    arrival order. *)
+
+val try_recv : 'a t -> 'a option
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool

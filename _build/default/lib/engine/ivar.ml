@@ -1,0 +1,39 @@
+type 'a state = Empty of ('a -> unit) list | Full of 'a
+
+type 'a t = { mutable state : 'a state }
+
+let create () = { state = Empty [] }
+
+let fill_if_empty t v =
+  match t.state with
+  | Full _ -> false
+  | Empty waiters ->
+    t.state <- Full v;
+    (* Wake in registration order. *)
+    List.iter (fun w -> w v) (List.rev waiters);
+    true
+
+let fill t v = if not (fill_if_empty t v) then invalid_arg "Ivar.fill: already full"
+
+let read t =
+  match t.state with
+  | Full v -> v
+  | Empty _ ->
+    let result = ref None in
+    Sim.suspend (fun resume ->
+        match t.state with
+        | Full v ->
+          (* Filled between the match and the registration: resume now. *)
+          result := Some v;
+          resume ()
+        | Empty waiters ->
+          let wake v =
+            result := Some v;
+            resume ()
+          in
+          t.state <- Empty (wake :: waiters));
+    (match !result with Some v -> v | None -> assert false)
+
+let peek t = match t.state with Full v -> Some v | Empty _ -> None
+
+let is_full t = match t.state with Full _ -> true | Empty _ -> false

@@ -1,0 +1,23 @@
+(** Write-once synchronisation variable.
+
+    An ['a Ivar.t] starts empty; {!fill} transitions it to full exactly
+    once and wakes every reader. Reads after the fill return immediately.
+    This is the basic rendezvous primitive between fibers (completion
+    notifications, request/response). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val fill : 'a t -> 'a -> unit
+(** Raises [Invalid_argument] if already full. *)
+
+val fill_if_empty : 'a t -> 'a -> bool
+(** Returns [true] if this call performed the fill. *)
+
+val read : 'a t -> 'a
+(** Blocks the calling fiber until the ivar is full. *)
+
+val peek : 'a t -> 'a option
+
+val is_full : 'a t -> bool

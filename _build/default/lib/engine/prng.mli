@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    Every simulation owns exactly one generator, created from an explicit
+    seed, so that runs are reproducible regardless of module initialisation
+    order. The generator may be [split] to derive statistically independent
+    streams (e.g. one per workload) whose draws do not perturb each other. *)
+
+type t
+
+val create : seed:int64 -> t
+
+val split : t -> t
+(** [split t] derives a new independent generator; [t] advances by one
+    draw. *)
+
+val next_int64 : t -> int64
+(** Uniform over all 64-bit values. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [\[0, bound)]. [bound] must be
+    positive and finite. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [\[0, bound)]. [bound] must be
+    positive. *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed draw with the given mean. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

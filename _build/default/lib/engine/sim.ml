@@ -1,0 +1,155 @@
+type handle = { mutable cancelled : bool }
+
+type event = { run : unit -> unit; h : handle }
+
+type t = {
+  mutable now : Time.t;
+  mutable seq : int;
+  queue : event Pheap.t;
+  prng : Prng.t;
+  mutable n_events : int;
+  mutable next_fiber : int;
+  fibers : (int, string) Hashtbl.t; (* live (spawned, not yet finished) *)
+}
+
+exception Deadlock of string list
+
+type _ Effect.t +=
+  | Sleep : t * Time.span -> unit Effect.t
+  | Suspend : t * ((unit -> unit) -> unit) -> unit Effect.t
+
+let create ?(seed = 1L) () =
+  {
+    now = Time.zero;
+    seq = 0;
+    queue = Pheap.create ();
+    prng = Prng.create ~seed;
+    n_events = 0;
+    next_fiber = 0;
+    fibers = Hashtbl.create 64;
+  }
+
+let now t = t.now
+
+let prng t = t.prng
+
+let events_processed t = t.n_events
+
+let schedule_at t at run =
+  if Time.(at < t.now) then invalid_arg "Sim.schedule_at: time is in the past";
+  let h = { cancelled = false } in
+  Pheap.add t.queue ~key:(Time.to_ns at) ~seq:t.seq { run; h };
+  t.seq <- t.seq + 1;
+  h
+
+let schedule t ~after run =
+  let after = if Time.is_negative after then Time.zero else after in
+  schedule_at t (Time.add t.now after) run
+
+let cancel h = h.cancelled <- true
+
+let live_fibers t = Hashtbl.length t.fibers
+
+(* The per-fiber effect handler. [Suspend]'s register function receives a
+   resume callback that is idempotent: only its first invocation schedules
+   the continuation, so primitives may safely keep stale wakeup references
+   (e.g. a timeout racing a fill). *)
+let run_fiber t id body =
+  let open Effect.Deep in
+  let finish () = Hashtbl.remove t.fibers id in
+  match_with body ()
+    {
+      retc = (fun () -> finish ());
+      exnc = (fun e -> finish (); raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Sleep (st, d) ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                ignore (schedule st ~after:d (fun () -> continue k ())))
+          | Suspend (st, register) ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                let fired = ref false in
+                let resume () =
+                  if not !fired then begin
+                    fired := true;
+                    ignore (schedule st ~after:Time.zero (fun () -> continue k ()))
+                  end
+                in
+                register resume)
+          | _ -> None);
+    }
+
+let spawn t ?(name = "fiber") body =
+  let id = t.next_fiber in
+  t.next_fiber <- id + 1;
+  Hashtbl.add t.fibers id (Printf.sprintf "%s#%d" name id);
+  ignore (schedule t ~after:Time.zero (fun () -> run_fiber t id body))
+
+(* These are meaningful only inside a fiber; performing an effect outside
+   one raises [Effect.Unhandled], which surfaces as a programming error. *)
+let sleep_on t d = Effect.perform (Sleep (t, d))
+
+let suspend_on t register = Effect.perform (Suspend (t, register))
+
+(* Fibers always run under a handler whose simulation is the one that
+   spawned them, so we can recover [t] from the effect payload; the public
+   API threads it implicitly via these wrappers. *)
+let current_sim : t option ref = ref None
+
+let with_current t f =
+  let saved = !current_sim in
+  current_sim := Some t;
+  Fun.protect ~finally:(fun () -> current_sim := saved) f
+
+let get_current () =
+  match !current_sim with
+  | Some t -> t
+  | None -> failwith "Sim: blocking call outside of a running simulation"
+
+let sleep d = sleep_on (get_current ()) d
+
+let suspend register = suspend_on (get_current ()) register
+
+let step t ev =
+  t.n_events <- t.n_events + 1;
+  with_current t ev.run
+
+let run t =
+  let rec loop () =
+    if not (Pheap.is_empty t.queue) then begin
+      let key =
+        match Pheap.peek_key t.queue with Some (k, _) -> k | None -> assert false
+      in
+      let ev = Pheap.pop t.queue in
+      if not ev.h.cancelled then begin
+        t.now <- Time.of_ns key;
+        step t ev
+      end;
+      loop ()
+    end
+  in
+  loop ();
+  if Hashtbl.length t.fibers > 0 then begin
+    let stuck = Hashtbl.fold (fun _ name acc -> name :: acc) t.fibers [] in
+    raise (Deadlock (List.sort String.compare stuck))
+  end
+
+let run_until t limit =
+  let rec loop () =
+    match Pheap.peek_key t.queue with
+    | Some (k, _) when Time.(Time.of_ns k <= limit) ->
+      let ev = Pheap.pop t.queue in
+      if not ev.h.cancelled then begin
+        t.now <- Time.of_ns k;
+        step t ev
+      end;
+      loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  t.now <- Time.max t.now limit
+
+let run_for t span = run_until t (Time.add t.now span)

@@ -1,0 +1,68 @@
+type t = int64
+
+type span = t
+
+let zero = 0L
+
+let ns n = Int64.of_int n
+
+let us n = Int64.mul (Int64.of_int n) 1_000L
+
+let ms n = Int64.mul (Int64.of_int n) 1_000_000L
+
+let sec n = Int64.mul (Int64.of_int n) 1_000_000_000L
+
+let minutes n = Int64.mul (Int64.of_int n) 60_000_000_000L
+
+let of_sec_f s =
+  if not (Float.is_finite s) then invalid_arg "Time.of_sec_f: not finite";
+  let ns = Float.round (s *. 1e9) in
+  (* Clamp to the representable range (~±292 years) instead of letting
+     Int64.of_float produce unspecified values. *)
+  (* ~95 years; leaves headroom so clamped spans can still be added to any
+     realistic simulation clock without wrapping. *)
+  if ns >= 3.0e18 then 3_000_000_000_000_000_000L
+  else if ns <= -3.0e18 then (-3_000_000_000_000_000_000L)
+  else Int64.of_float ns
+
+let to_sec_f t = Int64.to_float t /. 1e9
+
+let to_ns t = t
+
+let of_ns n = n
+
+let add = Int64.add
+
+let diff = Int64.sub
+
+let mul s n = Int64.mul s (Int64.of_int n)
+
+let scale s f = of_sec_f (to_sec_f s *. f)
+
+let compare = Int64.compare
+
+let equal = Int64.equal
+
+let ( < ) a b = Int64.compare a b < 0
+
+let ( <= ) a b = Int64.compare a b <= 0
+
+let ( > ) a b = Int64.compare a b > 0
+
+let ( >= ) a b = Int64.compare a b >= 0
+
+let min a b = if a <= b then a else b
+
+let max a b = if a >= b then a else b
+
+let is_negative s = s < 0L
+
+let pp fmt t =
+  let f = to_sec_f t in
+  let abs = Float.abs f in
+  if Stdlib.( >= ) abs 1.0 then Format.fprintf fmt "%.2fs" f
+  else if Stdlib.( >= ) abs 1e-3 then Format.fprintf fmt "%.2fms" (f *. 1e3)
+  else if Stdlib.( >= ) abs 1e-6 then Format.fprintf fmt "%.2fus" (f *. 1e6)
+  else Format.fprintf fmt "%Ldns" t
+
+let pp_sec fmt t = Format.fprintf fmt "%.2f" (to_sec_f t)

@@ -1,0 +1,54 @@
+(** Simulated time.
+
+    All simulation timestamps and durations are expressed as 64-bit signed
+    counts of nanoseconds. Timestamps ([t]) are nanoseconds since the start
+    of the simulation; durations ([span]) are nanosecond differences.
+    Keeping both as integers makes event ordering exact and the simulation
+    bit-for-bit deterministic. *)
+
+type t
+(** An absolute simulated timestamp (ns since simulation start). *)
+
+type span = t
+(** A duration. Shares the representation of [t]; the two are distinguished
+    only by the function signatures below. *)
+
+val zero : t
+
+val ns : int -> span
+val us : int -> span
+val ms : int -> span
+val sec : int -> span
+val minutes : int -> span
+
+val of_sec_f : float -> span
+(** [of_sec_f s] is the span closest to [s] seconds. Raises
+    [Invalid_argument] if [s] is not finite. *)
+
+val to_sec_f : t -> float
+val to_ns : t -> int64
+val of_ns : int64 -> t
+
+val add : t -> span -> t
+val diff : t -> t -> span
+val mul : span -> int -> span
+val scale : span -> float -> span
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val is_negative : span -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering with an adaptive unit, e.g. ["3.88s"],
+    ["29.91ms"], ["250ns"]. *)
+
+val pp_sec : Format.formatter -> t -> unit
+(** Rendering always in seconds with two decimals, e.g. ["53.70"]. *)

@@ -1,0 +1,23 @@
+type record = { at : Time.t; category : string; message : string }
+
+type t = { sim : Sim.t; mutable entries : record list (* newest first *) }
+
+let create sim = { sim; entries = [] }
+
+let record t ~category message =
+  t.entries <- { at = Sim.now t.sim; category; message } :: t.entries
+
+let recordf t ~category fmt = Format.kasprintf (fun s -> record t ~category s) fmt
+
+let records t = List.rev t.entries
+
+let by_category t category =
+  List.filter (fun r -> String.equal r.category category) (records t)
+
+let clear t = t.entries <- []
+
+let pp_timeline fmt t =
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "[%8.2fs] %-10s %s@." (Time.to_sec_f r.at) r.category r.message)
+    (records t)

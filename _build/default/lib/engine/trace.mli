@@ -1,0 +1,26 @@
+(** Timestamped event trace.
+
+    A lightweight append-only log of (time, category, message) records used
+    by examples and tests to observe the sequence of simulated operations
+    (hotplug, migration phases, transport switches) without coupling the
+    model code to any output format. *)
+
+type t
+
+type record = { at : Time.t; category : string; message : string }
+
+val create : Sim.t -> t
+
+val record : t -> category:string -> string -> unit
+
+val recordf : t -> category:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val records : t -> record list
+(** In chronological (append) order. *)
+
+val by_category : t -> string -> record list
+
+val clear : t -> unit
+
+val pp_timeline : Format.formatter -> t -> unit
+(** Renders e.g. ["\[  12.50s\] vmm      migration of vm3 complete"]. *)

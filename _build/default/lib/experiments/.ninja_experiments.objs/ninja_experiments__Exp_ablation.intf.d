@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.mli: Exp_common Ninja_metrics

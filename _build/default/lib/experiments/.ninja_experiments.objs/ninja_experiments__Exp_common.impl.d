@@ -1,0 +1,1 @@
+lib/experiments/exp_common.ml: Cluster List Ninja_engine Ninja_hardware Printf Sim Spec Time

@@ -1,0 +1,1 @@
+lib/experiments/exp_common.mli: Cluster Ninja_engine Ninja_hardware Node Sim Spec Time

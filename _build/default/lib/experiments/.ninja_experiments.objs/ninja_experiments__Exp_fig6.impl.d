@@ -1,0 +1,1 @@
+lib/experiments/exp_fig6.ml: Breakdown Exp_common List Memtest Ninja Ninja_core Ninja_engine Ninja_hardware Ninja_metrics Ninja_workloads Option Paper_data Printf Sim Spec Table Time Units

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig7.ml: Breakdown Exp_common List Ninja Ninja_core Ninja_engine Ninja_hardware Ninja_metrics Ninja_mpi Ninja_workloads Npb Paper_data Printf Sim Spec Table Time

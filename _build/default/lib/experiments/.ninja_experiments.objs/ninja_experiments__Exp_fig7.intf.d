@@ -1,0 +1,1 @@
+lib/experiments/exp_fig7.mli: Exp_common Ninja_metrics Ninja_workloads

@@ -1,0 +1,1 @@
+lib/experiments/exp_power.ml: Cluster Exp_common List Mpi Ninja Ninja_core Ninja_engine Ninja_hardware Ninja_metrics Ninja_mpi Ninja_vmm Node Option Power Printf Sim Spec Table Time

@@ -1,0 +1,1 @@
+lib/experiments/exp_scalability.ml: Breakdown Cluster Exp_common List Memtest Ninja Ninja_core Ninja_engine Ninja_hardware Ninja_metrics Ninja_workloads Option Printf Sim Spec Table Time Units

@@ -1,0 +1,1 @@
+lib/experiments/exp_table1.ml: Calibration Format List Ninja_engine Ninja_hardware Ninja_metrics Printf Spec Table

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Exp_ablation Exp_common Exp_fig6 Exp_fig7 Exp_fig8 Exp_power Exp_scalability Exp_table1 Exp_table2 List Ninja_metrics String

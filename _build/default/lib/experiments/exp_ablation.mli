@@ -1,0 +1,23 @@
+(** Ablation benches for the design claims the paper argues qualitatively.
+
+    - [bypass]: §IV-B's "no performance overhead during normal operations"
+      — point-to-point throughput and an NPB CG run over the VMM-bypass
+      HCA vs. para-virtualised virtio vs. a fully emulated NIC.
+    - [rdma_migration]: §V — the CPU-bound single-threaded TCP migration
+      sender vs. an RDMA-based sender.
+    - [quiesce]: what the SymVirt fence buys the migration itself — a
+      frozen guest converges in one precopy pass; migrating a live,
+      dirtying guest costs extra rounds, bytes and downtime (and with a
+      bypass device attached it is impossible outright). *)
+
+val bypass : Exp_common.mode -> Ninja_metrics.Table.t list
+
+val rdma_migration : Exp_common.mode -> Ninja_metrics.Table.t list
+
+val postcopy : Exp_common.mode -> Ninja_metrics.Table.t list
+(** Precopy vs postcopy of a live, dirtying guest: postcopy bounds both
+    the bytes on the wire (each page moves once) and the downtime, at the
+    price of remote-fault slowdown while the pull runs — the trade-off the
+    authors' later work (Yabusame) explores. *)
+
+val quiesce : Exp_common.mode -> Ninja_metrics.Table.t list

@@ -1,0 +1,16 @@
+open Ninja_engine
+open Ninja_hardware
+
+type mode = Quick | Full
+
+let fresh ?(spec = Spec.agc) () =
+  let sim = Sim.create ~seed:42L () in
+  (sim, Cluster.create sim ~spec ())
+
+let hosts cluster ~prefix ~first ~count =
+  List.init count (fun i ->
+      Cluster.find_node cluster (Printf.sprintf "%s%02d" prefix (first + i)))
+
+let run_to_completion sim = Sim.run sim
+
+let sec = Time.to_sec_f

@@ -1,0 +1,18 @@
+(** Shared experiment plumbing. *)
+
+open Ninja_engine
+open Ninja_hardware
+
+type mode = Quick | Full
+(** [Quick] shrinks sizes/iterations so the whole suite stays test-speed;
+    [Full] reproduces the paper's parameters. *)
+
+val fresh : ?spec:Spec.t -> unit -> Sim.t * Cluster.t
+(** A deterministic simulation (fixed seed) plus its cluster. *)
+
+val hosts : Cluster.t -> prefix:string -> first:int -> count:int -> Node.t list
+(** e.g. [hosts c ~prefix:"ib" ~first:8 ~count:8] = ib08..ib15. *)
+
+val run_to_completion : Sim.t -> unit
+
+val sec : Time.span -> float

@@ -1,0 +1,67 @@
+open Ninja_engine
+open Ninja_hardware
+open Ninja_metrics
+open Ninja_core
+open Ninja_workloads
+open Exp_common
+
+type row = {
+  size_gb : float;
+  migration : float;
+  hotplug : float;
+  linkup : float;
+  total : float;
+}
+
+let measure ~size_gb =
+  let sim, cluster = fresh ~spec:Spec.agc_ib16 () in
+  let srcs = hosts cluster ~prefix:"ib" ~first:0 ~count:8 in
+  let dsts = hosts cluster ~prefix:"ib" ~first:8 ~count:8 in
+  let ninja = Ninja.setup cluster ~hosts:srcs () in
+  ignore
+    (Ninja.launch ninja ~procs_per_vm:1 (fun ctx ->
+         Memtest.run_until ctx ~array_bytes:(Units.gb size_gb) ~until:200.0 ()));
+  let result = ref None in
+  Sim.spawn sim (fun () ->
+      (* Let every rank complete at least one full pass first. *)
+      Sim.sleep (Time.sec 30);
+      let b = Ninja.fallback ninja ~dsts in
+      result := Some b;
+      Ninja.wait_job ninja);
+  run_to_completion sim;
+  let b = Option.get !result in
+  {
+    size_gb;
+    migration = sec b.Breakdown.migration;
+    hotplug = sec (Breakdown.hotplug b);
+    linkup = sec b.Breakdown.linkup;
+    total = sec (Breakdown.overhead_sum b);
+  }
+
+let run mode =
+  let sizes = match mode with Quick -> [ 2.0; 16.0 ] | Full -> Paper_data.fig6_sizes_gb in
+  let table =
+    Table.create
+      ~title:"Fig. 6: Ninja migration overhead on memtest [seconds] (paper values in parens)"
+      ~columns:[ "Array"; "migration"; "hotplug"; "link-up"; "total overhead" ]
+  in
+  List.iter
+    (fun size_gb ->
+      let r = measure ~size_gb in
+      let paper_at l =
+        match
+          List.find_opt (fun (s, _) -> s = size_gb) (List.combine Paper_data.fig6_sizes_gb l)
+        with
+        | Some (_, v) -> Printf.sprintf "%.1f" v
+        | None -> "-"
+      in
+      Table.add_row table
+        [
+          Printf.sprintf "%.0fGB" size_gb;
+          Printf.sprintf "%.1f (%s)" r.migration (paper_at Paper_data.fig6_migration);
+          Printf.sprintf "%.1f (%s)" r.hotplug (paper_at Paper_data.fig6_hotplug);
+          Printf.sprintf "%.1f (%s)" r.linkup (paper_at Paper_data.fig6_linkup);
+          Printf.sprintf "%.1f" r.total;
+        ])
+    sizes;
+  [ table ]

@@ -1,0 +1,20 @@
+(** Fig. 6: Ninja-migration overhead on the memtest benchmark, broken into
+    migration / hotplug / link-up, for 2/4/8/16 GB memory arrays.
+
+    §IV-B2: 8 VMs (20 GB each) on the InfiniBand cluster migrate to 8
+    other InfiniBand nodes while memtest runs; migration time follows the
+    footprint (but not proportionally — zero-page compression), hotplug is
+    ~3x the self-migration cost ("migration noise") and link-up is the
+    constant ~30 s IB port training. *)
+
+type row = {
+  size_gb : float;
+  migration : float;
+  hotplug : float;
+  linkup : float;
+  total : float;
+}
+
+val measure : size_gb:float -> row
+
+val run : Exp_common.mode -> Ninja_metrics.Table.t list

@@ -1,0 +1,89 @@
+open Ninja_engine
+open Ninja_hardware
+open Ninja_metrics
+open Ninja_core
+open Ninja_workloads
+open Exp_common
+
+type row = {
+  kernel : string;
+  baseline : float;
+  proposed : float;
+  migration : float;
+  hotplug : float;
+  linkup : float;
+}
+
+let klass_of = function Quick -> Npb.C | Full -> Npb.D
+
+let vm_count = function Quick -> 2 | Full -> 8
+
+let procs_per_vm = function Quick -> 2 | Full -> 8
+
+(* Trigger the migration the paper's three minutes into the run (scaled
+   down in quick mode). *)
+let trigger_at = function Quick -> Time.sec 30 | Full -> Time.minutes 3
+
+let one_run mode kernel ~migrate_once =
+  let sim, cluster = fresh ~spec:Spec.agc_ib16 () in
+  let n = vm_count mode in
+  let srcs = hosts cluster ~prefix:"ib" ~first:0 ~count:n in
+  let dsts = hosts cluster ~prefix:"ib" ~first:n ~count:n in
+  let ninja = Ninja.setup cluster ~hosts:srcs () in
+  let finished_at = ref 0.0 in
+  ignore
+    (Ninja.launch ninja ~procs_per_vm:(procs_per_vm mode) (fun ctx ->
+         Npb.run ctx kernel (klass_of mode) ();
+         if Ninja_mpi.Mpi.rank ctx = 0 then finished_at := Ninja_mpi.Mpi.wtime ctx));
+  let breakdown = ref Breakdown.zero in
+  if migrate_once then
+    Sim.spawn sim (fun () ->
+        Sim.sleep (trigger_at mode);
+        breakdown := Ninja.fallback ninja ~dsts);
+  Sim.spawn sim (fun () -> Ninja.wait_job ninja);
+  run_to_completion sim;
+  (!finished_at, !breakdown)
+
+let measure mode kernel =
+  let baseline, _ = one_run mode kernel ~migrate_once:false in
+  let proposed, b = one_run mode kernel ~migrate_once:true in
+  {
+    kernel = Npb.kernel_name kernel;
+    baseline;
+    proposed;
+    migration = sec b.Breakdown.migration;
+    hotplug = sec (Breakdown.hotplug b);
+    linkup = sec b.Breakdown.linkup;
+  }
+
+let run mode =
+  let table =
+    Table.create
+      ~title:
+        (match mode with
+        | Full ->
+          "Fig. 7: Ninja migration overhead on NPB class D, 64 procs [seconds] (paper approx in parens)"
+        | Quick -> "Fig. 7 (quick: class C, 4 procs): Ninja migration overhead on NPB [seconds]")
+      ~columns:[ "Kernel"; "baseline"; "proposed"; "migration"; "hotplug"; "link-up" ]
+  in
+  List.iter
+    (fun kernel ->
+      let r = measure mode kernel in
+      let paper_base, paper_over =
+        match mode with
+        | Full ->
+          ( Printf.sprintf " (%.0f)" (Paper_data.fig7_baseline r.kernel),
+            Printf.sprintf " (+%.0f)" (Paper_data.fig7_overhead r.kernel) )
+        | Quick -> ("", "")
+      in
+      Table.add_row table
+        [
+          r.kernel;
+          Printf.sprintf "%.1f%s" r.baseline paper_base;
+          Printf.sprintf "%.1f%s" r.proposed paper_over;
+          Printf.sprintf "%.1f" r.migration;
+          Printf.sprintf "%.1f" r.hotplug;
+          Printf.sprintf "%.1f" r.linkup;
+        ])
+    Npb.all;
+  [ table ]

@@ -1,0 +1,21 @@
+(** Fig. 7: Ninja-migration overhead on the NAS Parallel Benchmarks
+    (BT/CG/FT/LU, class D, 64 processes; class C at reduced scale in
+    [Quick] mode).
+
+    §IV-B3: baseline = plain run; proposed = one Ninja migration (both
+    clusters InfiniBand) three minutes in. Claims reproduced: zero
+    normal-operation overhead, and migration time tracking the per-VM
+    memory footprint while hotplug/link-up stay constant. *)
+
+type row = {
+  kernel : string;
+  baseline : float;
+  proposed : float;
+  migration : float;
+  hotplug : float;
+  linkup : float;
+}
+
+val measure : Exp_common.mode -> Ninja_workloads.Npb.kernel -> row
+
+val run : Exp_common.mode -> Ninja_metrics.Table.t list

@@ -1,0 +1,121 @@
+open Ninja_engine
+open Ninja_hardware
+open Ninja_metrics
+open Ninja_core
+open Ninja_scheduler
+open Ninja_workloads
+open Exp_common
+
+type step_row = { step : int; phase : string; elapsed : float; overhead : float }
+
+let phase_of_step s =
+  if s <= 10 then "4 hosts (IB)"
+  else if s <= 20 then "2 hosts (TCP)"
+  else if s <= 30 then "4 hosts (IB)"
+  else "4 hosts (TCP)"
+
+let data_per_node = function Quick -> 1.0e9 | Full -> 8.0e9
+
+let steps = 40
+
+let measure mode ~procs_per_vm =
+  let sim, cluster = fresh ~spec:Spec.agc () in
+  let ib = hosts cluster ~prefix:"ib" ~first:0 ~count:4 in
+  let eth = hosts cluster ~prefix:"eth" ~first:0 ~count:4 in
+  let ninja = Ninja.setup cluster ~hosts:ib () in
+  let samples = ref [] in
+  let sched = ref None in
+  let trigger_for s =
+    if s = 10 then
+      (* Server consolidation onto two Ethernet hosts. *)
+      Some
+        (Cloud_scheduler.Consolidate
+           { vms_per_host = 2; targets = [ List.nth eth 0; List.nth eth 1 ] })
+    else if s = 20 then Some (Cloud_scheduler.Rebalance { targets = ib })
+    else if s = 30 then Some (Cloud_scheduler.Rebalance { targets = eth })
+    else None
+  in
+  let on_step (s : Bcast_reduce.sample) =
+    samples := s :: !samples;
+    match trigger_for s.Bcast_reduce.step with
+    | Some trigger ->
+      Sim.spawn sim ~name:"fig8-trigger" (fun () ->
+          ignore (Cloud_scheduler.execute (Option.get !sched) trigger))
+    | None -> ()
+  in
+  ignore
+    (Ninja.launch ninja ~procs_per_vm (fun ctx ->
+         Bcast_reduce.run ctx ~data_per_node:(data_per_node mode) ~procs_per_vm ~steps
+           ~on_step ()));
+  sched := Some (Cloud_scheduler.create ninja);
+  Sim.spawn sim (fun () -> Ninja.wait_job ninja);
+  run_to_completion sim;
+  let overheads =
+    List.map
+      (fun r -> sec (Breakdown.overhead_sum r.Cloud_scheduler.breakdown))
+      (Cloud_scheduler.history (Option.get !sched))
+  in
+  let overhead_at step =
+    match step with
+    | 11 -> (match overheads with o :: _ -> o | [] -> 0.0)
+    | 21 -> (match overheads with _ :: o :: _ -> o | _ -> 0.0)
+    | 31 -> (match overheads with _ :: _ :: o :: _ -> o | _ -> 0.0)
+    | _ -> 0.0
+  in
+  !samples |> List.rev
+  |> List.map (fun (s : Bcast_reduce.sample) ->
+         {
+           step = s.Bcast_reduce.step;
+           phase = phase_of_step s.Bcast_reduce.step;
+           elapsed = s.Bcast_reduce.elapsed;
+           overhead = overhead_at s.Bcast_reduce.step;
+         })
+
+let summarize rows =
+  (* Mean steady-state iteration time per phase (excluding the migration
+     steps 11/21/31). *)
+  let phases = [ "4 hosts (IB)"; "2 hosts (TCP)"; "4 hosts (TCP)" ] in
+  List.map
+    (fun phase ->
+      let xs =
+        rows
+        |> List.filter (fun r -> r.phase = phase && not (List.mem r.step [ 11; 21; 31 ]))
+        |> List.map (fun r -> r.elapsed)
+      in
+      (phase, Stats.mean xs))
+    phases
+
+let run mode =
+  let make_table ~procs_per_vm label =
+    let rows = measure mode ~procs_per_vm in
+    let table =
+      Table.create
+        ~title:
+          (Printf.sprintf
+             "Fig. 8%s: fallback and recovery migration (%s/VM, %d total procs) [seconds/step]"
+             label
+             (if procs_per_vm = 1 then "1 process" else Printf.sprintf "%d processes" procs_per_vm)
+             (4 * procs_per_vm))
+        ~columns:[ "Step"; "Phase"; "Elapsed"; "of which overhead" ]
+    in
+    List.iter
+      (fun r ->
+        Table.add_row table
+          [
+            string_of_int r.step;
+            r.phase;
+            Printf.sprintf "%.1f" r.elapsed;
+            (if r.overhead > 0.0 then Printf.sprintf "%.1f" r.overhead else "-");
+          ])
+      rows;
+    let summary =
+      Table.create
+        ~title:(Printf.sprintf "Fig. 8%s steady-state summary" label)
+        ~columns:[ "Phase"; "mean step time [s]" ]
+    in
+    List.iter
+      (fun (phase, mean) -> Table.add_row summary [ phase; Printf.sprintf "%.1f" mean ])
+      (summarize rows);
+    [ table; summary ]
+  in
+  make_table ~procs_per_vm:1 "a" @ make_table ~procs_per_vm:8 "b"

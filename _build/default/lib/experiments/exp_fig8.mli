@@ -1,0 +1,17 @@
+(** Fig. 8: fallback and recovery migration under the bcast+reduce
+    workload (8 GB per node), with migrations after steps 10, 20 and 30:
+
+    4 hosts (IB) → 2 hosts (TCP, consolidated) → 4 hosts (IB) →
+    4 hosts (TCP)
+
+    Reproduced for (a) 1 process/VM (4 ranks) and (b) 8 processes/VM
+    (32 ranks). The per-step series shows the interconnect's bandwidth in
+    the iteration time, the over-commit penalty in the consolidated
+    phase, and the migration overhead spikes at steps 11/21/31 — all with
+    no process restarts. *)
+
+type step_row = { step : int; phase : string; elapsed : float; overhead : float }
+
+val measure : Exp_common.mode -> procs_per_vm:int -> step_row list
+
+val run : Exp_common.mode -> Ninja_metrics.Table.t list

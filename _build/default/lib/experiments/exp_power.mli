@@ -1,0 +1,18 @@
+(** Power-aware consolidation study (§VII future work: "intelligent VM
+    placement in a data center ... for power saving", backed by §II-A's
+    utilisation argument — the LHC grid numbers where 70% of jobs use less
+    than 14% of the CPU).
+
+    Two workloads (a CPU-bound HPC kernel and an LHC-style under-utilised
+    job) each run spread (4 VMs on 4 hosts) and consolidated (4 VMs on 2
+    hosts, migrated by Ninja at t=5 s), with per-node energy integrated
+    over the run (idle hosts sleep). Consolidation should roughly halve
+    the energy of the under-utilised job at negligible slowdown, and buy
+    nothing for the CPU-bound one — placement policy must look at
+    utilisation, which is the paper's §II point. *)
+
+type row = { label : string; duration : float; energy_kj : float }
+
+val measure : consolidated:bool -> busy:bool -> row
+
+val run : Exp_common.mode -> Ninja_metrics.Table.t list

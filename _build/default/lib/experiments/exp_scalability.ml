@@ -1,0 +1,71 @@
+open Ninja_engine
+open Ninja_hardware
+open Ninja_metrics
+open Ninja_core
+open Ninja_workloads
+open Exp_common
+
+type row = {
+  n_vms : int;
+  migration : float;
+  per_vm_rate : float;
+  hotplug : float;
+  coordination : float;
+}
+
+let measure ~n_vms ~uplink_gbps =
+  let sim, cluster = fresh ~spec:Spec.agc () in
+  (* The two racks share one constrained uplink — the congestion source. *)
+  Cluster.set_inter_rack cluster ~rack_a:0 ~rack_b:1 ~capacity:(Units.gbps uplink_gbps)
+    ~latency:(Time.us 50);
+  let srcs = hosts cluster ~prefix:"ib" ~first:0 ~count:n_vms in
+  let dsts = hosts cluster ~prefix:"eth" ~first:0 ~count:n_vms in
+  let ninja = Ninja.setup cluster ~hosts:srcs () in
+  ignore
+    (Ninja.launch ninja ~procs_per_vm:1 (fun ctx ->
+         Memtest.run_until ctx ~array_bytes:(Units.gb 2.0) ~until:600.0 ()));
+  let result = ref None in
+  Sim.spawn sim (fun () ->
+      Sim.sleep (Time.sec 10);
+      result := Some (Ninja.fallback ninja ~dsts);
+      Ninja.wait_job ninja);
+  run_to_completion sim;
+  let b = Option.get !result in
+  let image_per_vm =
+    (* Every VM ships the same image: OS resident + the 2 GiB array. *)
+    2.3e9 +. Units.gb 2.0
+  in
+  {
+    n_vms;
+    migration = sec b.Breakdown.migration;
+    per_vm_rate = image_per_vm /. sec b.Breakdown.migration /. 1e9;
+    hotplug = sec (Breakdown.hotplug b);
+    coordination = sec b.Breakdown.coordination;
+  }
+
+let run mode =
+  let counts = match mode with Quick -> [ 1; 8 ] | Full -> [ 1; 2; 4; 8 ] in
+  let uplink_gbps = 10.0 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Scalability (paper section V open issue): N simultaneous migrations over a %.0f Gb/s \
+            inter-rack uplink"
+           uplink_gbps)
+      ~columns:
+        [ "VMs"; "migration [s]"; "per-VM rate [GB/s]"; "hotplug [s]"; "coordination [s]" ]
+  in
+  List.iter
+    (fun n_vms ->
+      let r = measure ~n_vms ~uplink_gbps in
+      Table.add_row table
+        [
+          string_of_int r.n_vms;
+          Printf.sprintf "%.1f" r.migration;
+          Printf.sprintf "%.3f" r.per_vm_rate;
+          Printf.sprintf "%.1f" r.hotplug;
+          Printf.sprintf "%.2f" r.coordination;
+        ])
+    counts;
+  [ table ]

@@ -1,0 +1,23 @@
+(** Scalability of simultaneous migration (§V open issue).
+
+    The paper: "Our evaluation lacks scalability tests ... The migration
+    time may significantly increase as the number of hosts increases due
+    to network congestion." This experiment performs the study: N VMs
+    migrate simultaneously from the InfiniBand rack to the Ethernet rack
+    over a shared inter-rack uplink, sweeping N. Below the uplink's
+    capacity each VM migrates at its sender's rate; beyond it, max–min
+    sharing stretches every migration — while hotplug and coordination
+    stay constant, confirming the paper's claim that the growth is a
+    network property, not a mechanism property. *)
+
+type row = {
+  n_vms : int;
+  migration : float;  (** wall time of the parallel migration phase [s] *)
+  per_vm_rate : float;  (** effective GB/s per VM *)
+  hotplug : float;
+  coordination : float;
+}
+
+val measure : n_vms:int -> uplink_gbps:float -> row
+
+val run : Exp_common.mode -> Ninja_metrics.Table.t list

@@ -1,0 +1,25 @@
+open Ninja_hardware
+open Ninja_metrics
+
+let run () =
+  let spec = Table.create ~title:"Table I: AGC cluster specifications" ~columns:[ "Component"; "Value" ] in
+  List.iter (fun (k, v) -> Table.add_row spec [ k; v ]) Spec.table1;
+  let model =
+    Table.create ~title:"Simulator calibration for the same hardware"
+      ~columns:[ "Parameter"; "Value" ]
+  in
+  let row k v = Table.add_row model [ k; v ] in
+  row "IB HCA bandwidth (VMM-bypass)" (Printf.sprintf "%.1f GB/s" (Calibration.ib_bandwidth /. 1e9));
+  row "IB latency" (Format.asprintf "%a" Ninja_engine.Time.pp Calibration.ib_latency);
+  row "virtio-net bandwidth" (Printf.sprintf "%.2f GB/s" (Calibration.virtio_bandwidth /. 1e9));
+  row "virtio-net latency" (Format.asprintf "%a" Ninja_engine.Time.pp Calibration.virtio_latency);
+  row "migration sender rate (TCP)" (Printf.sprintf "%.2f GB/s" (Calibration.transfer_rate /. 1e9));
+  row "zero-page scan rate" (Printf.sprintf "%.2f GB/s" (Calibration.zero_scan_rate /. 1e9));
+  row "IB link-up (port training)" (Format.asprintf "%a" Ninja_engine.Time.pp Calibration.linkup_ib);
+  row "hotplug detach/attach IB"
+    (Format.asprintf "%a / %a" Ninja_engine.Time.pp Calibration.detach_ib Ninja_engine.Time.pp
+       Calibration.attach_ib);
+  row "hotplug detach/attach eth"
+    (Format.asprintf "%a / %a" Ninja_engine.Time.pp Calibration.detach_eth Ninja_engine.Time.pp
+       Calibration.attach_eth);
+  [ spec; model ]

@@ -1,0 +1,4 @@
+(** Table I: AGC cluster specification, plus the simulator's calibrated
+    model parameters for the same hardware. *)
+
+val run : unit -> Ninja_metrics.Table.t list

@@ -1,0 +1,12 @@
+(** Table II: hotplug and link-up time of self-migration, for the four
+    source→destination interconnect combinations.
+
+    Reproduces §IV-B1: 8 VMs running memtest self-migrate (to their own
+    node) with the interconnect device of each side hot-unplugged /
+    re-plugged — a VMM-bypass HCA on InfiniBand sides, the virtio NIC on
+    Ethernet sides. Best of three runs, like the paper. *)
+
+val run : Exp_common.mode -> Ninja_metrics.Table.t list
+
+val measure : Paper_data.combo -> hotplug:float ref -> linkup:float ref -> unit
+(** One combo measurement (used by tests to probe single rows). *)

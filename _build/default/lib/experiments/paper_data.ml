@@ -1,0 +1,45 @@
+type combo = Ib_to_ib | Ib_to_eth | Eth_to_ib | Eth_to_eth
+
+let combos = [ Ib_to_ib; Ib_to_eth; Eth_to_ib; Eth_to_eth ]
+
+let combo_name = function
+  | Ib_to_ib -> "Infiniband -> Infiniband"
+  | Ib_to_eth -> "Infiniband -> Ethernet"
+  | Eth_to_ib -> "Ethernet -> Infiniband"
+  | Eth_to_eth -> "Ethernet -> Ethernet"
+
+let table2_hotplug = function
+  | Ib_to_ib -> 3.88
+  | Ib_to_eth -> 2.80
+  | Eth_to_ib -> 1.15
+  | Eth_to_eth -> 0.13
+
+let table2_linkup = function
+  | Ib_to_ib -> 29.91
+  | Ib_to_eth -> 0.00
+  | Eth_to_ib -> 29.79
+  | Eth_to_eth -> 0.00
+
+let fig6_sizes_gb = [ 2.0; 4.0; 8.0; 16.0 ]
+
+let fig6_migration = [ 53.7; 35.9; 38.7; 44.2 ]
+
+let fig6_hotplug = [ 14.6; 13.5; 12.5; 11.3 ]
+
+let fig6_linkup = [ 28.5; 28.5; 28.5; 28.6 ]
+
+(* Read off the Fig. 7 chart (bars are not labelled in the paper); treated
+   as approximate in EXPERIMENTS.md. *)
+let fig7_baseline = function
+  | "BT" -> 980.0
+  | "CG" -> 750.0
+  | "FT" -> 440.0
+  | "LU" -> 590.0
+  | _ -> invalid_arg "Paper_data.fig7_baseline: unknown kernel"
+
+let fig7_overhead = function
+  | "BT" -> 75.0
+  | "CG" -> 55.0
+  | "FT" -> 90.0
+  | "LU" -> 65.0
+  | _ -> invalid_arg "Paper_data.fig7_overhead: unknown kernel"

@@ -1,0 +1,33 @@
+(** Reference values reported by the paper, for side-by-side output.
+
+    Table II values are printed in the paper; figure values are read off
+    the charts (the paper prints the Fig. 6 bar labels) and are
+    approximate where noted. All in seconds. *)
+
+type combo = Ib_to_ib | Ib_to_eth | Eth_to_ib | Eth_to_eth
+
+val combo_name : combo -> string
+
+val combos : combo list
+
+val table2_hotplug : combo -> float
+
+val table2_linkup : combo -> float
+
+(** Fig. 6 (memtest, sizes 2/4/8/16 GB): bar segment labels as printed. *)
+
+val fig6_sizes_gb : float list
+
+val fig6_migration : float list
+
+val fig6_hotplug : float list
+
+val fig6_linkup : float list
+
+(** Fig. 7 (NPB class D, 64 procs): approximate bar heights. *)
+
+val fig7_baseline : string -> float
+(** By kernel name (BT/CG/FT/LU). *)
+
+val fig7_overhead : string -> float
+(** Total added by the single Ninja migration, approximate. *)

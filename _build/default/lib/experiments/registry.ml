@@ -1,0 +1,68 @@
+type entry = {
+  name : string;
+  description : string;
+  run : Exp_common.mode -> Ninja_metrics.Table.t list;
+}
+
+let all =
+  [
+    {
+      name = "table1";
+      description = "Table I: AGC cluster specification and simulator calibration";
+      run = (fun _ -> Exp_table1.run ());
+    };
+    {
+      name = "table2";
+      description = "Table II: hotplug and link-up times of self-migration (4 combos)";
+      run = Exp_table2.run;
+    };
+    {
+      name = "fig6";
+      description = "Fig. 6: migration overhead breakdown on memtest (2-16 GB)";
+      run = Exp_fig6.run;
+    };
+    {
+      name = "fig7";
+      description = "Fig. 7: migration overhead on NPB BT/CG/FT/LU (baseline vs proposed)";
+      run = Exp_fig7.run;
+    };
+    {
+      name = "fig8";
+      description = "Fig. 8: fallback and recovery migration series (1 and 8 procs/VM)";
+      run = Exp_fig8.run;
+    };
+    {
+      name = "ablation-bypass";
+      description = "Ablation: VMM-bypass vs virtio vs emulated I/O";
+      run = Exp_ablation.bypass;
+    };
+    {
+      name = "ablation-rdma";
+      description = "Ablation: TCP vs RDMA migration sender (paper section V)";
+      run = Exp_ablation.rdma_migration;
+    };
+    {
+      name = "ablation-quiesce";
+      description = "Ablation: frozen (SymVirt-fenced) vs live migration";
+      run = Exp_ablation.quiesce;
+    };
+    {
+      name = "ablation-postcopy";
+      description = "Ablation: precopy vs postcopy migration of a live guest";
+      run = Exp_ablation.postcopy;
+    };
+    {
+      name = "scalability";
+      description = "Section V open issue: N simultaneous migrations under uplink congestion";
+      run = Exp_scalability.run;
+    };
+    {
+      name = "power";
+      description = "Section VII future work: power-aware consolidation (energy vs run time)";
+      run = Exp_power.run;
+    };
+  ]
+
+let find name = List.find_opt (fun e -> String.equal e.name name) all
+
+let names = List.map (fun e -> e.name) all

@@ -1,0 +1,14 @@
+(** Experiment registry: names every reproducible table/figure and maps it
+    to its runner, for the CLI and the bench harness. *)
+
+type entry = {
+  name : string;  (** e.g. ["table2"] *)
+  description : string;
+  run : Exp_common.mode -> Ninja_metrics.Table.t list;
+}
+
+val all : entry list
+
+val find : string -> entry option
+
+val names : string list

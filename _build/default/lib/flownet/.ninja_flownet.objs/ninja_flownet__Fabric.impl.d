@@ -1,0 +1,1 @@
+lib/flownet/fabric.ml: Array Float Hashtbl List Ninja_engine Rated

@@ -1,0 +1,1 @@
+lib/flownet/fabric.mli: Ninja_engine

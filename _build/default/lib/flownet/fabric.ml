@@ -1,0 +1,126 @@
+open Ninja_engine
+
+type link = {
+  id : int;
+  name : string;
+  mutable capacity : float;
+  (* Scratch fields for the progressive-filling pass. *)
+  mutable residual : float;
+  mutable unfrozen : int;
+}
+
+type info = { route : link list }
+
+type t = { set : info Rated.t; mutable next_link : int }
+
+type flow = info Rated.task
+
+(* Progressive filling (max–min fairness): repeatedly pick the link whose
+   fair share (residual / unfrozen flows) is smallest, freeze the unfrozen
+   flows crossing it at that share, subtract their rate along their whole
+   routes, and repeat until every flow is frozen. *)
+let rerate set =
+  let flows = Array.of_list (Rated.active set) in
+  let n = Array.length flows in
+  if n > 0 then begin
+    let routes = Array.map (fun fl -> (Rated.payload fl).route) flows in
+    let links =
+      let tbl = Hashtbl.create 16 in
+      Array.iter
+        (fun route ->
+          List.iter (fun l -> if not (Hashtbl.mem tbl l.id) then Hashtbl.add tbl l.id l) route)
+        routes;
+      Hashtbl.fold (fun _ l acc -> l :: acc) tbl []
+    in
+    List.iter
+      (fun l ->
+        l.residual <- l.capacity;
+        l.unfrozen <- 0)
+      links;
+    Array.iter (fun route -> List.iter (fun l -> l.unfrozen <- l.unfrozen + 1) route) routes;
+    let frozen = Array.make n false in
+    let remaining = ref n in
+    while !remaining > 0 do
+      (* Bottleneck link: minimum fair share among links that still carry
+         unfrozen flows. Ties broken by link id for determinism. *)
+      let bottleneck =
+        List.fold_left
+          (fun acc l ->
+            if l.unfrozen = 0 then acc
+            else
+              let fair = Float.max 0.0 (l.residual /. float_of_int l.unfrozen) in
+              match acc with
+              | Some (best, bl) when best < fair || (best = fair && bl.id <= l.id) -> acc
+              | _ -> Some (fair, l))
+          None links
+      in
+      match bottleneck with
+      | None ->
+        (* Unreachable: every unfrozen flow crosses at least one link that
+           therefore has unfrozen > 0. *)
+        assert false
+      | Some (fair, bottleneck_link) ->
+        for i = 0 to n - 1 do
+          if (not frozen.(i)) && List.exists (fun l -> l.id = bottleneck_link.id) routes.(i)
+          then begin
+            frozen.(i) <- true;
+            Rated.set_rate flows.(i) fair;
+            decr remaining;
+            List.iter
+              (fun l ->
+                l.residual <- Float.max 0.0 (l.residual -. fair);
+                l.unfrozen <- l.unfrozen - 1)
+              routes.(i)
+          end
+        done
+    done
+  end
+
+let create sim = { set = Rated.create sim ~name:"fabric" ~rerate; next_link = 0 }
+
+let add_link t ~name ~capacity =
+  if not (capacity > 0.0 && Float.is_finite capacity) then
+    invalid_arg "Fabric.add_link: capacity must be positive and finite";
+  let id = t.next_link in
+  t.next_link <- id + 1;
+  { id; name; capacity; residual = 0.0; unfrozen = 0 }
+
+let link_name l = l.name
+
+let link_capacity l = l.capacity
+
+let set_link_capacity t l c =
+  if not (c > 0.0 && Float.is_finite c) then
+    invalid_arg "Fabric.set_link_capacity: capacity must be positive and finite";
+  l.capacity <- c;
+  Rated.kick t.set
+
+let check_route route =
+  if route = [] then invalid_arg "Fabric: empty route";
+  let ids = List.map (fun l -> l.id) route in
+  if List.length (List.sort_uniq compare ids) <> List.length ids then
+    invalid_arg "Fabric: route contains duplicate links"
+
+let start t ~route ~bytes =
+  check_route route;
+  Rated.add t.set ~payload:{ route } ~work:bytes
+
+let await fl = Rated.await fl
+
+let transfer t ~route ~bytes = await (start t ~route ~bytes)
+
+let cancel t fl = Rated.cancel t.set fl
+
+let rate fl = Rated.rate fl
+
+let is_done fl = Rated.is_done fl
+
+let active_flows t = List.length (Rated.active t.set)
+
+let link_utilization t l =
+  List.fold_left
+    (fun acc fl ->
+      if List.exists (fun l' -> l'.id = l.id) (Rated.payload fl).route then acc +. Rated.rate fl
+      else acc)
+    0.0
+    (Rated.active t.set)

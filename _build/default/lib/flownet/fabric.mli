@@ -1,0 +1,55 @@
+(** Flow-level network fabric with max–min fair bandwidth sharing.
+
+    A fabric is a set of directed capacity-constrained links; a {e flow} is
+    a bulk transfer routed over a list of links. Whenever the flow
+    population changes (or a capacity changes), all flow rates are
+    recomputed by progressive filling: repeatedly saturate the most
+    contended link, freeze its flows at the fair share, and continue with
+    the residual capacities. Between changes rates are constant, so flow
+    completions are exact events.
+
+    This models both MPI traffic and migration traffic sharing the same
+    interconnect, which is where the paper's congestion effects (e.g.
+    migration time growth under load) come from. Propagation latency is
+    deliberately not modelled here — callers account for per-message
+    latency separately, since it is protocol-specific. *)
+
+type t
+
+type link
+
+type flow
+
+val create : Ninja_engine.Sim.t -> t
+
+val add_link : t -> name:string -> capacity:float -> link
+(** [capacity] in bytes per second; must be positive. *)
+
+val link_name : link -> string
+
+val link_capacity : link -> float
+
+val set_link_capacity : t -> link -> float -> unit
+(** Takes effect immediately; in-flight flows are re-rated. *)
+
+val start : t -> route:link list -> bytes:float -> flow
+(** Begin a transfer (non-blocking). The route must be non-empty and free
+    of duplicate links. [bytes] must be non-negative. *)
+
+val await : flow -> unit
+(** Block the calling fiber until the flow completes (or is cancelled). *)
+
+val transfer : t -> route:link list -> bytes:float -> unit
+(** [start] followed by [await]. *)
+
+val cancel : t -> flow -> unit
+
+val rate : flow -> float
+(** Current rate in bytes per second (0 before the first re-rate). *)
+
+val is_done : flow -> bool
+
+val active_flows : t -> int
+
+val link_utilization : t -> link -> float
+(** Sum of the current rates of flows crossing the link, in bytes/s. *)

@@ -1,0 +1,1 @@
+lib/ft/ft_runtime.mli: Cluster Ninja Ninja_core Ninja_hardware Ninja_mpi Ninja_vmm Node Snapshot

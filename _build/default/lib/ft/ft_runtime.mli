@@ -1,0 +1,61 @@
+(** Fault tolerance on top of Ninja migration (paper §II, ref [7]).
+
+    The paper's non-stop-maintenance and disaster use cases rest on two
+    mechanisms from the authors' SymVirt work: {e proactive} evacuation
+    (migrate away before a predicted failure — plain {!Ninja_core.Ninja})
+    and {e reactive} restart: VM-level checkpoints are written to shared
+    storage at SymVirt fences, and after a failure "we can restart VMs on
+    an Ethernet cluster from checkpointed VM images on an Infiniband
+    cluster".
+
+    This module runs an iteration-structured MPI job under that regime: a
+    coordinated VM snapshot set is saved every [checkpoint_every]
+    iterations; {!fail_and_restart} kills the current incarnation at a
+    fence (simulating loss of its hosts), restores the last snapshot set
+    on replacement hosts, re-attaches HCAs where the new hosts have them
+    (paying hotplug + link training), and relaunches the job from the
+    checkpointed iteration. Work since the last checkpoint is lost and
+    re-executed — the classic checkpoint/restart trade-off. *)
+
+open Ninja_hardware
+open Ninja_vmm
+open Ninja_core
+
+type spec = {
+  procs_per_vm : int;
+  iterations : int;
+  checkpoint_every : int;
+  step : Ninja_mpi.Mpi.ctx -> int -> unit;  (** one application iteration *)
+}
+
+type t
+
+val start : Cluster.t -> store:Snapshot.store -> hosts:Node.t list -> spec -> t
+(** Launch incarnation 0 on [hosts] with the periodic-checkpoint driver
+    attached. Non-blocking. *)
+
+val ninja : t -> Ninja.t
+(** The current incarnation's Ninja instance. *)
+
+val incarnation : t -> int
+
+val completed_iterations : t -> int
+(** Highest iteration some rank-0 has reported finished (across
+    incarnations; may exceed the last checkpoint). *)
+
+val last_checkpoint : t -> (int * Snapshot.t list) option
+(** Most recent (iteration, snapshot set) on stable storage. *)
+
+val executions_of : t -> int -> int
+(** How many times iteration [i] has been executed by rank 0 (> 1 for
+    iterations re-run after a restart). *)
+
+val fail_and_restart : t -> new_hosts:Node.t list -> unit
+(** Kill the running incarnation at a fence and restart from the last
+    checkpoint on [new_hosts]. Blocking (call from a fiber); raises
+    [Failure] if no checkpoint exists yet. *)
+
+val await : t -> unit
+(** Block until some incarnation completes all [iterations]. *)
+
+val is_finished : t -> bool

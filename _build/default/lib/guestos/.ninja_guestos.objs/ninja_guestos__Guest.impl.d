@@ -1,0 +1,1 @@
+lib/guestos/guest.ml: Cluster Device Float Link_state List Ninja_engine Ninja_hardware Ninja_vmm Sim String Trace Vm

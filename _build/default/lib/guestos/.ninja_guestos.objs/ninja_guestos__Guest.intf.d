@@ -1,0 +1,1 @@
+lib/guestos/guest.mli: Device Link_state Ninja_hardware Ninja_vmm Vm

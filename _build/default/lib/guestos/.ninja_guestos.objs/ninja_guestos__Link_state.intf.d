@@ -1,0 +1,1 @@
+lib/guestos/link_state.mli: Format

@@ -1,0 +1,1 @@
+lib/guestos/sysinfo.ml: Device Format Guest Link_state List Ninja_hardware Printf String

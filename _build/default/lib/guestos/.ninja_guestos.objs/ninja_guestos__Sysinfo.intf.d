@@ -1,0 +1,1 @@
+lib/guestos/sysinfo.mli: Guest

@@ -1,0 +1,11 @@
+type t = Down | Polling | Active
+
+let pp fmt = function
+  | Down -> Format.pp_print_string fmt "down"
+  | Polling -> Format.pp_print_string fmt "polling"
+  | Active -> Format.pp_print_string fmt "active"
+
+let equal a b =
+  match (a, b) with
+  | Down, Down | Polling, Polling | Active, Active -> true
+  | (Down | Polling | Active), _ -> false

@@ -1,0 +1,10 @@
+(** Network port link states as the guest driver sees them. *)
+
+type t =
+  | Down  (** no device / device detached *)
+  | Polling  (** port training; IB ports stay here ~30 s after attach *)
+  | Active
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

@@ -1,0 +1,44 @@
+open Ninja_hardware
+
+let class_of = function
+  | Device.Ib_hca -> "InfiniBand: Mellanox ConnectX"
+  | Device.Virtio_net -> "Ethernet controller: Red Hat Virtio network device"
+  | Device.Eth_10g -> "Ethernet controller: Broadcom NetXtreme II"
+  | Device.Emulated_nic -> "Ethernet controller: Intel 82540EM (e1000)"
+
+let lspci guest =
+  Guest.drivers guest
+  |> List.map (fun d ->
+         let dev = Guest.device d in
+         Printf.sprintf "%s %s (%s)" dev.Device.pci_addr (class_of dev.Device.kind)
+           dev.Device.tag)
+
+let port_state link =
+  match link with
+  | Link_state.Active -> "PORT_ACTIVE"
+  | Link_state.Polling -> "POLLING"
+  | Link_state.Down -> "PORT_DOWN"
+
+let ibstat guest =
+  let hcas =
+    List.filter
+      (fun d -> (Guest.device d).Device.kind = Device.Ib_hca)
+      (Guest.drivers guest)
+  in
+  match hcas with
+  | [] -> "no InfiniBand devices"
+  | hcas ->
+    hcas
+    |> List.map (fun d ->
+           Printf.sprintf "CA '%s': port 1 state %s" (Guest.device d).Device.tag
+             (port_state (Guest.link d)))
+    |> String.concat "\n"
+
+let netdev_summary guest =
+  List.map
+    (fun d ->
+      let dev = Guest.device d in
+      ( dev.Device.tag,
+        Device.kind_name dev.Device.kind,
+        Format.asprintf "%a" Link_state.pp (Guest.link d) ))
+    (Guest.drivers guest)

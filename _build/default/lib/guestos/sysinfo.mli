@@ -1,0 +1,15 @@
+(** Guest-side introspection, in the style of the tools an operator would
+    run inside the paper's VMs ([lspci], [ibstat]) to watch devices come
+    and go across a Ninja migration. Pure rendering over {!Guest} state. *)
+
+val lspci : Guest.t -> string list
+(** One line per PCI device, e.g.
+    ["04:00.0 InfiniBand: Mellanox ConnectX (vf0)"]. *)
+
+val ibstat : Guest.t -> string
+(** HCA port state summary, e.g. ["CA 'vf0': port 1 state PORT_ACTIVE"] or
+    ["no InfiniBand devices"]. The POLLING state here is the ~30 s window
+    the paper measures as "link-up". *)
+
+val netdev_summary : Guest.t -> (string * string * string) list
+(** (device tag, kind, link state) triples for every bound driver. *)

@@ -1,0 +1,1 @@
+lib/hardware/calibration.ml: Ninja_engine Time

@@ -1,0 +1,1 @@
+lib/hardware/calibration.mli: Ninja_engine

@@ -1,0 +1,1 @@
+lib/hardware/cluster.ml: Array Calibration Fabric Hashtbl List Ninja_engine Ninja_flownet Node Printf Sim Spec String Time Trace

@@ -1,0 +1,1 @@
+lib/hardware/cluster.mli: Fabric Ninja_engine Ninja_flownet Node Sim Spec Time Trace

@@ -1,0 +1,1 @@
+lib/hardware/device.mli: Format Ninja_engine

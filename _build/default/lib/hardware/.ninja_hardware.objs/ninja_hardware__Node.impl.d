@@ -1,0 +1,1 @@
+lib/hardware/node.ml: Calibration Fabric Format Ninja_engine Ninja_flownet Option Printf Ps_resource

@@ -1,0 +1,1 @@
+lib/hardware/node.mli: Fabric Format Ninja_engine Ninja_flownet Ps_resource Sim

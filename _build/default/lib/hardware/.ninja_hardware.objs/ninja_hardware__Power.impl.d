@@ -1,0 +1,1 @@
+lib/hardware/power.ml: Hashtbl List Ninja_engine Node Ps_resource Sim Time

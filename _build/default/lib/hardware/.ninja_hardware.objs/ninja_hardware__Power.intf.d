@@ -1,0 +1,1 @@
+lib/hardware/power.mli: Ninja_engine Node Sim Time

@@ -1,0 +1,1 @@
+lib/hardware/spec.mli:

@@ -1,0 +1,1 @@
+lib/hardware/units.ml: Format

@@ -1,0 +1,94 @@
+open Ninja_engine
+
+(* Interconnect data paths ------------------------------------------- *)
+
+(* QDR IB: 40 Gb/s signalling, 32 Gb/s data; ~3.2 GB/s achievable from an
+   MPI process through a VMM-bypass HCA (paper ref [4]). *)
+let ib_bandwidth = 3.2e9
+
+let ib_latency = Time.of_sec_f 1.7e-6
+
+let ib_cpu_per_byte = 0.0
+
+(* virtio-net on a BCM57711: ~8.4 Gb/s effective for MPI over TCP. *)
+let virtio_bandwidth = 1.05e9
+
+let virtio_latency = Time.of_sec_f 35e-6
+
+(* ~0.8 core at line rate. *)
+let virtio_cpu_per_byte = 0.8 /. 1.05e9
+
+let eth10g_bandwidth = 1.18e9
+
+let eth10g_latency = Time.of_sec_f 20e-6
+
+let eth10g_cpu_per_byte = 0.4 /. 1.18e9
+
+let emulated_bandwidth = 0.30e9
+
+let emulated_latency = Time.of_sec_f 120e-6
+
+let emulated_cpu_per_byte = 1.0 /. 0.30e9
+
+let sm_bandwidth = 5.0e9
+
+let sm_latency = Time.of_sec_f 0.5e-6
+
+let sm_cpu_per_byte = 0.2 /. 5.0e9
+
+let loopback_bandwidth = 8.0e9
+
+(* PCI hotplug -------------------------------------------------------- *)
+(* Solving Table II's four combinations:
+     detach_ib + attach_ib  = 3.88   detach_ib + attach_eth = 2.80
+     detach_eth + attach_ib = 1.15   detach_eth + attach_eth = 0.13
+   gives detach_ib ~ 2.75, attach_ib ~ 1.13, detach_eth ~ 0.05,
+   attach_eth ~ 0.08 (within the paper's run-to-run variation). *)
+let detach_ib = Time.of_sec_f 2.75
+
+let attach_ib = Time.of_sec_f 1.13
+
+let detach_eth = Time.of_sec_f 0.05
+
+let attach_eth = Time.of_sec_f 0.08
+
+let hotplug_noise_factor = 3.1
+
+(* Link-up ------------------------------------------------------------ *)
+
+let linkup_ib = Time.of_sec_f 29.85
+
+let linkup_eth = Time.zero
+
+(* QEMU precopy migration --------------------------------------------- *)
+
+let page_size = 4096
+
+(* The single-threaded sender is CPU-bound: it walks every page, detecting
+   and compressing uniform pages at [zero_scan_rate] and pushing the rest
+   at [transfer_rate] effective guest bytes/s (< 1.3 Gb/s wire in the
+   paper). The two rates reproduce Fig. 6's "dependent on the footprint
+   but not exactly proportional" migration segment. *)
+let zero_scan_rate = 0.9e9
+
+let transfer_rate = 0.42e9
+
+let rdma_transfer_rate = 1.1e9
+
+let migration_downtime_target = Time.of_sec_f 0.3
+
+let migration_max_rounds = 30
+
+let migration_cpu_demand = 1.0
+
+(* Guest software stack ------------------------------------------------ *)
+
+let mpi_eager_limit_ib = 12 * 1024
+
+let mpi_eager_limit_tcp = 64 * 1024
+
+let reduction_rate = 2.0e9
+
+let qmp_command_overhead = Time.of_sec_f 0.02
+
+let symvirt_hypercall_overhead = Time.of_sec_f 0.001

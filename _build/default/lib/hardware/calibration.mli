@@ -1,0 +1,112 @@
+(** Calibration constants for the simulated AGC testbed.
+
+    Every empirical constant in the reproduction lives here, next to the
+    paper measurement it is calibrated against (see DESIGN.md §5). Rates
+    are bytes per second; CPU taxes are core-seconds per byte. *)
+
+(** {1 Interconnect data paths} *)
+
+val ib_bandwidth : float
+(** VMM-bypass QDR InfiniBand HCA effective node bandwidth (~3.2 GB/s). *)
+
+val ib_latency : Ninja_engine.Time.span
+
+val ib_cpu_per_byte : float
+(** Zero: RDMA bypasses both the VMM and the guest kernel. *)
+
+val virtio_bandwidth : float
+(** Para-virtualised virtio-net over the 10 GbE NIC (~1.05 GB/s). *)
+
+val virtio_latency : Ninja_engine.Time.span
+
+val virtio_cpu_per_byte : float
+(** TCP/IP + vhost processing cost; makes fallback traffic contend with
+    application compute. *)
+
+val eth10g_bandwidth : float
+(** Bare-metal 10 GbE (host side, used by migration traffic). *)
+
+val eth10g_latency : Ninja_engine.Time.span
+
+val eth10g_cpu_per_byte : float
+
+val emulated_bandwidth : float
+(** Fully emulated NIC (e1000-style); only used by the ablation bench that
+    quantifies why VMM-bypass matters. *)
+
+val emulated_latency : Ninja_engine.Time.span
+
+val emulated_cpu_per_byte : float
+
+val sm_bandwidth : float
+(** Intra-VM shared-memory transport (Open MPI btl_sm). *)
+
+val sm_latency : Ninja_engine.Time.span
+
+val sm_cpu_per_byte : float
+
+val loopback_bandwidth : float
+(** Same-host memcpy path (self-migration, loopback TCP). *)
+
+(** {1 PCI hotplug (calibrated against Table II)} *)
+
+val detach_ib : Ninja_engine.Time.span
+(** ACPI eject + mlx4 driver teardown of a VMM-bypass HCA (~2.75 s). *)
+
+val attach_ib : Ninja_engine.Time.span
+
+val detach_eth : Ninja_engine.Time.span
+
+val attach_eth : Ninja_engine.Time.span
+
+val hotplug_noise_factor : float
+(** Paper §IV-B2: guest-visible hotplug time during a cross-node Ninja
+    migration of 8 VMs is ~3x the self-migration value ("migration noise
+    interferes with the execution of hotplug"). Applied when other VMs of
+    the same job are mid-migration. *)
+
+(** {1 Link-up (calibrated against Table II)} *)
+
+val linkup_ib : Ninja_engine.Time.span
+(** IB port stays in POLLING ~30 s after re-attach before going ACTIVE. *)
+
+val linkup_eth : Ninja_engine.Time.span
+
+(** {1 QEMU precopy migration (§IV-B, Figs. 6–7)} *)
+
+val page_size : int
+
+val zero_scan_rate : float
+(** Rate at which the single-threaded sender walks and compresses uniform
+    ("zero") pages. *)
+
+val transfer_rate : float
+(** Effective guest-byte rate for non-zero pages; CPU-bound at < 1.3 Gb/s
+    wire throughput in the paper (§V). *)
+
+val rdma_transfer_rate : float
+(** Hypothetical RDMA-based migration sender (§V optimisation; ablation
+    bench only). *)
+
+val migration_downtime_target : Ninja_engine.Time.span
+
+val migration_max_rounds : int
+
+val migration_cpu_demand : float
+(** Cores consumed by the sender thread on the source host (1.0: the paper
+    observes one core saturated). *)
+
+(** {1 Guest software stack} *)
+
+val mpi_eager_limit_ib : int
+(** openib BTL eager/rendezvous switch (bytes). *)
+
+val mpi_eager_limit_tcp : int
+
+val reduction_rate : float
+(** Local reduction operator throughput (bytes/s/core) for MPI_Reduce. *)
+
+val qmp_command_overhead : Ninja_engine.Time.span
+(** Python controller/QMP round-trip per monitor command. *)
+
+val symvirt_hypercall_overhead : Ninja_engine.Time.span

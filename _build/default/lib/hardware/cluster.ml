@@ -1,0 +1,107 @@
+open Ninja_engine
+open Ninja_flownet
+
+type net = Ib | Eth
+
+type inter_rack = { link_ab : Fabric.link; link_ba : Fabric.link; latency : Time.span }
+
+type t = {
+  sim : Sim.t;
+  fabric : Fabric.t;
+  spec : Spec.t;
+  nodes : Node.t array;
+  trace : Trace.t;
+  inter_racks : (int * int, inter_rack) Hashtbl.t;
+}
+
+exception Unreachable of string
+
+let sim t = t.sim
+
+let fabric t = t.fabric
+
+let spec t = t.spec
+
+let trace t = t.trace
+
+let create sim ?(spec = Spec.agc) () =
+  let fabric = Fabric.create sim in
+  let nodes =
+    List.concat_map
+      (fun (g : Spec.group) ->
+        List.init g.count (fun i ->
+            ( g,
+              Printf.sprintf "%s%02d" g.name_prefix i )))
+      spec.groups
+    |> List.mapi (fun id ((g : Spec.group), name) ->
+           Node.create sim fabric ~id ~name ~rack:g.rack ~cores:g.cores ~mem_bytes:g.mem_bytes
+             ~with_ib:g.with_ib)
+    |> Array.of_list
+  in
+  { sim; fabric; spec; nodes; trace = Trace.create sim; inter_racks = Hashtbl.create 4 }
+
+let node t i = t.nodes.(i)
+
+let nodes t = Array.to_list t.nodes
+
+let ib_nodes t = List.filter Node.has_ib (nodes t)
+
+let eth_only_nodes t = List.filter (fun n -> not (Node.has_ib n)) (nodes t)
+
+let find_node t name =
+  match Array.find_opt (fun (n : Node.t) -> String.equal n.name name) t.nodes with
+  | Some n -> n
+  | None -> raise Not_found
+
+let set_inter_rack t ~rack_a ~rack_b ~capacity ~latency =
+  let mk a b =
+    Fabric.add_link t.fabric ~name:(Printf.sprintf "wan.r%d-r%d" a b) ~capacity
+  in
+  let ir = { link_ab = mk rack_a rack_b; link_ba = mk rack_b rack_a; latency } in
+  Hashtbl.replace t.inter_racks (rack_a, rack_b) ir
+
+let inter_rack_hop t (src : Node.t) (dst : Node.t) =
+  if src.rack = dst.rack then None
+  else
+    match Hashtbl.find_opt t.inter_racks (src.rack, dst.rack) with
+    | Some ir -> Some ([ ir.link_ab ], ir.latency)
+    | None -> (
+      match Hashtbl.find_opt t.inter_racks (dst.rack, src.rack) with
+      | Some ir -> Some ([ ir.link_ba ], ir.latency)
+      | None -> Some ([], Time.zero))
+
+let route_opt t ~net ~src ~dst =
+  if src.Node.id = dst.Node.id then Some [ src.Node.loopback ]
+  else
+    match net with
+    | Ib -> (
+      match (src.Node.ib_port, dst.Node.ib_port) with
+      | Some sp, Some dp when src.Node.rack = dst.Node.rack -> Some [ sp.tx; dp.rx ]
+      | Some _, Some _ | Some _, None | None, Some _ | None, None -> None)
+    | Eth ->
+      let hop =
+        match inter_rack_hop t src dst with Some (links, _) -> links | None -> []
+      in
+      Some (((src.Node.eth_port.tx :: hop) @ [ dst.Node.eth_port.rx ]))
+
+let route t ~net ~src ~dst =
+  match route_opt t ~net ~src ~dst with
+  | Some r -> r
+  | None ->
+    raise
+      (Unreachable
+         (Printf.sprintf "no %s path from %s to %s"
+            (match net with Ib -> "ib" | Eth -> "eth")
+            src.Node.name dst.Node.name))
+
+let path_latency t ~net ~src ~dst =
+  let base =
+    match net with
+    | Ib -> Calibration.ib_latency
+    | Eth -> Calibration.eth10g_latency
+  in
+  if src.Node.id = dst.Node.id then base
+  else
+    match inter_rack_hop t src dst with
+    | Some (_, extra) -> Time.add base extra
+    | None -> base

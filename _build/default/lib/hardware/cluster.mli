@@ -1,0 +1,53 @@
+(** A simulated data center: nodes plus the shared network fabric.
+
+    Routing is intentionally simple — blade-enclosure switches are
+    non-blocking, so a path is [src.tx → dst.rx] on the chosen network
+    (plus an explicit inter-rack link when one has been configured, which
+    is how the disaster-recovery example models a WAN hop). Same-node
+    paths go through the node's loopback. *)
+
+open Ninja_engine
+open Ninja_flownet
+
+type net = Ib | Eth
+
+type t
+
+val create : Sim.t -> ?spec:Spec.t -> unit -> t
+(** Default spec is {!Spec.agc}. *)
+
+val sim : t -> Sim.t
+
+val fabric : t -> Fabric.t
+
+val spec : t -> Spec.t
+
+val trace : t -> Trace.t
+
+val node : t -> int -> Node.t
+
+val nodes : t -> Node.t list
+
+val ib_nodes : t -> Node.t list
+
+val eth_only_nodes : t -> Node.t list
+
+val find_node : t -> string -> Node.t
+(** By name; raises [Not_found]. *)
+
+exception Unreachable of string
+
+val route : t -> net:net -> src:Node.t -> dst:Node.t -> Fabric.link list
+(** Raises {!Unreachable} when e.g. an IB path is requested to a node
+    without an IB port. *)
+
+val route_opt : t -> net:net -> src:Node.t -> dst:Node.t -> Fabric.link list option
+
+val path_latency : t -> net:net -> src:Node.t -> dst:Node.t -> Time.span
+(** One-way propagation+protocol latency for the device class on [net]
+    (plus the inter-rack latency when the path crosses racks). *)
+
+val set_inter_rack : t -> rack_a:int -> rack_b:int -> capacity:float -> latency:Time.span -> unit
+(** Install a constrained Ethernet link pair between two racks (e.g. a WAN
+    for cross-data-center evacuation). Without one, cross-rack Ethernet
+    traffic is only limited by the endpoints' ports. *)

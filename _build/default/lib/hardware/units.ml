@@ -1,0 +1,17 @@
+let kib = 1024.0
+
+let mib = 1024.0 *. 1024.0
+
+let gib = 1024.0 *. 1024.0 *. 1024.0
+
+let gb x = x *. gib
+
+let mb x = x *. mib
+
+let gbps x = x *. 1e9 /. 8.0
+
+let pp_bytes fmt b =
+  if b >= gib then Format.fprintf fmt "%.1f GiB" (b /. gib)
+  else if b >= mib then Format.fprintf fmt "%.1f MiB" (b /. mib)
+  else if b >= kib then Format.fprintf fmt "%.1f KiB" (b /. kib)
+  else Format.fprintf fmt "%.0f B" b

@@ -1,0 +1,1 @@
+lib/metrics/breakdown.ml: Format Ninja_engine Time

@@ -1,0 +1,1 @@
+lib/metrics/breakdown.mli: Format Ninja_engine Time

@@ -1,0 +1,1 @@
+lib/metrics/table.ml: Format List Printf String

@@ -1,0 +1,49 @@
+open Ninja_engine
+
+type t = {
+  coordination : Time.span;
+  detach : Time.span;
+  migration : Time.span;
+  attach : Time.span;
+  linkup : Time.span;
+  total : Time.span;
+}
+
+let zero =
+  {
+    coordination = Time.zero;
+    detach = Time.zero;
+    migration = Time.zero;
+    attach = Time.zero;
+    linkup = Time.zero;
+    total = Time.zero;
+  }
+
+let hotplug t = Time.add t.detach t.attach
+
+let add a b =
+  {
+    coordination = Time.add a.coordination b.coordination;
+    detach = Time.add a.detach b.detach;
+    migration = Time.add a.migration b.migration;
+    attach = Time.add a.attach b.attach;
+    linkup = Time.add a.linkup b.linkup;
+    total = Time.add a.total b.total;
+  }
+
+let overhead_sum t =
+  Time.add (Time.add t.coordination (hotplug t)) (Time.add t.migration t.linkup)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "coordination=%a hotplug=%a migration=%a linkup=%a total=%a" Time.pp t.coordination
+    Time.pp (hotplug t) Time.pp t.migration Time.pp t.linkup Time.pp t.total
+
+let to_row t =
+  [
+    ("coordination", Time.to_sec_f t.coordination);
+    ("hotplug", Time.to_sec_f (hotplug t));
+    ("migration", Time.to_sec_f t.migration);
+    ("linkup", Time.to_sec_f t.linkup);
+    ("total", Time.to_sec_f t.total);
+  ]

@@ -1,0 +1,32 @@
+(** Ninja-migration overhead breakdown (the paper's measurement unit).
+
+    One record per migration event, split the way Figs. 4/6/7 split it:
+    coordination (trigger → fence), hotplug (detach + re-attach +
+    confirm), migration (precopy + stop-and-copy), and link-up (port
+    training wait observed by the guests). *)
+
+open Ninja_engine
+
+type t = {
+  coordination : Time.span;
+  detach : Time.span;
+  migration : Time.span;
+  attach : Time.span;
+  linkup : Time.span;
+  total : Time.span;  (** trigger → every process resumed *)
+}
+
+val zero : t
+
+val hotplug : t -> Time.span
+(** detach + attach (the paper's "hotplug" bar segment). *)
+
+val add : t -> t -> t
+
+val overhead_sum : t -> Time.span
+(** coordination + hotplug + migration + linkup (excludes idle gaps). *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_row : t -> (string * float) list
+(** Label/seconds pairs for table and CSV output. *)

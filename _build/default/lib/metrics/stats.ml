@@ -1,0 +1,19 @@
+let check = function [] -> invalid_arg "Stats: empty sample" | l -> l
+
+let mean l =
+  let l = check l in
+  List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let minimum l = List.fold_left Float.min Float.infinity (check l)
+
+let maximum l = List.fold_left Float.max Float.neg_infinity (check l)
+
+let stddev l =
+  let l = check l in
+  let m = mean l in
+  let var = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 l in
+  sqrt (var /. float_of_int (List.length l))
+
+let best_of n f =
+  if n <= 0 then invalid_arg "Stats.best_of: n must be positive";
+  minimum (List.init n (fun _ -> f ()))

@@ -1,0 +1,14 @@
+(** Small numeric helpers for repeated measurements. *)
+
+val mean : float list -> float
+(** Raises [Invalid_argument] on an empty list. *)
+
+val minimum : float list -> float
+(** The paper reports best-of-three for its timing tables. *)
+
+val maximum : float list -> float
+
+val stddev : float list -> float
+
+val best_of : int -> (unit -> float) -> float
+(** [best_of n f] runs [f] n times and returns the smallest result. *)

@@ -1,0 +1,44 @@
+type t = { title : string; columns : string list; mutable body : string list list }
+
+let create ~title ~columns = { title; columns; body = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: cell count does not match columns";
+  t.body <- t.body @ [ cells ]
+
+let add_float_row t label values =
+  add_row t (label :: List.map (Printf.sprintf "%.2f") values)
+
+let rows t = t.body
+
+let widths t =
+  let all = t.columns :: t.body in
+  List.mapi
+    (fun i _ -> List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 all)
+    t.columns
+
+let pad width s = s ^ String.make (max 0 (width - String.length s)) ' '
+
+let pp fmt t =
+  let ws = widths t in
+  let line row =
+    String.concat "  " (List.map2 pad ws row)
+  in
+  let rule = String.concat "  " (List.map (fun w -> String.make w '-') ws) in
+  Format.fprintf fmt "%s@." t.title;
+  Format.fprintf fmt "%s@." (line t.columns);
+  Format.fprintf fmt "%s@." rule;
+  List.iter (fun row -> Format.fprintf fmt "%s@." (line row)) t.body
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let line row = String.concat "," (List.map csv_escape row) in
+  String.concat "\n" (line t.columns :: List.map line t.body) ^ "\n"
+
+let print t =
+  Format.printf "%a@." pp t

@@ -1,0 +1,24 @@
+(** Plain-text table rendering for experiment output.
+
+    The bench harness prints every reproduced table and figure as an ASCII
+    table with a caption; the same rows can be emitted as CSV for
+    re-plotting. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** Must have as many cells as there are columns. *)
+
+val add_float_row : t -> string -> float list -> unit
+(** Label in the first column, numbers (2 decimals) after. *)
+
+val rows : t -> string list list
+
+val pp : Format.formatter -> t -> unit
+
+val to_csv : t -> string
+
+val print : t -> unit
+(** [pp] to stdout, followed by a blank line. *)

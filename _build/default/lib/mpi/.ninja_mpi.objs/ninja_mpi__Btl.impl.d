@@ -1,0 +1,1 @@
+lib/mpi/btl.ml: Calibration Cluster Device Fabric List Ninja_engine Ninja_flownet Ninja_hardware Ninja_vmm Node Printf Ps_resource Sim Time Vm

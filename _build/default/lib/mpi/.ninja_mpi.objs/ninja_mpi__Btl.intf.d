@@ -1,0 +1,1 @@
+lib/mpi/btl.mli: Cluster Ninja_hardware Ninja_vmm Vm

@@ -1,0 +1,1 @@
+lib/mpi/coll.ml: Calibration Cluster Ivar Ninja_engine Ninja_hardware Ninja_vmm Rank Vm

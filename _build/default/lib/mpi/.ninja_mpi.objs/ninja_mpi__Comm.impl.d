@@ -1,0 +1,1 @@
+lib/mpi/comm.ml: Array Calibration Cluster Coll List Ninja_engine Ninja_hardware Ninja_vmm Option Rank Sim Vm

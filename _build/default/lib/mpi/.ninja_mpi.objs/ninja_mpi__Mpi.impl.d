@@ -1,0 +1,1 @@
+lib/mpi/mpi.ml: Cluster Coll List Ninja_engine Ninja_hardware Ninja_vmm Rank Vm

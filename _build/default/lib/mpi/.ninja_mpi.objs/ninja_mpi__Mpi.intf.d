@@ -1,0 +1,1 @@
+lib/mpi/mpi.mli: Btl Guest Ninja_guestos Ninja_vmm Rank Vm

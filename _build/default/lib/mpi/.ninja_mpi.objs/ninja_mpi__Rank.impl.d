@@ -1,0 +1,1 @@
+lib/mpi/rank.ml: Array Btl Cluster Device Fun Guest Hashtbl Ivar List Ninja_engine Ninja_guestos Ninja_hardware Ninja_vmm Node Printf Ps_resource Sim String Time Trace Vm

@@ -1,0 +1,1 @@
+lib/mpi/rank.mli: Btl Cluster Guest Ivar Ninja_engine Ninja_guestos Ninja_hardware Ninja_vmm Time Vm

@@ -1,0 +1,1 @@
+lib/mpi/runtime.ml: Cluster Ivar List Ninja_engine Ninja_hardware Printf Rank Sim

@@ -1,0 +1,1 @@
+lib/mpi/runtime.mli: Cluster Guest Ivar Ninja_engine Ninja_guestos Ninja_hardware Ninja_vmm Rank Time Vm

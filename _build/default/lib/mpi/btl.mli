@@ -1,0 +1,46 @@
+(** Byte Transfer Layer: interconnect-agnostic transports (Open MPI §III-C).
+
+    A BTL kind abstracts one way of moving bytes between two processes:
+    [Sm] (shared memory, same VM), [Openib] (VMM-bypass InfiniBand verbs)
+    and [Tcp] (TCP/IP over whatever Ethernet NIC the guest has). Each kind
+    carries Open MPI's {e exclusivity} priority — when several BTLs reach a
+    peer, the highest-exclusivity one is used, which is exactly how the
+    paper's transport switch works: after migration to the Ethernet
+    cluster only [Tcp] reaches remote peers (100); back on the InfiniBand
+    cluster [Openib] (1024) wins again, with no application involvement. *)
+
+open Ninja_hardware
+open Ninja_vmm
+
+type kind = Sm | Tcp | Openib
+
+val exclusivity : kind -> int
+(** Open MPI defaults: sm 65535, openib 1024, tcp 100. *)
+
+val eager_limit : kind -> float
+(** Messages at most this size use the eager protocol; larger ones use
+    rendezvous. *)
+
+val kind_name : kind -> string
+
+val compare_priority : kind -> kind -> int
+(** Sorts highest exclusivity first. *)
+
+val reachable : Cluster.t -> src:Vm.t -> dst:Vm.t -> kind -> bool
+(** Whether this transport can currently carry bytes between the two VMs:
+    [Sm] needs the same VM; [Openib] needs HCAs attached on both sides and
+    an IB path between the hosts; [Tcp] needs only Ethernet. *)
+
+exception Transport_failure of string
+(** Raised when a transfer is attempted over a transport whose device has
+    gone away (e.g. an HCA detached without coordination — the failure
+    mode Ninja migration exists to prevent). *)
+
+val transfer : Cluster.t -> src:Vm.t -> dst:Vm.t -> kind -> bytes:float -> unit
+(** Move a payload (blocking, full cost): one-way latency, then the data
+    at the transport's bandwidth. [Tcp] and [Sm] additionally charge
+    protocol CPU on the hosts involved, so fallback traffic contends with
+    application compute (Fig. 8's over-commit effect). *)
+
+val control_message : Cluster.t -> src:Vm.t -> dst:Vm.t -> kind -> unit
+(** One-way latency only (RTS/CTS handshakes, barrier tokens). *)

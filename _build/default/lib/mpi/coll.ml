@@ -1,0 +1,293 @@
+open Ninja_engine
+open Ninja_hardware
+open Ninja_vmm
+
+let large_threshold = 512.0 *. 1024.0
+
+(* Distinct tag spaces per collective; per-pair FIFO ordering makes one tag
+   per collective sufficient across consecutive calls. Communicator
+   context ids are folded in on top (see [view]). *)
+let tag_barrier = 0x10000
+
+let tag_bcast = 0x11000
+
+let tag_reduce = 0x12000
+
+let tag_allgather = 0x13000
+
+let tag_gather = 0x14000
+
+let tag_scatter = 0x15000
+
+let tag_alltoall = 0x16000
+
+(* ------------------------------------------------------------------ *)
+(* A view abstracts "who am I, how many of us, how do I reach rank i" so
+   every algorithm below works identically on the world communicator and
+   on sub-communicators (ranks and tags translated by the caller). *)
+
+type view = {
+  vme : int;
+  vn : int;
+  vsend : dst:int -> tag:int -> bytes:float -> unit;
+  vrecv : src:int option -> tag:int -> float;
+  vspawn : (unit -> unit) -> unit;
+  vreduce_cost : bytes:float -> unit;
+}
+
+let reduction_cost proc ~bytes =
+  if bytes > 0.0 then
+    Vm.compute (Rank.vm proc) ~core_seconds:(bytes /. Calibration.reduction_rate)
+
+let sim_of proc = Cluster.sim (Rank.cluster (Rank.job proc))
+
+(* The world view: communicator ranks are job ranks, tags unchanged
+   (context id 0). *)
+let world_view p =
+  {
+    vme = Rank.rank p;
+    vn = Rank.size p;
+    vsend = (fun ~dst ~tag ~bytes -> Rank.send p ~dst ~tag ~bytes);
+    vrecv = (fun ~src ~tag -> Rank.recv p ?src ~tag ());
+    vspawn = (fun f -> Ninja_engine.Sim.spawn (sim_of p) ~name:"coll" f);
+    vreduce_cost = (fun ~bytes -> reduction_cost p ~bytes);
+  }
+
+let v_sendrecv v ~dst ~src ~tag ~send_bytes =
+  let send_done = Ivar.create () in
+  v.vspawn (fun () ->
+      v.vsend ~dst ~tag ~bytes:send_bytes;
+      Ivar.fill send_done ());
+  let got = v.vrecv ~src:(Some src) ~tag in
+  Ivar.read send_done;
+  got
+
+(* ------------------------------------------------------------------ *)
+
+let v_barrier v =
+  if v.vn > 1 then begin
+    let mask = ref 1 in
+    while !mask < v.vn do
+      let dst = (v.vme + !mask) mod v.vn in
+      let src = (v.vme - !mask + v.vn) mod v.vn in
+      ignore (v_sendrecv v ~dst ~src ~tag:tag_barrier ~send_bytes:1.0);
+      mask := !mask lsl 1
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Broadcast *)
+
+let v_bcast_binomial v ~root ~bytes =
+  let n = v.vn in
+  let vr = (v.vme - root + n) mod n in
+  let abs x = (x + root) mod n in
+  (* Receive from the parent (the lowest set bit of vr). *)
+  let mask = ref 1 in
+  (try
+     while !mask < n do
+       if vr land !mask <> 0 then begin
+         ignore (v.vrecv ~src:(Some (abs (vr - !mask))) ~tag:tag_bcast);
+         raise Exit
+       end;
+       mask := !mask lsl 1
+     done
+   with Exit -> ());
+  (* Relay to children. *)
+  mask := !mask lsr 1;
+  while !mask > 0 do
+    if vr + !mask < n then v.vsend ~dst:(abs (vr + !mask)) ~tag:tag_bcast ~bytes;
+    mask := !mask lsr 1
+  done
+
+(* Binomial scatter of [bytes] into n contiguous chunks (MPICH
+   scatter_for_bcast). Returns this rank's chunk size. *)
+let v_scatter_for_bcast v ~root ~bytes =
+  let n = v.vn in
+  let vr = (v.vme - root + n) mod n in
+  let abs x = (x + root) mod n in
+  let chunk = bytes /. float_of_int n in
+  let curr = ref (if vr = 0 then bytes else 0.0) in
+  let mask = ref 1 in
+  (try
+     while !mask < n do
+       if vr land !mask <> 0 then begin
+         let recv_size = bytes -. (float_of_int vr *. chunk) in
+         if recv_size > 0.0 then curr := v.vrecv ~src:(Some (abs (vr - !mask))) ~tag:tag_bcast;
+         raise Exit
+       end;
+       mask := !mask lsl 1
+     done
+   with Exit -> ());
+  mask := !mask lsr 1;
+  while !mask > 0 do
+    if vr + !mask < n then begin
+      let send_size = !curr -. (chunk *. float_of_int !mask) in
+      if send_size > 0.0 then begin
+        v.vsend ~dst:(abs (vr + !mask)) ~tag:tag_bcast ~bytes:send_size;
+        curr := !curr -. send_size
+      end
+    end;
+    mask := !mask lsr 1
+  done;
+  chunk
+
+(* van de Geijn: binomial scatter + ring allgather. Bandwidth term
+   ~ 2·bytes·(n-1)/n, which beats the binomial tree's bytes·log n for
+   large payloads. *)
+let v_bcast_vandegeijn v ~root ~bytes =
+  let chunk = v_scatter_for_bcast v ~root ~bytes in
+  let right = (v.vme + 1) mod v.vn and left = (v.vme - 1 + v.vn) mod v.vn in
+  for _step = 1 to v.vn - 1 do
+    ignore (v_sendrecv v ~dst:right ~src:left ~tag:tag_bcast ~send_bytes:chunk)
+  done
+
+let v_bcast v ~root ~bytes =
+  if root < 0 || root >= v.vn then invalid_arg "Coll.bcast: bad root";
+  if v.vn > 1 then
+    if bytes <= large_threshold then v_bcast_binomial v ~root ~bytes
+    else v_bcast_vandegeijn v ~root ~bytes
+
+(* ------------------------------------------------------------------ *)
+(* Reduce *)
+
+let v_reduce_binomial v ~root ~bytes =
+  let n = v.vn in
+  let vr = (v.vme - root + n) mod n in
+  let abs x = (x + root) mod n in
+  let mask = ref 1 in
+  (try
+     while !mask < n do
+       if vr land !mask = 0 then begin
+         if vr + !mask < n then begin
+           ignore (v.vrecv ~src:(Some (abs (vr + !mask))) ~tag:tag_reduce);
+           v.vreduce_cost ~bytes
+         end
+       end
+       else begin
+         v.vsend ~dst:(abs (vr - !mask)) ~tag:tag_reduce ~bytes;
+         raise Exit
+       end;
+       mask := !mask lsl 1
+     done
+   with Exit -> ())
+
+(* Ring reduce-scatter: after n-1 steps, rank r owns the fully reduced
+   chunk ((r+1) mod n). Each step moves bytes/n and reduces it. *)
+let v_ring_reduce_scatter v ~bytes =
+  let chunk = bytes /. float_of_int v.vn in
+  let right = (v.vme + 1) mod v.vn and left = (v.vme - 1 + v.vn) mod v.vn in
+  for _step = 1 to v.vn - 1 do
+    ignore (v_sendrecv v ~dst:right ~src:left ~tag:tag_reduce ~send_bytes:chunk);
+    v.vreduce_cost ~bytes:chunk
+  done;
+  chunk
+
+let v_reduce_rabenseifner v ~root ~bytes =
+  let chunk = v_ring_reduce_scatter v ~bytes in
+  (* Gather the reduced chunks at the root. *)
+  if v.vme = root then
+    for _ = 1 to v.vn - 1 do
+      ignore (v.vrecv ~src:None ~tag:tag_gather)
+    done
+  else v.vsend ~dst:root ~tag:tag_gather ~bytes:chunk
+
+let v_reduce v ~root ~bytes =
+  if root < 0 || root >= v.vn then invalid_arg "Coll.reduce: bad root";
+  if v.vn > 1 then
+    if bytes <= large_threshold then v_reduce_binomial v ~root ~bytes
+    else v_reduce_rabenseifner v ~root ~bytes
+
+(* ------------------------------------------------------------------ *)
+
+let v_ring_allgather v ~chunk =
+  let right = (v.vme + 1) mod v.vn and left = (v.vme - 1 + v.vn) mod v.vn in
+  for _step = 1 to v.vn - 1 do
+    ignore (v_sendrecv v ~dst:right ~src:left ~tag:tag_allgather ~send_bytes:chunk)
+  done
+
+let v_allreduce v ~bytes =
+  if v.vn > 1 then
+    if bytes <= large_threshold then begin
+      v_reduce_binomial v ~root:0 ~bytes;
+      v_bcast_binomial v ~root:0 ~bytes
+    end
+    else begin
+      let chunk = v_ring_reduce_scatter v ~bytes in
+      v_ring_allgather v ~chunk
+    end
+
+let v_allgather v ~bytes_per_rank = if v.vn > 1 then v_ring_allgather v ~chunk:bytes_per_rank
+
+let v_gather v ~root ~bytes_per_rank =
+  if v.vn > 1 then
+    if v.vme = root then
+      for _ = 1 to v.vn - 1 do
+        ignore (v.vrecv ~src:None ~tag:tag_gather)
+      done
+    else v.vsend ~dst:root ~tag:tag_gather ~bytes:bytes_per_rank
+
+let v_scatter v ~root ~bytes_per_rank =
+  if v.vn > 1 then
+    if v.vme = root then
+      for dst = 0 to v.vn - 1 do
+        if dst <> root then v.vsend ~dst ~tag:tag_scatter ~bytes:bytes_per_rank
+      done
+    else ignore (v.vrecv ~src:(Some root) ~tag:tag_scatter)
+
+let v_alltoall v ~bytes_per_pair =
+  for step = 1 to v.vn - 1 do
+    let dst = (v.vme + step) mod v.vn and src = (v.vme - step + v.vn) mod v.vn in
+    ignore (v_sendrecv v ~dst ~src ~tag:tag_alltoall ~send_bytes:bytes_per_pair)
+  done
+
+let v_reduce_scatter v ~bytes_per_rank =
+  if v.vn > 1 then ignore (v_ring_reduce_scatter v ~bytes:(bytes_per_rank *. float_of_int v.vn))
+
+(* Linear-pipeline scan: rank r receives the prefix from r-1, combines,
+   forwards to r+1. MPI_Scan and MPI_Exscan differ only in whether the
+   local contribution is folded in, which costs the same — both map
+   here. *)
+let v_scan v ~bytes =
+  if v.vn > 1 then begin
+    if v.vme > 0 then begin
+      ignore (v.vrecv ~src:(Some (v.vme - 1)) ~tag:tag_reduce);
+      v.vreduce_cost ~bytes
+    end;
+    if v.vme < v.vn - 1 then v.vsend ~dst:(v.vme + 1) ~tag:tag_reduce ~bytes
+  end
+
+(* ------------------------------------------------------------------ *)
+(* World-communicator wrappers (the original public API). *)
+
+let sendrecv p ~dst ~src ~tag ~send_bytes ~recv_bytes:_ =
+  let v = world_view p in
+  let send_done = Ivar.create () in
+  v.vspawn (fun () ->
+      v.vsend ~dst ~tag ~bytes:send_bytes;
+      Ivar.fill send_done ());
+  let got = v.vrecv ~src:(Some src) ~tag in
+  Ivar.read send_done;
+  got
+
+let barrier p = v_barrier (world_view p)
+
+let bcast p ~root ~bytes = v_bcast (world_view p) ~root ~bytes
+
+let reduce p ~root ~bytes = v_reduce (world_view p) ~root ~bytes
+
+let allreduce p ~bytes = v_allreduce (world_view p) ~bytes
+
+let allgather p ~bytes_per_rank = v_allgather (world_view p) ~bytes_per_rank
+
+let gather p ~root ~bytes_per_rank = v_gather (world_view p) ~root ~bytes_per_rank
+
+let scatter p ~root ~bytes_per_rank = v_scatter (world_view p) ~root ~bytes_per_rank
+
+let alltoall p ~bytes_per_pair = v_alltoall (world_view p) ~bytes_per_pair
+
+let reduce_scatter p ~bytes_per_rank = v_reduce_scatter (world_view p) ~bytes_per_rank
+
+let scan p ~bytes = v_scan (world_view p) ~bytes
+
+let exscan p ~bytes = v_scan (world_view p) ~bytes

@@ -1,0 +1,92 @@
+open Ninja_engine
+open Ninja_hardware
+open Ninja_vmm
+
+type t = {
+  ctx : int;
+  members : Rank.proc array; (* communicator rank -> process *)
+}
+
+(* Tags within a communicator are offset by the context id so traffic in
+   different communicators can never cross-match. Collective tag bases are
+   below 0x20000, so blocks of 0x20000 per context are disjoint. *)
+let ctx_stride = 0x20000
+
+let world p = { ctx = 0; members = Array.of_list (Rank.procs (Rank.job p)) }
+
+let context_id t = t.ctx
+
+let size t = Array.length t.members
+
+let translate t r =
+  if r < 0 || r >= Array.length t.members then invalid_arg "Comm.translate: bad rank";
+  t.members.(r)
+
+let rank t p =
+  let found = ref (-1) in
+  Array.iteri (fun i q -> if q == p then found := i) t.members;
+  if !found < 0 then raise Not_found;
+  !found
+
+let comm_tag t tag = (t.ctx * ctx_stride) + tag
+
+let send ?(tag = 0) t p ~dst ~bytes =
+  Rank.send p ~dst:(Rank.rank (translate t dst)) ~tag:(comm_tag t tag) ~bytes
+
+let recv t p ?src ?(tag = 0) () =
+  let src = Option.map (fun s -> Rank.rank (translate t s)) src in
+  Rank.recv p ?src ~tag:(comm_tag t tag) ()
+
+let reduction_cost p ~bytes =
+  if bytes > 0.0 then
+    Vm.compute (Rank.vm p) ~core_seconds:(bytes /. Calibration.reduction_rate)
+
+let view t p =
+  {
+    Coll.vme = rank t p;
+    vn = size t;
+    vsend =
+      (fun ~dst ~tag ~bytes ->
+        Rank.send p ~dst:(Rank.rank t.members.(dst)) ~tag:(comm_tag t tag) ~bytes);
+    vrecv =
+      (fun ~src ~tag ->
+        let src = Option.map (fun s -> Rank.rank t.members.(s)) src in
+        Rank.recv p ?src ~tag:(comm_tag t tag) ());
+    vspawn =
+      (fun f ->
+        Sim.spawn (Cluster.sim (Rank.cluster (Rank.job p))) ~name:"comm-coll" f);
+    vreduce_cost = (fun ~bytes -> reduction_cost p ~bytes);
+  }
+
+let barrier t p = Coll.v_barrier (view t p)
+
+let bcast t p ~root ~bytes = Coll.v_bcast (view t p) ~root ~bytes
+
+let reduce t p ~root ~bytes = Coll.v_reduce (view t p) ~root ~bytes
+
+let allreduce t p ~bytes = Coll.v_allreduce (view t p) ~bytes
+
+let allgather t p ~bytes_per_rank = Coll.v_allgather (view t p) ~bytes_per_rank
+
+let alltoall t p ~bytes_per_pair = Coll.v_alltoall (view t p) ~bytes_per_pair
+
+let split t p ~color ~key =
+  let job = Rank.job p in
+  let deposits, assignments =
+    Rank.split_exchange job ~parent_ctx:t.ctx ~members:(size t) ~me:p ~color ~key
+  in
+  let my_ctx = List.assoc color assignments in
+  let mine =
+    deposits
+    |> List.filter (fun (_, c, _) -> c = color)
+    (* Order by key, then by parent rank, like MPI_Comm_split. *)
+    |> List.stable_sort (fun (r1, _, k1) (r2, _, k2) ->
+           match compare k1 k2 with 0 -> compare r1 r2 | c -> c)
+    |> List.map (fun (r, _, _) -> Rank.proc_of_rank job r)
+  in
+  { ctx = my_ctx; members = Array.of_list mine }
+
+let dup t p =
+  (* A split where everyone picks the same colour and keeps the parent
+     order. *)
+  split t p ~color:0 ~key:(rank t p)

@@ -1,0 +1,53 @@
+(** Communicators: ordered process groups with isolated tag spaces.
+
+    [world] spans the whole job. [split] creates disjoint
+    sub-communicators MPI_Comm_split-style (e.g. one per VM, or one per
+    blade); collectives and point-to-point operate on ranks {e within} the
+    communicator, and each communicator gets a distinct context id so
+    traffic never crosses between them.
+
+    All operations must be called collectively by every member, like their
+    MPI counterparts. *)
+
+type t
+
+val world : Rank.proc -> t
+(** The communicator spanning all processes of the calling process's job
+    (context id 0; always the same value for a given job). *)
+
+val split : t -> Rank.proc -> color:int -> key:int -> t
+(** Collective over [t]: processes with equal [color] end up in the same
+    new communicator, ordered by [key] (ties broken by parent rank).
+    Mirrors MPI_Comm_split, including its synchronising behaviour. *)
+
+val dup : t -> Rank.proc -> t
+(** Collective: same group, fresh context id (library-private traffic). *)
+
+val rank : t -> Rank.proc -> int
+(** The calling process's rank within [t]. Raises [Not_found] if the
+    process is not a member. *)
+
+val size : t -> int
+
+val context_id : t -> int
+
+val translate : t -> int -> Rank.proc
+(** Member at a communicator rank. *)
+
+(** {1 Operations within the communicator} *)
+
+val send : ?tag:int -> t -> Rank.proc -> dst:int -> bytes:float -> unit
+
+val recv : t -> Rank.proc -> ?src:int -> ?tag:int -> unit -> float
+
+val barrier : t -> Rank.proc -> unit
+
+val bcast : t -> Rank.proc -> root:int -> bytes:float -> unit
+
+val reduce : t -> Rank.proc -> root:int -> bytes:float -> unit
+
+val allreduce : t -> Rank.proc -> bytes:float -> unit
+
+val allgather : t -> Rank.proc -> bytes_per_rank:float -> unit
+
+val alltoall : t -> Rank.proc -> bytes_per_pair:float -> unit

@@ -1,0 +1,80 @@
+open Ninja_hardware
+open Ninja_vmm
+
+type ctx = Rank.proc
+
+let rank = Rank.rank
+
+let size = Rank.size
+
+let vm = Rank.vm
+
+let guest = Rank.guest
+
+let wtime ctx =
+  Ninja_engine.Time.to_sec_f (Ninja_engine.Sim.now (Cluster.sim (Rank.cluster (Rank.job ctx))))
+
+let default_tag = 0
+
+let compute ctx ~seconds = Vm.compute (Rank.vm ctx) ~core_seconds:seconds
+
+let send ?(tag = default_tag) ctx ~dst ~bytes =
+  Rank.send ctx ~dst ~tag ~bytes
+
+let recv ctx ?src ?tag () = Rank.recv ctx ?src ?tag ()
+
+let sendrecv ?(tag = default_tag) ctx ~dst ~src ~bytes =
+  Coll.sendrecv ctx ~dst ~src ~tag ~send_bytes:bytes ~recv_bytes:bytes
+
+let barrier ctx = Coll.barrier ctx
+
+let bcast ctx ~root ~bytes = Coll.bcast ctx ~root ~bytes
+
+let reduce ctx ~root ~bytes = Coll.reduce ctx ~root ~bytes
+
+let allreduce ctx ~bytes = Coll.allreduce ctx ~bytes
+
+let allgather ctx ~bytes_per_rank = Coll.allgather ctx ~bytes_per_rank
+
+let gather ctx ~root ~bytes_per_rank = Coll.gather ctx ~root ~bytes_per_rank
+
+let scatter ctx ~root ~bytes_per_rank = Coll.scatter ctx ~root ~bytes_per_rank
+
+let alltoall ctx ~bytes_per_pair = Coll.alltoall ctx ~bytes_per_pair
+
+let reduce_scatter ctx ~bytes_per_rank = Coll.reduce_scatter ctx ~bytes_per_rank
+
+let scan ctx ~bytes = Coll.scan ctx ~bytes
+
+let exscan ctx ~bytes = Coll.exscan ctx ~bytes
+
+type request = float Ninja_engine.Ivar.t
+
+let spawn_op ctx f =
+  let result = Ninja_engine.Ivar.create () in
+  Ninja_engine.Sim.spawn
+    (Cluster.sim (Rank.cluster (Rank.job ctx)))
+    ~name:"mpi-nb"
+    (fun () -> Ninja_engine.Ivar.fill result (f ()));
+  result
+
+let isend ?(tag = default_tag) ctx ~dst ~bytes =
+  spawn_op ctx (fun () ->
+      Rank.send ctx ~dst ~tag ~bytes;
+      bytes)
+
+let irecv ctx ?src ?tag () = spawn_op ctx (fun () -> Rank.recv ctx ?src ?tag ())
+
+let wait request = Ninja_engine.Ivar.read request
+
+let test request = Ninja_engine.Ivar.peek request
+
+let waitall requests = List.map wait requests
+
+let checkpoint_point ctx = Rank.checkpoint_point ctx
+
+let current_transport ctx ~peer =
+  let peers = Rank.procs (Rank.job ctx) in
+  match List.nth_opt peers peer with
+  | None -> None
+  | Some dst -> ( match Rank.select_btl ctx ~dst with k -> Some k | exception Rank.No_route _ -> None)

@@ -1,0 +1,31 @@
+open Ninja_engine
+open Ninja_hardware
+
+type t = { rjob : Rank.job }
+
+let mpirun cluster ~members ~procs_per_vm ?(continue_like_restart = true) ?ft_hooks body =
+  let job =
+    Rank.make_job cluster ~members ~procs_per_vm ~continue_like_restart ~ft_hooks
+  in
+  let sim = Cluster.sim cluster in
+  List.iter
+    (fun proc ->
+      Rank.rank_started job;
+      Sim.spawn sim ~name:(Printf.sprintf "rank%d" (Rank.rank proc)) (fun () ->
+          Rank.init_btls proc;
+          (try body proc with Rank.Job_aborted -> ());
+          Rank.rank_finished job))
+    (Rank.procs job);
+  { rjob = job }
+
+let job t = t.rjob
+
+let wait t = Ivar.read (Rank.job_finished t.rjob)
+
+let is_finished t = Ivar.is_full (Rank.job_finished t.rjob)
+
+let request_checkpoint t = Rank.request_checkpoint t.rjob
+
+let await_checkpoint_complete ivar = Ivar.read ivar
+
+let last_linkup_wait t = Rank.last_linkup_wait t.rjob

@@ -1,0 +1,44 @@
+(** Job launcher (mpirun) and host-side fault-tolerance control.
+
+    [mpirun] spawns one fiber per MPI process, block-mapped onto the given
+    VMs ([procs_per_vm] ranks per VM, consecutive ranks together), runs
+    MPI_Init-time BTL construction, executes the body, and completes the
+    job when every rank returns.
+
+    [request_checkpoint] is the cloud-scheduler trigger of Fig. 3: it asks
+    every process to enter the checkpoint protocol at its next MPI
+    operation boundary and returns an ivar that fills when all processes
+    have resumed with reconstructed transports. *)
+
+open Ninja_engine
+open Ninja_guestos
+open Ninja_hardware
+open Ninja_vmm
+
+type t
+(** A running (or finished) MPI job. *)
+
+val mpirun :
+  Cluster.t ->
+  members:(Vm.t * Guest.t) list ->
+  procs_per_vm:int ->
+  ?continue_like_restart:bool ->
+  ?ft_hooks:Rank.ft_hooks ->
+  (Rank.proc -> unit) ->
+  t
+(** [continue_like_restart] defaults to [true] (the paper sets
+    [ompi_cr_continue_like_restart] so that recovery migrations rebuild
+    the transport set even for TCP-only processes). *)
+
+val job : t -> Rank.job
+
+val wait : t -> unit
+(** Block until every rank's body has returned. *)
+
+val is_finished : t -> bool
+
+val request_checkpoint : t -> unit Ivar.t
+
+val await_checkpoint_complete : unit Ivar.t -> unit
+
+val last_linkup_wait : t -> Time.span

@@ -1,0 +1,1 @@
+lib/scheduler/cloud_scheduler.ml: Breakdown Cluster List Ninja Ninja_core Ninja_engine Ninja_hardware Ninja_metrics Node Placement Printf Sim Time Trace

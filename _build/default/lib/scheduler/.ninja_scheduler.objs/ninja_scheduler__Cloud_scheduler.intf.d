@@ -1,0 +1,1 @@
+lib/scheduler/cloud_scheduler.mli: Breakdown Ninja Ninja_core Ninja_engine Ninja_hardware Ninja_metrics Ninja_vmm Node Time

@@ -1,0 +1,1 @@
+lib/scheduler/placement.ml: Cluster List Ninja_hardware Ninja_vmm Node Vm

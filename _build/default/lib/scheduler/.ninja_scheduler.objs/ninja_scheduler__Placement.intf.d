@@ -1,0 +1,1 @@
+lib/scheduler/placement.mli: Cluster Ninja_hardware Ninja_vmm Node Vm

@@ -1,0 +1,49 @@
+open Ninja_engine
+open Ninja_hardware
+open Ninja_metrics
+open Ninja_core
+
+type trigger =
+  | Maintenance of { avoid : Node.t -> bool }
+  | Disaster of { rack : int }
+  | Consolidate of { vms_per_host : int; targets : Node.t list }
+  | Rebalance of { targets : Node.t list }
+
+type record = { at : Time.t; trigger : trigger; breakdown : Breakdown.t }
+
+type t = { ninja : Ninja.t; sim : Sim.t; mutable records : record list }
+
+let create ninja = { ninja; sim = Cluster.sim (Ninja.cluster ninja); records = [] }
+
+let trigger_name = function
+  | Maintenance _ -> "maintenance"
+  | Disaster { rack } -> Printf.sprintf "disaster(rack%d)" rack
+  | Consolidate { vms_per_host; _ } -> Printf.sprintf "consolidate(%d/host)" vms_per_host
+  | Rebalance _ -> "rebalance"
+
+let plan_for t trigger =
+  let cluster = Ninja.cluster t.ninja in
+  let vms = Ninja.vms t.ninja in
+  match trigger with
+  | Maintenance { avoid } -> Placement.evacuation_plan cluster ~vms ~avoid
+  | Disaster { rack } ->
+    Placement.evacuation_plan cluster ~vms ~avoid:(fun n -> n.Node.rack = rack)
+  | Consolidate { vms_per_host; targets } ->
+    Placement.consolidation_plan cluster ~vms ~vms_per_host ~targets
+  | Rebalance { targets } -> Placement.spread_plan cluster ~vms ~targets
+
+let execute t trigger =
+  let plan = plan_for t trigger in
+  let breakdown = Ninja.migrate t.ninja ~plan () in
+  t.records <- { at = Sim.now t.sim; trigger; breakdown } :: t.records;
+  Trace.recordf
+    (Cluster.trace (Ninja.cluster t.ninja))
+    ~category:"scheduler" "trigger %s done: %a" (trigger_name trigger) Breakdown.pp breakdown;
+  breakdown
+
+let schedule t ~after trigger =
+  Sim.spawn t.sim ~name:("trigger-" ^ trigger_name trigger) (fun () ->
+      Sim.sleep after;
+      ignore (execute t trigger))
+
+let history t = List.rev t.records

@@ -1,0 +1,42 @@
+(** The cloud scheduler of Fig. 3: it owns migration policy and delivers
+    trigger events to the MPI runtime and the SymVirt controller (both via
+    {!Ninja_core.Ninja.migrate}).
+
+    Triggers fire at scheduled simulation times; each executes a Ninja
+    migration with a placement computed by {!Placement} and records the
+    overhead breakdown in the history. *)
+
+open Ninja_engine
+open Ninja_hardware
+open Ninja_metrics
+open Ninja_core
+
+type trigger =
+  | Maintenance of { avoid : Node.t -> bool }
+      (** Evacuate VMs from nodes matching [avoid] (non-stop maintenance,
+          §II-A). *)
+  | Disaster of { rack : int }
+      (** Evacuate a whole rack/data-center (disaster recovery, §II-A). *)
+  | Consolidate of { vms_per_host : int; targets : Node.t list }
+      (** Pack VMs for utilisation (server consolidation, §II-A). *)
+  | Rebalance of { targets : Node.t list }
+      (** Spread back out, e.g. after maintenance ends. *)
+
+type record = { at : Time.t; trigger : trigger; breakdown : Breakdown.t }
+
+type t
+
+val create : Ninja.t -> t
+
+val plan_for : t -> trigger -> Ninja_vmm.Vm.t -> Node.t
+
+val execute : t -> trigger -> Breakdown.t
+(** Run the migration now (must be called from a fiber). *)
+
+val schedule : t -> after:Time.span -> trigger -> unit
+(** Fire-and-forget: deliver the trigger after a delay. *)
+
+val history : t -> record list
+(** Executed triggers, oldest first. *)
+
+val trigger_name : trigger -> string

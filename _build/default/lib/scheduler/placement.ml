@@ -1,0 +1,47 @@
+open Ninja_hardware
+open Ninja_vmm
+
+let nodes_free cluster ~vms =
+  let occupied = List.map (fun vm -> (Vm.host vm).Node.id) vms in
+  Cluster.nodes cluster
+  |> List.filter (fun (n : Node.t) -> not (List.mem n.Node.id occupied))
+  |> List.sort (fun (a : Node.t) (b : Node.t) -> compare a.Node.id b.Node.id)
+
+let evacuation_plan cluster ~vms ~avoid =
+  let candidates =
+    nodes_free cluster ~vms
+    |> List.filter (fun n -> not (avoid n))
+    (* Prefer IB-equipped refuges so recovered jobs keep their fast
+       interconnect when possible. *)
+    |> List.stable_sort (fun a b -> compare (Node.has_ib b) (Node.has_ib a))
+  in
+  let moving = List.filter (fun vm -> avoid (Vm.host vm)) vms in
+  if List.length moving > List.length candidates then
+    failwith "Placement.evacuation_plan: not enough free nodes";
+  let assignment = List.combine moving (List.filteri (fun i _ -> i < List.length moving) candidates) in
+  fun vm ->
+    match List.assq_opt vm assignment with
+    | Some dst -> dst
+    | None -> Vm.host vm
+
+let consolidation_plan _cluster ~vms ~vms_per_host ~targets =
+  if vms_per_host <= 0 then invalid_arg "Placement.consolidation_plan: vms_per_host";
+  let needed = (List.length vms + vms_per_host - 1) / vms_per_host in
+  if needed > List.length targets then
+    failwith "Placement.consolidation_plan: not enough target nodes";
+  let assignment =
+    List.mapi (fun i vm -> (vm, List.nth targets (i / vms_per_host))) vms
+  in
+  fun vm ->
+    match List.assq_opt vm assignment with
+    | Some dst -> dst
+    | None -> Vm.host vm
+
+let spread_plan _cluster ~vms ~targets =
+  if List.length vms > List.length targets then
+    failwith "Placement.spread_plan: not enough target nodes";
+  let assignment = List.mapi (fun i vm -> (vm, List.nth targets i)) vms in
+  fun vm ->
+    match List.assq_opt vm assignment with
+    | Some dst -> dst
+    | None -> Vm.host vm

@@ -1,0 +1,23 @@
+(** VM placement policies for the cloud scheduler.
+
+    Pure functions from current state to a destination plan; all orderings
+    are deterministic (node id order). *)
+
+open Ninja_hardware
+open Ninja_vmm
+
+val nodes_free : Cluster.t -> vms:Vm.t list -> Node.t list
+(** Nodes not currently hosting any of the given VMs, in id order. *)
+
+val evacuation_plan :
+  Cluster.t -> vms:Vm.t list -> avoid:(Node.t -> bool) -> (Vm.t -> Node.t)
+(** Move every VM whose host satisfies [avoid] to a free, non-avoided
+    node, preferring InfiniBand-equipped nodes; VMs on acceptable hosts
+    stay put. Raises [Failure] if capacity is insufficient. *)
+
+val consolidation_plan :
+  Cluster.t -> vms:Vm.t list -> vms_per_host:int -> targets:Node.t list -> (Vm.t -> Node.t)
+(** Pack the VMs [vms_per_host]-deep onto the target nodes in order. *)
+
+val spread_plan : Cluster.t -> vms:Vm.t list -> targets:Node.t list -> (Vm.t -> Node.t)
+(** One VM per target node, in order (the recovery / rebalance shape). *)

@@ -1,0 +1,1 @@
+lib/symvirt/controller.ml: Cluster Hypercall Ivar List Migration Ninja_engine Ninja_hardware Ninja_vmm Printf Qmp Sim Trace Vm

@@ -1,0 +1,1 @@
+lib/symvirt/controller.mli: Cluster Device Hypercall Migration Ninja_hardware Ninja_vmm Node Qmp Vm

@@ -1,0 +1,1 @@
+lib/symvirt/hypercall.ml: Calibration List Ninja_engine Ninja_hardware Ninja_vmm Sim Vm

@@ -1,0 +1,1 @@
+lib/symvirt/hypercall.mli: Ninja_vmm Vm

@@ -1,0 +1,82 @@
+open Ninja_engine
+open Ninja_hardware
+open Ninja_vmm
+
+type member = { vm : Vm.t; endpoint : Hypercall.t; procs : int }
+
+type t = { cluster : Cluster.t; members : member list; trace : Trace.t }
+
+exception Agent_failure of string
+
+let create cluster ~members =
+  List.iter
+    (fun m ->
+      if m.procs <= 0 then invalid_arg "Controller.create: procs must be positive")
+    members;
+  { cluster; members; trace = Cluster.trace cluster }
+
+let members t = t.members
+
+let cluster t = t.cluster
+
+let wait_all t =
+  List.iter (fun m -> Hypercall.await_waiters m.endpoint m.procs) t.members;
+  List.iter (fun m -> Vm.pause m.vm) t.members;
+  Trace.recordf t.trace ~category:"symvirt" "fence reached: %d VMs paused"
+    (List.length t.members)
+
+let signal t =
+  List.iter
+    (fun m ->
+      Vm.resume m.vm;
+      Hypercall.host_signal m.endpoint)
+    t.members;
+  Trace.recordf t.trace ~category:"symvirt" "signalled %d VMs" (List.length t.members)
+
+(* One agent fiber per VM, driving its monitor; the caller blocks on all of
+   them (the paper's controller joins its agent threads). *)
+let run_agents t commands_for =
+  let sim = Cluster.sim t.cluster in
+  let jobs =
+    List.map
+      (fun m ->
+        let done_ = Ivar.create () in
+        let commands = commands_for m.vm in
+        Sim.spawn sim ~name:(Printf.sprintf "agent-%s" (Vm.name m.vm)) (fun () ->
+            let responses = List.map (fun c -> Qmp.execute m.vm c) commands in
+            Ivar.fill done_ responses);
+        (m.vm, done_))
+      t.members
+  in
+  let results = List.map (fun (vm, done_) -> (vm, Ivar.read done_)) jobs in
+  List.iter
+    (fun (vm, responses) ->
+      List.iter
+        (function
+          | Qmp.Error msg ->
+            raise (Agent_failure (Printf.sprintf "%s: %s" (Vm.name vm) msg))
+          | Qmp.Ok_empty | Qmp.Elapsed _ | Qmp.Migrated _ | Qmp.Status _ -> ())
+        responses)
+    results;
+  results
+
+let device_detach t ~tag ?(noise = 1.0) () =
+  ignore (run_agents t (fun _vm -> [ Qmp.Device_del { tag; noise } ]))
+
+let device_attach t ~mk_device ?(noise = 1.0) () =
+  ignore
+    (run_agents t (fun vm ->
+         match mk_device vm with
+         | Some device -> [ Qmp.Device_add { device; noise } ]
+         | None -> []))
+
+let migration t ~plan ?(transport = Migration.Tcp) () =
+  let results =
+    run_agents t (fun vm -> [ Qmp.Migrate { dst = plan vm; transport } ])
+  in
+  List.concat_map
+    (fun (vm, responses) ->
+      List.filter_map
+        (function Qmp.Migrated stats -> Some (vm, stats) | _ -> None)
+        responses)
+    results

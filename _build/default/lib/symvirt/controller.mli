@@ -1,0 +1,45 @@
+(** The SymVirt controller and its per-VM agents (Fig. 3).
+
+    The controller is the host-side master. [wait_all] blocks until every
+    VM of the job has all of its guest processes parked in [symvirt_wait],
+    then pauses the VMs — the globally consistent fence. Between
+    [wait_all] and [signal], the controller spawns one agent per VM; each
+    agent drives its VM's QEMU monitor (detach, migrate, attach). Agents
+    run concurrently, exactly like the paper's Python agent threads, with
+    each QMP command paying the controller round-trip overhead. *)
+
+open Ninja_hardware
+open Ninja_vmm
+
+type member = { vm : Vm.t; endpoint : Hypercall.t; procs : int }
+
+type t
+
+val create : Cluster.t -> members:member list -> t
+
+val members : t -> member list
+
+val cluster : t -> Cluster.t
+
+val wait_all : t -> unit
+(** Block until every member VM has [procs] waiters, then pause the VMs. *)
+
+val signal : t -> unit
+(** Resume every VM and wake its waiters. *)
+
+val run_agents : t -> (Vm.t -> Qmp.command list) -> (Vm.t * Qmp.response list) list
+(** Spawn one agent per VM executing that VM's command list; block until
+    all agents finish. Responses are returned in member order. Raises
+    {!Agent_failure} if any command returned an error. *)
+
+exception Agent_failure of string
+
+val device_detach : t -> tag:string -> ?noise:float -> unit -> unit
+(** Detach the tagged device from every member VM (agents in parallel). *)
+
+val device_attach : t -> mk_device:(Vm.t -> Device.t option) -> ?noise:float -> unit -> unit
+(** Attach a device to each VM for which [mk_device] returns one. *)
+
+val migration : t -> plan:(Vm.t -> Node.t) -> ?transport:Migration.transport -> unit ->
+  (Vm.t * Migration.stats) list
+(** Migrate every member VM to its planned destination in parallel. *)

@@ -1,0 +1,1 @@
+lib/vmm/hotplug.ml: Cluster Device Ninja_engine Ninja_hardware Node Printf Sim Time Vm

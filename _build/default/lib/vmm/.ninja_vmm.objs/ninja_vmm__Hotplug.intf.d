@@ -1,0 +1,1 @@
+lib/vmm/hotplug.mli: Device Ninja_engine Ninja_hardware Vm

@@ -1,0 +1,1 @@
+lib/vmm/memory.ml: Bytes Char Float List Ninja_hardware

@@ -1,0 +1,1 @@
+lib/vmm/migration.ml: Calibration Cluster Fabric Float Memory Ninja_engine Ninja_flownet Ninja_hardware Node Printf Ps_resource Semaphore Sim Time Trace Vm

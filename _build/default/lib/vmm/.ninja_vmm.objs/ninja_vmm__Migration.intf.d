@@ -1,0 +1,1 @@
+lib/vmm/migration.mli: Ninja_engine Ninja_hardware Node Time Vm

@@ -1,0 +1,1 @@
+lib/vmm/qmp.ml: Calibration Cluster Device Format Hotplug List Migration Ninja_engine Ninja_hardware Node Printf Result Sim String Time Vm

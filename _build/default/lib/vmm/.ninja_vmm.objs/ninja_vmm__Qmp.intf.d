@@ -1,0 +1,1 @@
+lib/vmm/qmp.mli: Cluster Device Migration Ninja_engine Ninja_hardware Node Time Vm

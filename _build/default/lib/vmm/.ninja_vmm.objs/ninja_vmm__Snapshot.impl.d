@@ -1,0 +1,1 @@
+lib/vmm/snapshot.ml: Cluster List Memory Ninja_engine Ninja_hardware Node Sim String Time Trace Vm

@@ -1,0 +1,1 @@
+lib/vmm/snapshot.mli: Cluster Ninja_engine Ninja_hardware Node Time Vm

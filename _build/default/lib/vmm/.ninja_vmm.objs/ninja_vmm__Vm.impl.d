@@ -1,0 +1,1 @@
+lib/vmm/vm.ml: Cluster Device Float Format List Memory Ninja_engine Ninja_hardware Node Printf Ps_resource Semaphore Sim String Trace

@@ -1,0 +1,1 @@
+lib/vmm/vm.mli: Cluster Device Format Memory Ninja_engine Ninja_hardware Node Semaphore

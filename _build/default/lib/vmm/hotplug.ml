@@ -1,0 +1,32 @@
+open Ninja_engine
+open Ninja_hardware
+
+exception No_backing_port of string
+
+let timed vm span =
+  let start = Sim.now (Cluster.sim (Vm.cluster vm)) in
+  Sim.sleep span;
+  Time.diff (Sim.now (Cluster.sim (Vm.cluster vm))) start
+
+let device_del vm ~tag ?(noise = 1.0) () =
+  match Vm.find_device vm ~tag with
+  | None -> raise Not_found
+  | Some d ->
+    let span = Time.scale (Device.detach_time d.kind) noise in
+    let elapsed = timed vm span in
+    ignore (Vm.detach_device vm ~tag);
+    elapsed
+
+let device_add vm ~device ?(noise = 1.0) () =
+  (match (device : Device.t).kind with
+  | Device.Ib_hca ->
+    if not (Node.has_ib (Vm.host vm)) then
+      raise
+        (No_backing_port
+           (Printf.sprintf "%s: host %s has no InfiniBand port to pass through" (Vm.name vm)
+              (Vm.host vm).Node.name))
+  | Device.Virtio_net | Device.Eth_10g | Device.Emulated_nic -> ());
+  let span = Time.scale (Device.attach_time device.kind) noise in
+  let elapsed = timed vm span in
+  Vm.attach_device vm device;
+  elapsed

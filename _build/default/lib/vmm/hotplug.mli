@@ -1,0 +1,24 @@
+(** PCI hotplug (ACPI acpiphp protocol).
+
+    [device_del]/[device_add] are the timed monitor operations: the VMM
+    raises an ACPI event, the guest's acpiphp driver quiesces or probes the
+    device, and only then does the device list change. Durations are the
+    per-device-class constants calibrated against Table II, multiplied by
+    the "migration noise" factor when other VMs of the same job are
+    mid-migration (§IV-B2).
+
+    Both calls block the calling fiber for the operation's duration. *)
+
+open Ninja_hardware
+
+val device_del : Vm.t -> tag:string -> ?noise:float -> unit -> Ninja_engine.Time.span
+(** Returns the elapsed hotplug time. Raises [Not_found] if the tag is not
+    attached. *)
+
+val device_add : Vm.t -> device:Device.t -> ?noise:float -> unit -> Ninja_engine.Time.span
+(** Attach a device. For a bypass HCA the host must actually have an IB
+    port — raises {!No_backing_port} otherwise (you cannot passthrough
+    hardware the destination node does not have, which is exactly the
+    heterogeneity barrier of the paper). *)
+
+exception No_backing_port of string

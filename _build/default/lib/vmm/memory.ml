@@ -1,0 +1,118 @@
+(* Dirty/non-zero state is tracked at 64 KiB granularity (16 hardware
+   pages per bit): byte-count accuracy is unaffected at the sizes the
+   experiments use, and bitmap maintenance is 16x cheaper than per-4KiB
+   tracking on multi-GB writers. *)
+let page_size = 16 * Ninja_hardware.Calibration.page_size
+
+type t = {
+  pages : int;
+  nonzero : Bytes.t; (* bit per page *)
+  dirty : Bytes.t;
+  mutable nonzero_count : int;
+  mutable dirty_count : int;
+  mutable next_free : int; (* bump allocator; freed regions are recycled *)
+  mutable free_list : (int * int) list; (* (start, len) *)
+}
+
+type region = { start : int; len : int; mutable live : bool }
+
+let pages_of_bytes b = int_of_float (Float.ceil (b /. float_of_int page_size))
+
+let create ~total_bytes =
+  if not (total_bytes > 0.0) then invalid_arg "Memory.create: size must be positive";
+  let pages = pages_of_bytes total_bytes in
+  let bitmap_len = (pages + 7) / 8 in
+  {
+    pages;
+    nonzero = Bytes.make bitmap_len '\000';
+    dirty = Bytes.make bitmap_len '\000';
+    nonzero_count = 0;
+    dirty_count = 0;
+    next_free = 0;
+    free_list = [];
+  }
+
+let total_bytes t = float_of_int t.pages *. float_of_int page_size
+
+let get bitmap i = Char.code (Bytes.get bitmap (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set bitmap i =
+  let byte = i lsr 3 in
+  Bytes.set bitmap byte (Char.chr (Char.code (Bytes.get bitmap byte) lor (1 lsl (i land 7))))
+
+let unset bitmap i =
+  let byte = i lsr 3 in
+  Bytes.set bitmap byte
+    (Char.chr (Char.code (Bytes.get bitmap byte) land lnot (1 lsl (i land 7)) land 0xff))
+
+let alloc t ~bytes =
+  let len = pages_of_bytes bytes in
+  let fit =
+    List.find_opt (fun (_, flen) -> flen >= len) t.free_list
+  in
+  match fit with
+  | Some ((fstart, flen) as entry) ->
+    t.free_list <- List.filter (fun e -> e <> entry) t.free_list;
+    if flen > len then t.free_list <- (fstart + len, flen - len) :: t.free_list;
+    { start = fstart; len; live = true }
+  | None ->
+    if t.next_free + len > t.pages then invalid_arg "Memory.alloc: out of guest memory";
+    let start = t.next_free in
+    t.next_free <- start + len;
+    { start; len; live = true }
+
+let region_bytes r = float_of_int r.len *. float_of_int page_size
+
+let mark_page t i =
+  if not (get t.nonzero i) then begin
+    set t.nonzero i;
+    t.nonzero_count <- t.nonzero_count + 1
+  end;
+  if not (get t.dirty i) then begin
+    set t.dirty i;
+    t.dirty_count <- t.dirty_count + 1
+  end
+
+let write t r ~offset ~bytes =
+  if not r.live then invalid_arg "Memory.write: region was freed";
+  if offset < 0.0 || bytes < 0.0 then invalid_arg "Memory.write: negative range";
+  if bytes = 0.0 then ()
+  else begin
+  let first = r.start + (int_of_float offset / page_size) in
+  let last_excl =
+    r.start + (pages_of_bytes (offset +. bytes)) |> fun l -> min l (r.start + r.len)
+  in
+  for i = first to last_excl - 1 do
+    mark_page t i
+  done
+  end
+
+let write_all t r = write t r ~offset:0.0 ~bytes:(region_bytes r)
+
+let free t r =
+  if r.live then begin
+    r.live <- false;
+    for i = r.start to r.start + r.len - 1 do
+      if get t.nonzero i then begin
+        unset t.nonzero i;
+        t.nonzero_count <- t.nonzero_count - 1
+      end;
+      if get t.dirty i then begin
+        unset t.dirty i;
+        t.dirty_count <- t.dirty_count - 1
+      end
+    done;
+    t.free_list <- (r.start, r.len) :: t.free_list
+  end
+
+let nonzero_bytes t = float_of_int t.nonzero_count *. float_of_int page_size
+
+let zero_bytes t = float_of_int (t.pages - t.nonzero_count) *. float_of_int page_size
+
+let dirty_bytes t = float_of_int t.dirty_count *. float_of_int page_size
+
+let clear_dirty t =
+  Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000';
+  t.dirty_count <- 0
+
+let used_fraction t = float_of_int t.nonzero_count /. float_of_int t.pages

@@ -1,0 +1,50 @@
+(** Guest physical memory with page-granular dirty and non-zero tracking.
+
+    This is the state that drives precopy migration cost: pages that have
+    never been written ("zero pages") are compressed by the QEMU sender and
+    cost only scan time; written pages cost wire transfer; pages written
+    since the last synchronisation round are dirty and must be re-sent.
+
+    Workloads allocate {!region}s and {!write} into them; the migration
+    algorithm snapshots and {!clear_dirty}s between rounds. *)
+
+type t
+
+type region
+
+val create : total_bytes:float -> t
+(** Rounds up to whole pages. *)
+
+val total_bytes : t -> float
+
+val page_size : int
+(** Tracking granularity in bytes (a multiple of the 4 KiB hardware page;
+    see the implementation note). *)
+
+(** {1 Guest-side operations} *)
+
+val alloc : t -> bytes:float -> region
+(** Reserve a contiguous region (pages still zero until written). Raises
+    [Invalid_argument] if the VM is out of memory. *)
+
+val region_bytes : region -> float
+
+val write : t -> region -> offset:float -> bytes:float -> unit
+(** Mark the page range as non-zero and dirty. Clipped to the region. *)
+
+val write_all : t -> region -> unit
+
+val free : t -> region -> unit
+(** Return the pages to the allocator and zero them (madvise-style). *)
+
+(** {1 VMM-side observations} *)
+
+val nonzero_bytes : t -> float
+
+val zero_bytes : t -> float
+
+val dirty_bytes : t -> float
+
+val clear_dirty : t -> unit
+
+val used_fraction : t -> float

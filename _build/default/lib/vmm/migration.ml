@@ -1,0 +1,157 @@
+open Ninja_engine
+open Ninja_flownet
+open Ninja_hardware
+
+exception Bypass_device_attached of string
+
+type transport = Tcp | Rdma
+
+type mode = Precopy | Postcopy
+
+type stats = {
+  duration : Time.span;
+  rounds : int;
+  transferred_bytes : float;
+  scanned_zero_bytes : float;
+  downtime : Time.span;
+}
+
+let sender_rate = function
+  | Tcp -> Calibration.transfer_rate
+  | Rdma -> Calibration.rdma_transfer_rate
+
+let sender_cpu_demand = function
+  | Tcp -> Calibration.migration_cpu_demand
+  | Rdma -> 0.15 (* RDMA offloads the copy; §V. *)
+
+let postcopy_hot_set_bytes = 256.0 *. 1024.0 *. 1024.0
+
+let postcopy_fault_slowdown = 2.5
+
+(* Shared sender machinery: a private capacity hop modelling the
+   single-threaded QEMU sender (§V: one core saturated, < 1.3 Gb/s wire),
+   in series with the shared Ethernet fabric path, plus the sender
+   thread's CPU load on the source host. *)
+type sender = {
+  route : Fabric.link list;
+  cpu : Ps_resource.t;
+  cpu_task : Ps_resource.task;
+  mutable sent : float;
+}
+
+let start_sender vm ~src ~dst ~transport =
+  let cluster = Vm.cluster vm in
+  let fabric = Cluster.fabric cluster in
+  let sender_link =
+    Fabric.add_link fabric
+      ~name:(Printf.sprintf "%s.sender" (Vm.name vm))
+      ~capacity:(sender_rate transport)
+  in
+  let path = Cluster.route cluster ~net:Cluster.Eth ~src ~dst in
+  (* Work value is just "longer than any migration"; the task is cancelled
+     when the migration completes. *)
+  let cpu_task =
+    Ps_resource.start src.Node.cpu ~demand:(sender_cpu_demand transport) ~work:1e8
+  in
+  { route = sender_link :: path; cpu = src.Node.cpu; cpu_task; sent = 0.0 }
+
+let send sender vm bytes =
+  if bytes > 0.0 then begin
+    sender.sent <- sender.sent +. bytes;
+    Fabric.transfer (Cluster.fabric (Vm.cluster vm)) ~route:sender.route ~bytes
+  end
+
+let stop_sender sender = Ps_resource.cancel sender.cpu sender.cpu_task
+
+(* ------------------------------------------------------------------ *)
+
+let precopy vm ~dst ~transport =
+  let cluster = Vm.cluster vm in
+  let sim = Cluster.sim cluster in
+  let src = Vm.host vm in
+  let sender = start_sender vm ~src ~dst ~transport in
+  let memory = Vm.memory vm in
+  let was_running = Vm.state vm = Vm.Running in
+  (* Round 0: full walk. Zero pages cost scan time only. *)
+  let zero = Memory.zero_bytes memory in
+  Memory.clear_dirty memory;
+  send sender vm (Memory.nonzero_bytes memory);
+  if zero > 0.0 then Sim.sleep (Time.of_sec_f (zero /. Calibration.zero_scan_rate));
+  let downtime_budget_bytes =
+    Time.to_sec_f Calibration.migration_downtime_target *. sender_rate transport
+  in
+  let rec rounds n =
+    let dirty = Memory.dirty_bytes memory in
+    if dirty <= downtime_budget_bytes || n >= Calibration.migration_max_rounds then begin
+      (* Stop-and-copy. *)
+      Vm.pause vm;
+      Memory.clear_dirty memory;
+      let t0 = Sim.now sim in
+      send sender vm dirty;
+      (n + 1, Time.diff (Sim.now sim) t0)
+    end
+    else begin
+      Memory.clear_dirty memory;
+      send sender vm dirty;
+      rounds (n + 1)
+    end
+  in
+  let rounds, downtime = rounds 1 in
+  stop_sender sender;
+  Vm.set_host vm dst;
+  (* Restore the pre-migration run state: a VM frozen at a SymVirt fence
+     must stay frozen until the controller signals it. *)
+  if was_running then Vm.resume vm;
+  (rounds, zero, downtime, sender.sent)
+
+let postcopy vm ~dst ~transport =
+  let cluster = Vm.cluster vm in
+  let sim = Cluster.sim cluster in
+  let src = Vm.host vm in
+  let sender = start_sender vm ~src ~dst ~transport in
+  let memory = Vm.memory vm in
+  let was_running = Vm.state vm = Vm.Running in
+  (* Stop-and-switch: push vCPU state plus a small hot set, flip hosts. *)
+  Vm.pause vm;
+  Memory.clear_dirty memory;
+  let t0 = Sim.now sim in
+  let hot = Float.min postcopy_hot_set_bytes (Memory.nonzero_bytes memory) in
+  send sender vm hot;
+  let downtime = Time.diff (Sim.now sim) t0 in
+  Vm.set_host vm dst;
+  if was_running then Vm.resume vm;
+  (* Background pull of the residual image; the guest runs at the
+     destination but every cold page is a remote fault. *)
+  let residual = Memory.nonzero_bytes memory -. hot in
+  Vm.set_compute_slowdown vm postcopy_fault_slowdown;
+  send sender vm residual;
+  Vm.set_compute_slowdown vm 1.0;
+  stop_sender sender;
+  (* Writes that landed during the pull went straight to the destination;
+     nothing is ever re-sent. *)
+  Memory.clear_dirty memory;
+  (1, 0.0, downtime, sender.sent)
+
+let migrate vm ~dst ?(transport = Tcp) ?(mode = Precopy) () =
+  if Vm.has_bypass_device vm then
+    raise
+      (Bypass_device_attached
+         (Printf.sprintf "%s: cannot migrate with VMM-bypass device attached" (Vm.name vm)));
+  let cluster = Vm.cluster vm in
+  let sim = Cluster.sim cluster in
+  let trace = Cluster.trace cluster in
+  Semaphore.with_permit (Vm.migration_lock vm) @@ fun () ->
+  let src = Vm.host vm in
+  let started = Sim.now sim in
+  let mode_name = match mode with Precopy -> "precopy" | Postcopy -> "postcopy" in
+  Trace.recordf trace ~category:"migration" "%s: %s %s -> %s begins" (Vm.name vm) mode_name
+    src.Node.name dst.Node.name;
+  let rounds, zero, downtime, sent =
+    match mode with
+    | Precopy -> precopy vm ~dst ~transport
+    | Postcopy -> postcopy vm ~dst ~transport
+  in
+  let duration = Time.diff (Sim.now sim) started in
+  Trace.recordf trace ~category:"migration" "%s: done in %a (%d rounds, downtime %a)"
+    (Vm.name vm) Time.pp duration rounds Time.pp downtime;
+  { duration; rounds; transferred_bytes = sent; scanned_zero_bytes = zero; downtime }

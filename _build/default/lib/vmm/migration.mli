@@ -1,0 +1,53 @@
+(** QEMU-style precopy live migration.
+
+    Round 0 walks all guest memory: non-zero pages stream at the sender's
+    CPU-bound effective rate through the Ethernet fabric; zero pages are
+    detected and compressed at scan rate (§IV-B2: "compresses pages that
+    contain uniform data"). Subsequent rounds re-send pages the (still
+    running) guest dirtied; when the residual dirty set transfers within
+    the downtime target — or the round budget is exhausted — the VM is
+    paused for the final stop-and-copy.
+
+    Under Ninja migration the guest is already frozen at the SymVirt fence,
+    so precopy converges right after the first pass; the live path matters
+    for the no-quiesce ablation and for plain (non-MPI) VMs.
+
+    A migration with a VMM-bypass device attached is refused — the
+    invariant the paper's whole coordination dance exists to satisfy. *)
+
+open Ninja_engine
+open Ninja_hardware
+
+exception Bypass_device_attached of string
+
+type transport = Tcp | Rdma
+
+type mode =
+  | Precopy
+  | Postcopy
+      (** Stop-and-switch after pushing a small hot set, then pull the rest
+          in the background while the guest runs at the destination under a
+          remote-demand-fault slowdown. Total time is footprint-bound like
+          precopy, but downtime is constant and live re-dirtying costs
+          nothing (each page moves exactly once) — the trade-off studied by
+          the authors' later postcopy work (Yabusame). *)
+
+type stats = {
+  duration : Time.span;
+  rounds : int;
+  transferred_bytes : float;  (** actual wire bytes (zero pages excluded) *)
+  scanned_zero_bytes : float;
+  downtime : Time.span;  (** stop-and-copy pause *)
+}
+
+val migrate : Vm.t -> dst:Node.t -> ?transport:transport -> ?mode:mode -> unit -> stats
+(** Blocks the calling fiber until the VM runs on [dst] (for [Postcopy]:
+    until the background pull completes and the slowdown is lifted).
+    Self-migration ([dst] = current host) exercises the same protocol over
+    the loopback path, as in the paper's Table II experiment. *)
+
+val sender_rate : transport -> float
+
+val postcopy_hot_set_bytes : float
+
+val postcopy_fault_slowdown : float

@@ -1,0 +1,91 @@
+open Ninja_engine
+open Ninja_hardware
+
+type command =
+  | Device_del of { tag : string; noise : float }
+  | Device_add of { device : Device.t; noise : float }
+  | Migrate of { dst : Node.t; transport : Migration.transport }
+  | Stop
+  | Cont
+  | Query_status
+  | Query_migrate
+
+type response =
+  | Ok_empty
+  | Elapsed of Time.span
+  | Migrated of Migration.stats
+  | Status of Vm.state
+  | Error of string
+
+let execute vm command =
+  Sim.sleep Calibration.qmp_command_overhead;
+  match command with
+  | Device_del { tag; noise } -> (
+    match Hotplug.device_del vm ~tag ~noise () with
+    | elapsed -> Elapsed elapsed
+    | exception Not_found -> Error (Printf.sprintf "device not found: %s" tag))
+  | Device_add { device; noise } -> (
+    match Hotplug.device_add vm ~device ~noise () with
+    | elapsed -> Elapsed elapsed
+    | exception Hotplug.No_backing_port msg -> Error msg
+    | exception Invalid_argument msg -> Error msg)
+  | Migrate { dst; transport } -> (
+    match Migration.migrate vm ~dst ~transport () with
+    | stats -> Migrated stats
+    | exception Migration.Bypass_device_attached msg -> Error msg
+    | exception Cluster.Unreachable msg -> Error msg)
+  | Stop ->
+    Vm.pause vm;
+    Ok_empty
+  | Cont ->
+    Vm.resume vm;
+    Ok_empty
+  | Query_status -> Status (Vm.state vm)
+  | Query_migrate -> Ok_empty
+
+let parse cluster line =
+  match String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "") with
+  | [ "device_del"; tag ] -> Result.Ok (Device_del { tag; noise = 1.0 })
+  | [ "device_add"; tag; pci_addr; kind ] -> (
+    match kind with
+    | "ib" -> Result.Ok (Device_add { device = Device.make ~tag ~pci_addr Device.Ib_hca; noise = 1.0 })
+    | "virtio" ->
+      Result.Ok (Device_add { device = Device.make ~tag ~pci_addr Device.Virtio_net; noise = 1.0 })
+    | _ -> Result.Error (Printf.sprintf "unknown device kind: %s" kind))
+  | [ "migrate"; dest ] -> (
+    match Cluster.find_node cluster dest with
+    | dst -> Result.Ok (Migrate { dst; transport = Migration.Tcp })
+    | exception Not_found -> Result.Error (Printf.sprintf "unknown node: %s" dest))
+  | [ "migrate_rdma"; dest ] -> (
+    match Cluster.find_node cluster dest with
+    | dst -> Result.Ok (Migrate { dst; transport = Migration.Rdma })
+    | exception Not_found -> Result.Error (Printf.sprintf "unknown node: %s" dest))
+  | [ "stop" ] -> Result.Ok Stop
+  | [ "cont" ] -> Result.Ok Cont
+  | [ "query-status" ] -> Result.Ok Query_status
+  | [ "query-migrate" ] -> Result.Ok Query_migrate
+  | _ -> Result.Error (Printf.sprintf "unparsable command: %s" line)
+
+let command_to_string = function
+  | Device_del { tag; _ } -> Printf.sprintf "device_del %s" tag
+  | Device_add { device; _ } ->
+    Printf.sprintf "device_add %s %s %s" device.Device.tag device.Device.pci_addr
+      (match device.Device.kind with
+      | Device.Ib_hca -> "ib"
+      | Device.Virtio_net -> "virtio"
+      | Device.Eth_10g -> "eth"
+      | Device.Emulated_nic -> "emulated")
+  | Migrate { dst; transport = Migration.Tcp } -> Printf.sprintf "migrate %s" dst.Node.name
+  | Migrate { dst; transport = Migration.Rdma } -> Printf.sprintf "migrate_rdma %s" dst.Node.name
+  | Stop -> "stop"
+  | Cont -> "cont"
+  | Query_status -> "query-status"
+  | Query_migrate -> "query-migrate"
+
+let response_to_string = function
+  | Ok_empty -> "ok"
+  | Elapsed span -> Format.asprintf "ok elapsed=%a" Time.pp span
+  | Migrated stats -> Format.asprintf "ok migrated in %a" Time.pp stats.Migration.duration
+  | Status Vm.Running -> "status=running"
+  | Status Vm.Paused -> "status=paused"
+  | Error msg -> "error: " ^ msg

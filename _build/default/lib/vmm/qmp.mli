@@ -1,0 +1,39 @@
+(** QEMU Monitor Protocol endpoint.
+
+    Each VM exposes a monitor that accepts the commands the paper's SymVirt
+    agents issue ([device_del], [device_add], [migrate], [stop], [cont],
+    plus queries). Commands have a small controller round-trip overhead and
+    execute the corresponding VMM operation; a textual form mirrors the
+    QMP/telnet wire protocol so agents can be driven by scripts and tests
+    can exercise parsing. *)
+
+open Ninja_engine
+open Ninja_hardware
+
+type command =
+  | Device_del of { tag : string; noise : float }
+  | Device_add of { device : Device.t; noise : float }
+  | Migrate of { dst : Node.t; transport : Migration.transport }
+  | Stop
+  | Cont
+  | Query_status
+  | Query_migrate
+
+type response =
+  | Ok_empty
+  | Elapsed of Time.span
+  | Migrated of Migration.stats
+  | Status of Vm.state
+  | Error of string
+
+val execute : Vm.t -> command -> response
+(** Blocking; includes the per-command controller/QMP overhead. Monitor
+    commands never raise — failures surface as [Error]. *)
+
+val parse : Cluster.t -> string -> (command, string) result
+(** Textual command, e.g. ["device_del vf0"], ["device_add vf0 04:00.0 ib"],
+    ["migrate eth03"], ["stop"], ["cont"]. *)
+
+val command_to_string : command -> string
+
+val response_to_string : response -> string

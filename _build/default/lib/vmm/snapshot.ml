@@ -1,0 +1,61 @@
+open Ninja_engine
+open Ninja_hardware
+
+type t = {
+  name : string;
+  taken_at : Time.t;
+  image_bytes : float;
+  total_bytes : float;
+  vcpus : int;
+  vm_name : string;
+}
+
+type store = {
+  cluster : Cluster.t;
+  nfs_bandwidth : float;
+  mutable snapshots : t list;
+}
+
+let create_store ?(nfs_bandwidth = 0.4e9) cluster = { cluster; nfs_bandwidth; snapshots = [] }
+
+let stream store bytes = Sim.sleep (Time.of_sec_f (bytes /. store.nfs_bandwidth))
+
+let save store vm ~name =
+  let was_running = Vm.state vm = Vm.Running in
+  Vm.pause vm;
+  let image_bytes = Memory.nonzero_bytes (Vm.memory vm) in
+  stream store image_bytes;
+  let snap =
+    {
+      name;
+      taken_at = Sim.now (Cluster.sim store.cluster);
+      image_bytes;
+      total_bytes = Memory.total_bytes (Vm.memory vm);
+      vcpus = Vm.vcpus vm;
+      vm_name = Vm.name vm;
+    }
+  in
+  store.snapshots <- snap :: store.snapshots;
+  Trace.recordf (Cluster.trace store.cluster) ~category:"snapshot" "%s: saved as '%s' (%a)"
+    (Vm.name vm) name Ninja_hardware.Units.pp_bytes image_bytes;
+  if was_running then Vm.resume vm;
+  snap
+
+let restore store snap ~host =
+  stream store snap.image_bytes;
+  let vm =
+    Vm.create store.cluster ~name:snap.vm_name ~host ~vcpus:snap.vcpus
+      ~mem_bytes:snap.total_bytes ~os_resident_bytes:snap.image_bytes ()
+  in
+  Vm.pause vm;
+  Trace.recordf (Cluster.trace store.cluster) ~category:"snapshot" "%s: restored from '%s' on %s"
+    snap.vm_name snap.name host.Node.name;
+  vm
+
+let find store ~name = List.find_opt (fun s -> String.equal s.name name) store.snapshots
+
+let name t = t.name
+
+let taken_at t = t.taken_at
+
+let image_bytes t = t.image_bytes

@@ -1,0 +1,1 @@
+lib/workloads/bcast_reduce.ml: Mpi Ninja_mpi

@@ -1,0 +1,1 @@
+lib/workloads/bcast_reduce.mli: Ninja_mpi

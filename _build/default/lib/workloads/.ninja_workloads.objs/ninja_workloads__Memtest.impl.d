@@ -1,0 +1,1 @@
+lib/workloads/memtest.ml: Memory Mpi Ninja_mpi Ninja_vmm Vm

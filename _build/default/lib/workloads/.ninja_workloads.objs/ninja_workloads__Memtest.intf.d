@@ -1,0 +1,1 @@
+lib/workloads/memtest.mli: Ninja_mpi

@@ -1,0 +1,1 @@
+lib/workloads/npb.ml: Float List Memory Mpi Ninja_mpi Ninja_vmm Rank String Vm

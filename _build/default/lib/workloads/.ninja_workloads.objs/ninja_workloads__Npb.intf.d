@@ -1,0 +1,1 @@
+lib/workloads/npb.mli: Mpi Ninja_mpi

@@ -1,0 +1,16 @@
+open Ninja_mpi
+
+type sample = { step : int; started : float; elapsed : float }
+
+let run ctx ~data_per_node ~procs_per_vm ~steps ?(on_step = fun _ -> ()) () =
+  if procs_per_vm <= 0 then invalid_arg "Bcast_reduce.run: procs_per_vm must be positive";
+  let bytes = data_per_node /. float_of_int procs_per_vm in
+  for step = 1 to steps do
+    let started = Mpi.wtime ctx in
+    Mpi.bcast ctx ~root:0 ~bytes;
+    Mpi.reduce ctx ~root:0 ~bytes;
+    Mpi.barrier ctx;
+    Mpi.checkpoint_point ctx;
+    if Mpi.rank ctx = 0 then
+      on_step { step; started; elapsed = Mpi.wtime ctx -. started }
+  done

@@ -1,0 +1,19 @@
+(** The Fig. 8 workload: "a simple MPI program that repeatedly broadcasts
+    and reduces 8 GB data per a node". Iteration time tracks interconnect
+    bandwidth, which is what makes the fallback/recovery transport switch
+    visible in the per-step series. *)
+
+type sample = { step : int; started : float; elapsed : float }
+
+val run :
+  Ninja_mpi.Mpi.ctx ->
+  data_per_node:float ->
+  procs_per_vm:int ->
+  steps:int ->
+  ?on_step:(sample -> unit) ->
+  unit ->
+  unit
+(** Each VM ("node") contributes [data_per_node] bytes split across its
+    [procs_per_vm] ranks; every step broadcasts each rank's share from
+    rank 0 and reduces it back. [on_step] fires on rank 0 with the
+    elapsed time of each step. *)

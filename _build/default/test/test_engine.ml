@@ -1,0 +1,547 @@
+(* Tests for the DES kernel: time, prng, heap, fibers, primitives, rated
+   resources. Everything here underpins the whole reproduction, so these
+   tests pin exact virtual-time semantics, not just "it runs". *)
+
+open Ninja_engine
+
+let sec_f = Time.to_sec_f
+
+let check_time = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Time *)
+
+let test_time_units () =
+  check_time "us" 1e-6 (sec_f (Time.us 1));
+  check_time "ms" 1e-3 (sec_f (Time.ms 1));
+  check_time "sec" 42.0 (sec_f (Time.sec 42));
+  check_time "minutes" 180.0 (sec_f (Time.minutes 3));
+  check_time "of_sec_f roundtrip" 3.88 (sec_f (Time.of_sec_f 3.88))
+
+let test_time_arith () =
+  let t = Time.add (Time.sec 1) (Time.ms 500) in
+  check_time "add" 1.5 (sec_f t);
+  check_time "diff" 0.5 (sec_f (Time.diff t (Time.sec 1)));
+  check_time "mul" 4.5 (sec_f (Time.mul t 3));
+  check_time "scale" 0.75 (sec_f (Time.scale t 0.5));
+  Alcotest.(check bool) "lt" true Time.(Time.sec 1 < Time.sec 2);
+  Alcotest.(check bool) "ge" true Time.(Time.sec 2 >= Time.sec 2);
+  Alcotest.(check bool) "neg" true (Time.is_negative (Time.diff Time.zero (Time.sec 1)))
+
+let test_time_pp () =
+  let str t = Format.asprintf "%a" Time.pp t in
+  Alcotest.(check string) "s" "3.88s" (str (Time.of_sec_f 3.88));
+  Alcotest.(check string) "ms" "29.91ms" (str (Time.of_sec_f 0.02991));
+  Alcotest.(check string) "us" "1.70us" (str (Time.of_sec_f 1.7e-6));
+  Alcotest.(check string) "ns" "250ns" (str (Time.ns 250))
+
+let test_time_invalid () =
+  Alcotest.check_raises "nan" (Invalid_argument "Time.of_sec_f: not finite") (fun () ->
+      ignore (Time.of_sec_f Float.nan))
+
+(* ------------------------------------------------------------------ *)
+(* Prng *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:7L and b = Prng.create ~seed:7L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:7L and b = Prng.create ~seed:8L in
+  Alcotest.(check bool) "different streams" true (Prng.next_int64 a <> Prng.next_int64 b)
+
+let test_prng_split_independent () =
+  let a = Prng.create ~seed:7L in
+  let c = Prng.split a in
+  let v1 = Prng.next_int64 c in
+  (* Draws from the parent must not change the child's future. *)
+  ignore (Prng.next_int64 a);
+  let d = Prng.split (Prng.create ~seed:7L) in
+  Alcotest.(check int64) "split deterministic" v1 (Prng.next_int64 d)
+
+let prng_range_prop =
+  QCheck.Test.make ~name:"prng int/float stay in range" ~count:500
+    QCheck.(pair (int_bound 60) small_int)
+    (fun (seed, bound) ->
+      let bound = bound + 1 in
+      let p = Prng.create ~seed:(Int64.of_int seed) in
+      let i = Prng.int p bound in
+      let f = Prng.float p (float_of_int bound) in
+      i >= 0 && i < bound && f >= 0.0 && f < float_of_int bound)
+
+let prng_shuffle_prop =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair (small_list int) int)
+    (fun (l, seed) ->
+      let arr = Array.of_list l in
+      Prng.shuffle (Prng.create ~seed:(Int64.of_int seed)) arr;
+      List.sort compare (Array.to_list arr) = List.sort compare l)
+
+let test_prng_exponential_mean () =
+  let p = Prng.create ~seed:42L in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Prng.exponential p ~mean:5.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean within 5%" true (Float.abs (mean -. 5.0) < 0.25)
+
+(* ------------------------------------------------------------------ *)
+(* Pheap *)
+
+let pheap_sorted_prop =
+  QCheck.Test.make ~name:"pheap pops keys in order" ~count:300
+    QCheck.(small_list (pair (int_bound 1000) unit))
+    (fun l ->
+      let h = Pheap.create () in
+      List.iteri (fun i (k, ()) -> Pheap.add h ~key:(Int64.of_int k) ~seq:i k) l;
+      let rec drain acc = if Pheap.is_empty h then List.rev acc else drain (Pheap.pop h :: acc) in
+      drain [] = List.sort compare (List.map fst l))
+
+let test_pheap_fifo_at_same_key () =
+  let h = Pheap.create () in
+  List.iteri (fun i v -> Pheap.add h ~key:5L ~seq:i v) [ "a"; "b"; "c"; "d" ];
+  let out = List.init 4 (fun _ -> Pheap.pop h) in
+  Alcotest.(check (list string)) "fifo" [ "a"; "b"; "c"; "d" ] out
+
+let test_pheap_empty_pop () =
+  let h = Pheap.create () in
+  Alcotest.check_raises "pop empty" Not_found (fun () -> ignore (Pheap.pop (h : int Pheap.t)))
+
+(* ------------------------------------------------------------------ *)
+(* Sim *)
+
+let test_sim_sleep_ordering () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.spawn sim (fun () ->
+      Sim.sleep (Time.sec 2);
+      log := ("b", sec_f (Sim.now sim)) :: !log);
+  Sim.spawn sim (fun () ->
+      Sim.sleep (Time.sec 1);
+      log := ("a", sec_f (Sim.now sim)) :: !log);
+  Sim.run sim;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "wakeups in time order"
+    [ ("a", 1.0); ("b", 2.0) ]
+    (List.rev !log)
+
+let test_sim_fifo_same_instant () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Sim.spawn sim (fun () -> log := i :: !log)
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "spawn order preserved" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_sim_nested_spawn_and_clock () =
+  let sim = Sim.create () in
+  let finished = ref 0.0 in
+  Sim.spawn sim (fun () ->
+      Sim.sleep (Time.sec 1);
+      Sim.spawn sim (fun () ->
+          Sim.sleep (Time.sec 3);
+          finished := sec_f (Sim.now sim));
+      Sim.sleep (Time.sec 1));
+  Sim.run sim;
+  check_time "inner fiber time" 4.0 !finished
+
+let test_sim_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let h = Sim.schedule sim ~after:(Time.sec 1) (fun () -> fired := true) in
+  Sim.cancel h;
+  Sim.run sim;
+  Alcotest.(check bool) "cancelled event did not fire" false !fired
+
+let test_sim_run_until () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  Sim.spawn sim (fun () ->
+      for _ = 1 to 10 do
+        Sim.sleep (Time.sec 1);
+        incr count
+      done);
+  Sim.run_until sim (Time.of_sec_f 4.5);
+  Alcotest.(check int) "only events before limit" 4 !count;
+  check_time "clock set to limit" 4.5 (sec_f (Sim.now sim));
+  Sim.run sim;
+  Alcotest.(check int) "resumable" 10 !count
+
+let test_sim_deadlock_detection () =
+  let sim = Sim.create () in
+  Sim.spawn sim ~name:"stuck" (fun () -> Sim.suspend (fun _resume -> ()));
+  match Sim.run sim with
+  | () -> Alcotest.fail "expected Deadlock"
+  | exception Sim.Deadlock [ name ] ->
+    Alcotest.(check bool) "names the fiber" true (String.length name > 0 && String.sub name 0 5 = "stuck")
+  | exception Sim.Deadlock names ->
+    Alcotest.fail (Printf.sprintf "expected 1 stuck fiber, got %d" (List.length names))
+
+let test_sim_schedule_past_rejected () =
+  let sim = Sim.create () in
+  Sim.spawn sim (fun () ->
+      Sim.sleep (Time.sec 1);
+      Alcotest.check_raises "past" (Invalid_argument "Sim.schedule_at: time is in the past")
+        (fun () -> ignore (Sim.schedule_at sim Time.zero (fun () -> ()))));
+  Sim.run sim
+
+let test_sim_exception_propagates () =
+  let sim = Sim.create () in
+  Sim.spawn sim (fun () -> failwith "boom");
+  Alcotest.check_raises "fiber exception aborts run" (Failure "boom") (fun () -> Sim.run sim)
+
+let test_sim_determinism () =
+  let observe () =
+    let sim = Sim.create ~seed:9L () in
+    let log = Buffer.create 64 in
+    for i = 1 to 4 do
+      Sim.spawn sim (fun () ->
+          let d = Prng.int (Sim.prng sim) 1000 in
+          Sim.sleep (Time.ms d);
+          Buffer.add_string log (Printf.sprintf "%d@%f;" i (sec_f (Sim.now sim))))
+    done;
+    Sim.run sim;
+    Buffer.contents log
+  in
+  Alcotest.(check string) "identical replays" (observe ()) (observe ())
+
+(* ------------------------------------------------------------------ *)
+(* Ivar *)
+
+let test_ivar_fill_then_read () =
+  let sim = Sim.create () in
+  let iv = Ivar.create () in
+  Ivar.fill iv 42;
+  let got = ref 0 in
+  Sim.spawn sim (fun () -> got := Ivar.read iv);
+  Sim.run sim;
+  Alcotest.(check int) "read after fill" 42 !got
+
+let test_ivar_read_blocks () =
+  let sim = Sim.create () in
+  let iv = Ivar.create () in
+  let got = ref (0, 0.0) in
+  Sim.spawn sim (fun () ->
+      let v = Ivar.read iv in
+      got := (v, sec_f (Sim.now sim)));
+  Sim.spawn sim (fun () ->
+      Sim.sleep (Time.sec 3);
+      Ivar.fill iv 7);
+  Sim.run sim;
+  Alcotest.(check (pair int (float 1e-9))) "woken at fill time" (7, 3.0) !got
+
+let test_ivar_multiple_readers_fifo () =
+  let sim = Sim.create () in
+  let iv = Ivar.create () in
+  let log = ref [] in
+  for i = 1 to 3 do
+    Sim.spawn sim (fun () ->
+        ignore (Ivar.read iv);
+        log := i :: !log)
+  done;
+  Sim.spawn sim (fun () ->
+      Sim.sleep (Time.sec 1);
+      Ivar.fill iv ());
+  Sim.run sim;
+  Alcotest.(check (list int)) "readers woken in order" [ 1; 2; 3 ] (List.rev !log)
+
+let test_ivar_double_fill () =
+  let iv = Ivar.create () in
+  Ivar.fill iv 1;
+  Alcotest.(check bool) "fill_if_empty refuses" false (Ivar.fill_if_empty iv 2);
+  Alcotest.(check (option int)) "peek" (Some 1) (Ivar.peek iv);
+  Alcotest.check_raises "fill raises" (Invalid_argument "Ivar.fill: already full") (fun () ->
+      Ivar.fill iv 2)
+
+(* ------------------------------------------------------------------ *)
+(* Channel *)
+
+let test_channel_fifo () =
+  let sim = Sim.create () in
+  let ch = Channel.create () in
+  let out = ref [] in
+  Sim.spawn sim (fun () ->
+      for _ = 1 to 3 do
+        out := Channel.recv ch :: !out
+      done);
+  Sim.spawn sim (fun () ->
+      List.iter (Channel.send ch) [ "x"; "y"; "z" ]);
+  Sim.run sim;
+  Alcotest.(check (list string)) "fifo" [ "x"; "y"; "z" ] (List.rev !out)
+
+let test_channel_blocking_recv () =
+  let sim = Sim.create () in
+  let ch = Channel.create () in
+  let at = ref 0.0 in
+  Sim.spawn sim (fun () ->
+      ignore (Channel.recv ch);
+      at := sec_f (Sim.now sim));
+  Sim.spawn sim (fun () ->
+      Sim.sleep (Time.sec 5);
+      Channel.send ch ());
+  Sim.run sim;
+  check_time "recv completes at send time" 5.0 !at
+
+let test_channel_try_recv () =
+  let ch = Channel.create () in
+  Alcotest.(check (option int)) "empty" None (Channel.try_recv ch);
+  Channel.send ch 9;
+  Alcotest.(check (option int)) "one" (Some 9) (Channel.try_recv ch);
+  Alcotest.(check bool) "empty again" true (Channel.is_empty ch)
+
+(* ------------------------------------------------------------------ *)
+(* Semaphore *)
+
+let test_semaphore_mutex () =
+  let sim = Sim.create () in
+  let sem = Semaphore.create 1 in
+  let inside = ref 0 and max_inside = ref 0 in
+  for _ = 1 to 4 do
+    Sim.spawn sim (fun () ->
+        Semaphore.with_permit sem (fun () ->
+            incr inside;
+            if !inside > !max_inside then max_inside := !inside;
+            Sim.sleep (Time.sec 1);
+            decr inside))
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "never concurrent" 1 !max_inside;
+  check_time "serialised" 4.0 (sec_f (Sim.now sim))
+
+let test_semaphore_counting () =
+  let sim = Sim.create () in
+  let sem = Semaphore.create 2 in
+  Sim.spawn sim (fun () ->
+      Semaphore.acquire sem;
+      Semaphore.acquire sem;
+      Alcotest.(check bool) "exhausted" false (Semaphore.try_acquire sem);
+      Semaphore.release sem;
+      Alcotest.(check bool) "released" true (Semaphore.try_acquire sem));
+  Sim.run sim
+
+let test_semaphore_fifo_handoff () =
+  let sim = Sim.create () in
+  let sem = Semaphore.create 0 in
+  let order = ref [] in
+  for i = 1 to 3 do
+    Sim.spawn sim (fun () ->
+        Semaphore.acquire sem;
+        order := i :: !order)
+  done;
+  Sim.spawn sim (fun () ->
+      Sim.sleep (Time.sec 1);
+      for _ = 1 to 3 do
+        Semaphore.release sem
+      done);
+  Sim.run sim;
+  Alcotest.(check (list int)) "fifo handoff" [ 1; 2; 3 ] (List.rev !order)
+
+(* ------------------------------------------------------------------ *)
+(* Ps_resource *)
+
+let test_ps_single_task_exact () =
+  let sim = Sim.create () in
+  let cpu = Ps_resource.create sim ~name:"cpu" ~capacity:8.0 in
+  let finished = ref 0.0 in
+  Sim.spawn sim (fun () ->
+      Ps_resource.consume cpu ~demand:1.0 ~work:3.0;
+      finished := sec_f (Sim.now sim));
+  Sim.run sim;
+  check_time "1 core for 3 core-sec = 3 s" 3.0 !finished
+
+let test_ps_overcommit_halves_rate () =
+  (* 16 unit-demand tasks on 8 cores: everyone runs at 0.5. *)
+  let sim = Sim.create () in
+  let cpu = Ps_resource.create sim ~name:"cpu" ~capacity:8.0 in
+  let finish = Array.make 16 0.0 in
+  for i = 0 to 15 do
+    Sim.spawn sim (fun () ->
+        Ps_resource.consume cpu ~demand:1.0 ~work:5.0;
+        finish.(i) <- sec_f (Sim.now sim))
+  done;
+  Sim.run sim;
+  Array.iter (fun f -> check_time "5 core-sec at rate 0.5" 10.0 f) finish
+
+let test_ps_waterfill_mixed_demands () =
+  (* cap 2.0, demands [0.5; 1.0; 1.0]: the small task gets 0.5 and the two
+     big ones split the rest at 0.75 each. *)
+  let sim = Sim.create () in
+  let cpu = Ps_resource.create sim ~name:"cpu" ~capacity:2.0 in
+  let t_small = ref 0.0 and t_big = ref 0.0 in
+  Sim.spawn sim (fun () ->
+      Ps_resource.consume cpu ~demand:0.5 ~work:1.0;
+      t_small := sec_f (Sim.now sim));
+  Sim.spawn sim (fun () ->
+      Ps_resource.consume cpu ~demand:1.0 ~work:1.5;
+      t_big := sec_f (Sim.now sim));
+  Sim.spawn sim (fun () ->
+      Ps_resource.consume cpu ~demand:1.0 ~work:4.5;
+      ());
+  Sim.run sim;
+  check_time "small task unimpeded" 2.0 !t_small;
+  check_time "big task at 0.75" 2.0 !t_big
+
+let test_ps_dynamic_join () =
+  (* Task A alone for 1 s at rate 1, then B joins; on capacity 1 they share
+     at 0.5. A has 1 unit left -> finishes at 1 + 2 = 3 s. *)
+  let sim = Sim.create () in
+  let cpu = Ps_resource.create sim ~name:"cpu" ~capacity:1.0 in
+  let t_a = ref 0.0 in
+  Sim.spawn sim (fun () ->
+      Ps_resource.consume cpu ~demand:1.0 ~work:2.0;
+      t_a := sec_f (Sim.now sim));
+  Sim.spawn sim (fun () ->
+      Sim.sleep (Time.sec 1);
+      Ps_resource.consume cpu ~demand:1.0 ~work:2.0);
+  Sim.run sim;
+  check_time "join slows the first task" 3.0 !t_a;
+  (* B: 1 unit done while sharing (t=1..3), 1 unit alone -> ends at 4 s. *)
+  check_time "whole run" 4.0 (sec_f (Sim.now sim))
+
+let test_ps_capacity_change () =
+  let sim = Sim.create () in
+  let cpu = Ps_resource.create sim ~name:"cpu" ~capacity:2.0 in
+  let t_done = ref 0.0 in
+  Sim.spawn sim (fun () ->
+      Ps_resource.consume cpu ~demand:2.0 ~work:4.0;
+      t_done := sec_f (Sim.now sim));
+  Sim.spawn sim (fun () ->
+      Sim.sleep (Time.sec 1);
+      Ps_resource.set_capacity cpu 1.0);
+  Sim.run sim;
+  (* 1 s at rate 2 (2 done), then 2 remaining at rate 1 -> ends at 3 s. *)
+  check_time "capacity drop honoured" 3.0 !t_done
+
+let test_ps_cancel () =
+  let sim = Sim.create () in
+  let cpu = Ps_resource.create sim ~name:"cpu" ~capacity:1.0 in
+  let woke = ref 0.0 in
+  Sim.spawn sim (fun () ->
+      let task = Ps_resource.start cpu ~demand:1.0 ~work:100.0 in
+      Sim.spawn sim (fun () ->
+          Sim.sleep (Time.sec 2);
+          Ps_resource.cancel cpu task);
+      Ps_resource.await task;
+      woke := sec_f (Sim.now sim));
+  Sim.run sim;
+  check_time "cancel wakes waiter" 2.0 !woke;
+  Alcotest.(check int) "no active tasks" 0 (Ps_resource.active cpu)
+
+let test_ps_zero_work () =
+  let sim = Sim.create () in
+  let cpu = Ps_resource.create sim ~name:"cpu" ~capacity:1.0 in
+  let ok = ref false in
+  Sim.spawn sim (fun () ->
+      Ps_resource.consume cpu ~demand:1.0 ~work:0.0;
+      ok := true);
+  Sim.run sim;
+  Alcotest.(check bool) "zero work completes" true !ok
+
+let ps_work_conservation_prop =
+  (* Total completion time of n equal tasks = total work / min(capacity,
+     total demand): processor sharing conserves work. *)
+  QCheck.Test.make ~name:"ps conserves work" ~count:100
+    QCheck.(pair (int_range 1 12) (int_range 1 8))
+    (fun (n, cap) ->
+      let sim = Sim.create () in
+      let cpu = Ps_resource.create sim ~name:"cpu" ~capacity:(float_of_int cap) in
+      let work = 4.0 in
+      for _ = 1 to n do
+        Sim.spawn sim (fun () -> Ps_resource.consume cpu ~demand:1.0 ~work)
+      done;
+      Sim.run sim;
+      let expected = float_of_int n *. work /. Float.min (float_of_int cap) (float_of_int n) in
+      Float.abs (sec_f (Sim.now sim) -. expected) < 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let test_trace_records_and_filter () =
+  let sim = Sim.create () in
+  let trace = Trace.create sim in
+  Sim.spawn sim (fun () ->
+      Trace.record trace ~category:"vmm" "start";
+      Sim.sleep (Time.sec 2);
+      Trace.recordf trace ~category:"mpi" "rank %d done" 3);
+  Sim.run sim;
+  let all = Trace.records trace in
+  Alcotest.(check int) "two records" 2 (List.length all);
+  (match all with
+  | [ a; b ] ->
+    check_time "first at 0" 0.0 (sec_f a.Trace.at);
+    check_time "second at 2" 2.0 (sec_f b.Trace.at);
+    Alcotest.(check string) "formatted" "rank 3 done" b.Trace.message
+  | _ -> Alcotest.fail "unexpected shape");
+  Alcotest.(check int) "filter" 1 (List.length (Trace.by_category trace "mpi"))
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "ninja_engine"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "units" `Quick test_time_units;
+          Alcotest.test_case "arith" `Quick test_time_arith;
+          Alcotest.test_case "pp" `Quick test_time_pp;
+          Alcotest.test_case "invalid" `Quick test_time_invalid;
+        ] );
+      ( "prng",
+        Alcotest.test_case "deterministic" `Quick test_prng_deterministic
+        :: Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity
+        :: Alcotest.test_case "split independence" `Quick test_prng_split_independent
+        :: Alcotest.test_case "exponential mean" `Quick test_prng_exponential_mean
+        :: qsuite [ prng_range_prop; prng_shuffle_prop ] );
+      ( "pheap",
+        Alcotest.test_case "fifo at same key" `Quick test_pheap_fifo_at_same_key
+        :: Alcotest.test_case "pop empty" `Quick test_pheap_empty_pop
+        :: qsuite [ pheap_sorted_prop ] );
+      ( "sim",
+        [
+          Alcotest.test_case "sleep ordering" `Quick test_sim_sleep_ordering;
+          Alcotest.test_case "fifo same instant" `Quick test_sim_fifo_same_instant;
+          Alcotest.test_case "nested spawn clock" `Quick test_sim_nested_spawn_and_clock;
+          Alcotest.test_case "cancel" `Quick test_sim_cancel;
+          Alcotest.test_case "run_until resumable" `Quick test_sim_run_until;
+          Alcotest.test_case "deadlock detection" `Quick test_sim_deadlock_detection;
+          Alcotest.test_case "schedule in past" `Quick test_sim_schedule_past_rejected;
+          Alcotest.test_case "exception propagates" `Quick test_sim_exception_propagates;
+          Alcotest.test_case "deterministic replay" `Quick test_sim_determinism;
+        ] );
+      ( "ivar",
+        [
+          Alcotest.test_case "fill then read" `Quick test_ivar_fill_then_read;
+          Alcotest.test_case "read blocks" `Quick test_ivar_read_blocks;
+          Alcotest.test_case "readers fifo" `Quick test_ivar_multiple_readers_fifo;
+          Alcotest.test_case "double fill" `Quick test_ivar_double_fill;
+        ] );
+      ( "channel",
+        [
+          Alcotest.test_case "fifo" `Quick test_channel_fifo;
+          Alcotest.test_case "blocking recv" `Quick test_channel_blocking_recv;
+          Alcotest.test_case "try_recv" `Quick test_channel_try_recv;
+        ] );
+      ( "semaphore",
+        [
+          Alcotest.test_case "mutex" `Quick test_semaphore_mutex;
+          Alcotest.test_case "counting" `Quick test_semaphore_counting;
+          Alcotest.test_case "fifo handoff" `Quick test_semaphore_fifo_handoff;
+        ] );
+      ( "ps_resource",
+        Alcotest.test_case "single exact" `Quick test_ps_single_task_exact
+        :: Alcotest.test_case "overcommit" `Quick test_ps_overcommit_halves_rate
+        :: Alcotest.test_case "waterfill mixed" `Quick test_ps_waterfill_mixed_demands
+        :: Alcotest.test_case "dynamic join" `Quick test_ps_dynamic_join
+        :: Alcotest.test_case "capacity change" `Quick test_ps_capacity_change
+        :: Alcotest.test_case "cancel" `Quick test_ps_cancel
+        :: Alcotest.test_case "zero work" `Quick test_ps_zero_work
+        :: qsuite [ ps_work_conservation_prop ] );
+      ("trace", [ Alcotest.test_case "records and filter" `Quick test_trace_records_and_filter ]);
+    ]

@@ -1,0 +1,209 @@
+(* Tests for the experiment harness: every reproduced table/figure runs in
+   quick mode, produces well-formed tables, and matches the paper's shape
+   claims (who wins, what is constant, what scales). *)
+
+open Ninja_experiments
+
+let cell table r c = List.nth (List.nth (Ninja_metrics.Table.rows table) r) c
+
+let float_cell table r c =
+  (* Cells may look like "3.92" or "29.5 (53.7)". *)
+  Scanf.sscanf (cell table r c) "%f" Fun.id
+
+let test_registry_complete () =
+  Alcotest.(check (list string)) "all experiments present"
+    [
+      "table1"; "table2"; "fig6"; "fig7"; "fig8";
+      "ablation-bypass"; "ablation-rdma"; "ablation-quiesce"; "ablation-postcopy";
+      "scalability"; "power";
+    ]
+    Registry.names;
+  Alcotest.(check bool) "find" true (Registry.find "fig6" <> None);
+  Alcotest.(check bool) "find missing" true (Registry.find "fig9" = None)
+
+let test_table1_static () =
+  match Exp_table1.run () with
+  | [ spec; model ] ->
+    Alcotest.(check int) "9 spec rows" 9 (List.length (Ninja_metrics.Table.rows spec));
+    Alcotest.(check bool) "model rows present" true
+      (List.length (Ninja_metrics.Table.rows model) >= 8)
+  | _ -> Alcotest.fail "expected two tables"
+
+let test_table2_matches_paper () =
+  match Exp_table2.run Exp_common.Quick with
+  | [ table ] ->
+    let rows = Ninja_metrics.Table.rows table in
+    Alcotest.(check int) "four combos" 4 (List.length rows);
+    List.iteri
+      (fun i combo ->
+        let paper_h = Paper_data.table2_hotplug combo in
+        let ours_h = float_cell table i 2 in
+        let paper_l = Paper_data.table2_linkup combo in
+        let ours_l = float_cell table i 4 in
+        if Float.abs (paper_h -. ours_h) > 0.15 then
+          Alcotest.failf "%s hotplug: paper %.2f vs ours %.2f" (Paper_data.combo_name combo)
+            paper_h ours_h;
+        if Float.abs (paper_l -. ours_l) > 0.5 then
+          Alcotest.failf "%s linkup: paper %.2f vs ours %.2f" (Paper_data.combo_name combo)
+            paper_l ours_l)
+      Paper_data.combos
+  | _ -> Alcotest.fail "expected one table"
+
+let test_fig6_shape () =
+  let r2 = Exp_fig6.measure ~size_gb:2.0 in
+  let r16 = Exp_fig6.measure ~size_gb:16.0 in
+  (* Migration depends on the footprint... *)
+  Alcotest.(check bool) "migration grows with footprint" true
+    (r16.Exp_fig6.migration > r2.Exp_fig6.migration);
+  (* ...but not proportionally (constant traversal + zero-page scan). *)
+  Alcotest.(check bool) "sub-proportional" true
+    (r16.Exp_fig6.migration /. r2.Exp_fig6.migration < 8.0 /. 2.0);
+  (* Hotplug and link-up are size-independent. *)
+  Alcotest.(check bool) "hotplug constant" true
+    (Float.abs (r16.Exp_fig6.hotplug -. r2.Exp_fig6.hotplug) < 0.5);
+  Alcotest.(check bool) "linkup constant ~30s" true
+    (Float.abs (r16.Exp_fig6.linkup -. 29.9) < 1.0
+    && Float.abs (r2.Exp_fig6.linkup -. 29.9) < 1.0);
+  (* Hotplug is ~3x the Table II self-migration value (migration noise). *)
+  Alcotest.(check bool) "migration noise ~3x" true
+    (r2.Exp_fig6.hotplug > 2.5 *. 3.88 && r2.Exp_fig6.hotplug < 4.0 *. 3.88)
+
+let test_fig7_claims () =
+  (* Quick mode: class C at 4 ranks; the structural claims must hold. *)
+  let rows = List.map (Exp_fig7.measure Exp_common.Quick) Ninja_workloads.Npb.all in
+  List.iter
+    (fun r ->
+      (* Proposed = baseline + overhead; overhead within sane bounds. *)
+      let overhead = r.Exp_fig7.proposed -. r.Exp_fig7.baseline in
+      if overhead < 30.0 || overhead > 120.0 then
+        Alcotest.failf "%s: odd overhead %.1f" r.Exp_fig7.kernel overhead;
+      Alcotest.(check bool) "linkup constant" true (Float.abs (r.Exp_fig7.linkup -. 29.9) < 1.0))
+    rows;
+  (* Migration time tracks the per-VM footprint: FT > BT > LU > CG. *)
+  let m k = (List.find (fun r -> r.Exp_fig7.kernel = k) rows).Exp_fig7.migration in
+  Alcotest.(check bool) "FT largest" true (m "FT" > m "BT" && m "BT" > m "LU" && m "LU" > m "CG")
+
+let test_fig8_phases () =
+  let rows = Exp_fig8.measure Exp_common.Quick ~procs_per_vm:1 in
+  Alcotest.(check int) "40 steps" 40 (List.length rows);
+  let mean phase exclude =
+    let xs =
+      rows
+      |> List.filter (fun r -> r.Exp_fig8.phase = phase && not (List.mem r.Exp_fig8.step exclude))
+      |> List.map (fun r -> r.Exp_fig8.elapsed)
+    in
+    Ninja_metrics.Stats.mean xs
+  in
+  let ib = mean "4 hosts (IB)" [ 21 ] in
+  let tcp2 = mean "2 hosts (TCP)" [ 11 ] in
+  let tcp4 = mean "4 hosts (TCP)" [ 31 ] in
+  (* Interconnect ordering: IB fastest; consolidated TCP slowest. *)
+  Alcotest.(check bool) "IB fastest" true (ib < tcp4);
+  Alcotest.(check bool) "consolidation costs" true (tcp2 > tcp4);
+  (* Migration steps carry visible overhead. *)
+  List.iter
+    (fun step ->
+      let r = List.find (fun r -> r.Exp_fig8.step = step) rows in
+      Alcotest.(check bool) "overhead recorded" true (r.Exp_fig8.overhead > 5.0);
+      Alcotest.(check bool) "spike visible" true (r.Exp_fig8.elapsed > 2.0 *. ib))
+    [ 11; 21; 31 ]
+
+let test_fig8_more_procs_faster_on_ib () =
+  (* Paper: 8 procs/VM beats 1 proc/VM except under consolidation. *)
+  let r1 = Exp_fig8.measure Exp_common.Quick ~procs_per_vm:1 in
+  let r8 = Exp_fig8.measure Exp_common.Quick ~procs_per_vm:8 in
+  let mean rows phase exclude =
+    rows
+    |> List.filter (fun r -> r.Exp_fig8.phase = phase && not (List.mem r.Exp_fig8.step exclude))
+    |> List.map (fun r -> r.Exp_fig8.elapsed)
+    |> Ninja_metrics.Stats.mean
+  in
+  Alcotest.(check bool) "8 procs faster on IB" true
+    (mean r8 "4 hosts (IB)" [ 21 ] < mean r1 "4 hosts (IB)" [ 21 ]);
+  (* The consolidated phase pays CPU over-commit relative to spread TCP. *)
+  Alcotest.(check bool) "8b consolidation contention" true
+    (mean r8 "2 hosts (TCP)" [ 11 ] > 1.5 *. mean r8 "4 hosts (TCP)" [ 31 ])
+
+let test_ablation_bypass_ordering () =
+  match Exp_ablation.bypass Exp_common.Quick with
+  | [ table ] ->
+    let tp r = float_cell table r 1 in
+    let ft r = float_cell table r 3 in
+    Alcotest.(check bool) "throughput: ib > virtio > emulated" true
+      (tp 0 > tp 1 && tp 1 > tp 2);
+    Alcotest.(check bool) "FT time: ib < virtio < emulated" true (ft 0 < ft 1 && ft 1 < ft 2)
+  | _ -> Alcotest.fail "expected one table"
+
+let test_ablation_rdma_speedup () =
+  match Exp_ablation.rdma_migration Exp_common.Quick with
+  | [ table ] ->
+    let speedup = float_cell table 0 3 in
+    Alcotest.(check bool) "rdma sender 2-3x" true (speedup > 1.5 && speedup < 4.0)
+  | _ -> Alcotest.fail "expected one table"
+
+let test_ablation_postcopy_tradeoff () =
+  match Exp_ablation.postcopy Exp_common.Quick with
+  | [ table ] ->
+    let pre_bytes = float_cell table 0 3 and post_bytes = float_cell table 1 3 in
+    let pre_dur = float_cell table 0 1 and post_dur = float_cell table 1 1 in
+    let pre_work = float_cell table 0 4 and post_work = float_cell table 1 4 in
+    Alcotest.(check bool) "postcopy sends each page once" true (post_bytes < 0.5 *. pre_bytes);
+    Alcotest.(check bool) "postcopy migration shorter" true (post_dur < pre_dur);
+    Alcotest.(check bool) "but the guest pays fault slowdown" true (post_work > pre_work)
+  | _ -> Alcotest.fail "expected one table"
+
+let test_scalability_congestion () =
+  (* Below the uplink's capacity migrations run at the sender rate; well
+     above it they stretch while hotplug stays constant. *)
+  let r1 = Exp_scalability.measure ~n_vms:1 ~uplink_gbps:10.0 in
+  let r8 = Exp_scalability.measure ~n_vms:8 ~uplink_gbps:10.0 in
+  Alcotest.(check bool) "8 VMs congested" true
+    (r8.Exp_scalability.migration > 1.3 *. r1.Exp_scalability.migration);
+  Alcotest.(check bool) "per-VM rate drops" true
+    (r8.Exp_scalability.per_vm_rate < r1.Exp_scalability.per_vm_rate);
+  Alcotest.(check (float 0.2)) "hotplug unaffected" r1.Exp_scalability.hotplug
+    r8.Exp_scalability.hotplug
+
+let test_power_consolidation () =
+  (* Consolidation saves energy for the under-utilised job and costs
+     energy for the CPU-bound one (you cannot power-save a busy host). *)
+  let spread_idle = Exp_power.measure ~consolidated:false ~busy:false in
+  let cons_idle = Exp_power.measure ~consolidated:true ~busy:false in
+  let spread_busy = Exp_power.measure ~consolidated:false ~busy:true in
+  let cons_busy = Exp_power.measure ~consolidated:true ~busy:true in
+  Alcotest.(check bool) "under-utilised: consolidation saves energy" true
+    (cons_idle.Exp_power.energy_kj < spread_idle.Exp_power.energy_kj);
+  Alcotest.(check bool) "CPU-bound: consolidation wastes energy" true
+    (cons_busy.Exp_power.energy_kj > spread_busy.Exp_power.energy_kj);
+  Alcotest.(check bool) "CPU-bound: consolidation ~2x slower" true
+    (cons_busy.Exp_power.duration > 1.7 *. spread_busy.Exp_power.duration)
+
+let test_ablation_quiesce_contrast () =
+  match Exp_ablation.quiesce Exp_common.Quick with
+  | [ table ] ->
+    let frozen_bytes = float_cell table 0 3 and live_bytes = float_cell table 1 3 in
+    let frozen_passes = float_cell table 0 2 and live_passes = float_cell table 1 2 in
+    Alcotest.(check bool) "live sends more" true (live_bytes > 1.5 *. frozen_bytes);
+    Alcotest.(check bool) "live needs more passes" true (live_passes > frozen_passes)
+  | _ -> Alcotest.fail "expected one table"
+
+let () =
+  Alcotest.run "ninja_experiments"
+    [
+      ( "experiments",
+        [
+          Alcotest.test_case "registry" `Quick test_registry_complete;
+          Alcotest.test_case "table1" `Quick test_table1_static;
+          Alcotest.test_case "table2 vs paper" `Quick test_table2_matches_paper;
+          Alcotest.test_case "fig6 shape" `Quick test_fig6_shape;
+          Alcotest.test_case "fig7 claims" `Slow test_fig7_claims;
+          Alcotest.test_case "fig8 phases" `Quick test_fig8_phases;
+          Alcotest.test_case "fig8 procs/VM" `Quick test_fig8_more_procs_faster_on_ib;
+          Alcotest.test_case "ablation bypass" `Quick test_ablation_bypass_ordering;
+          Alcotest.test_case "ablation rdma" `Quick test_ablation_rdma_speedup;
+          Alcotest.test_case "ablation quiesce" `Quick test_ablation_quiesce_contrast;
+          Alcotest.test_case "ablation postcopy" `Quick test_ablation_postcopy_tradeoff;
+          Alcotest.test_case "scalability congestion" `Quick test_scalability_congestion;
+          Alcotest.test_case "power consolidation" `Slow test_power_consolidation;
+        ] );
+    ]

@@ -1,0 +1,139 @@
+(* Tests for the fault-tolerance runtime: periodic coordinated snapshots
+   and restart-from-image on replacement hosts (paper section II). *)
+
+open Ninja_engine
+open Ninja_hardware
+open Ninja_vmm
+open Ninja_mpi
+open Ninja_core
+open Ninja_ft
+
+let setup () =
+  let sim = Sim.create () in
+  let cluster = Cluster.create sim ~spec:Spec.agc () in
+  let store = Snapshot.create_store cluster in
+  (sim, cluster, store)
+
+let hosts cluster prefix n =
+  List.init n (fun i -> Cluster.find_node cluster (Printf.sprintf "%s%02d" prefix i))
+
+let spec ?(iterations = 30) ?(checkpoint_every = 5) () =
+  {
+    Ft_runtime.procs_per_vm = 2;
+    iterations;
+    checkpoint_every;
+    step =
+      (fun ctx _i ->
+        Mpi.compute ctx ~seconds:0.5;
+        Mpi.allreduce ctx ~bytes:1.0e6);
+  }
+
+let test_periodic_checkpoints () =
+  let sim, cluster, store = setup () in
+  let ft = Ft_runtime.start cluster ~store ~hosts:(hosts cluster "ib" 2) (spec ()) in
+  Sim.spawn sim (fun () -> Ft_runtime.await ft);
+  Sim.run sim;
+  Alcotest.(check bool) "finished" true (Ft_runtime.is_finished ft);
+  Alcotest.(check int) "all iterations" 30 (Ft_runtime.completed_iterations ft);
+  (match Ft_runtime.last_checkpoint ft with
+  | Some (iter, snaps) ->
+    Alcotest.(check int) "one snapshot per VM" 2 (List.length snaps);
+    Alcotest.(check bool) "a late multiple-of-5 fence" true (iter >= 20 && iter < 30)
+  | None -> Alcotest.fail "no checkpoint recorded");
+  (* Every iteration ran exactly once — no failures, no rework. *)
+  for i = 1 to 30 do
+    Alcotest.(check int) (Printf.sprintf "iteration %d once" i) 1 (Ft_runtime.executions_of ft i)
+  done
+
+let test_restart_from_checkpoint () =
+  let sim, cluster, store = setup () in
+  let ib = hosts cluster "ib" 2 and eth = hosts cluster "eth" 2 in
+  let ft = Ft_runtime.start cluster ~store ~hosts:ib (spec ()) in
+  Sim.spawn sim (fun () ->
+      (* Let it get past a couple of checkpoints (~0.5 s/iteration plus
+         checkpoint stalls), then lose the InfiniBand data center. *)
+      Sim.sleep (Time.sec 30);
+      let before = Ft_runtime.completed_iterations ft in
+      Alcotest.(check bool) "failure mid-run" true (before > 5 && before < 30);
+      Ft_runtime.fail_and_restart ft ~new_hosts:eth;
+      Ft_runtime.await ft);
+  Sim.run sim;
+  Alcotest.(check bool) "finished after restart" true (Ft_runtime.is_finished ft);
+  Alcotest.(check int) "completed everything" 30 (Ft_runtime.completed_iterations ft);
+  Alcotest.(check int) "second incarnation" 1 (Ft_runtime.incarnation ft);
+  (* The new incarnation lives on the Ethernet cluster. *)
+  List.iter
+    (fun vm -> Alcotest.(check int) "on rack 1" 1 (Vm.host vm).Node.rack)
+    (Ninja.vms (Ft_runtime.ninja ft));
+  (* Work since the last checkpoint was re-executed; nothing was skipped. *)
+  let reexecuted =
+    List.exists (fun i -> Ft_runtime.executions_of ft i >= 2) (List.init 30 (fun i -> i + 1))
+  in
+  Alcotest.(check bool) "some rework (checkpoint interval lost)" true reexecuted;
+  for i = 1 to 30 do
+    Alcotest.(check bool)
+      (Printf.sprintf "iteration %d ran" i)
+      true
+      (Ft_runtime.executions_of ft i >= 1)
+  done
+
+let test_restart_back_to_ib_restores_openib () =
+  (* Restart onto IB hosts: the HCAs are re-attached and the job ends up
+     back on openib after link training. *)
+  let sim, cluster, store = setup () in
+  let ib01 = hosts cluster "ib" 2 in
+  let ib2 =
+    [ Cluster.find_node cluster "ib02"; Cluster.find_node cluster "ib03" ]
+  in
+  let transport = ref None in
+  let spec =
+    {
+      Ft_runtime.procs_per_vm = 1;
+      iterations = 40;
+      checkpoint_every = 5;
+      step =
+        (fun ctx _ ->
+          Mpi.compute ctx ~seconds:0.5;
+          Mpi.allreduce ctx ~bytes:1.0e6;
+          if Mpi.rank ctx = 0 then transport := Mpi.current_transport ctx ~peer:1);
+    }
+  in
+  let ft = Ft_runtime.start cluster ~store ~hosts:ib01 spec in
+  Sim.spawn sim (fun () ->
+      (* Past the first checkpoint (the 2x ~2.3 GB snapshot streams take
+         ~12 s on the NFS path). *)
+      Sim.sleep (Time.sec 20);
+      Ft_runtime.fail_and_restart ft ~new_hosts:ib2;
+      Ft_runtime.await ft);
+  Sim.run sim;
+  Alcotest.(check bool) "finished" true (Ft_runtime.is_finished ft);
+  Alcotest.(check (option string)) "openib restored after restart" (Some "openib")
+    (Option.map Btl.kind_name !transport)
+
+let test_restart_without_checkpoint_fails () =
+  let sim, cluster, store = setup () in
+  let ft =
+    Ft_runtime.start cluster ~store ~hosts:(hosts cluster "ib" 2)
+      (spec ~iterations:100 ~checkpoint_every:90 ())
+  in
+  let failed = ref false in
+  Sim.spawn sim (fun () ->
+      Sim.sleep (Time.sec 2);
+      (match Ft_runtime.fail_and_restart ft ~new_hosts:(hosts cluster "eth" 2) with
+      | () -> ()
+      | exception Failure _ -> failed := true);
+      Ft_runtime.await ft);
+  Sim.run sim;
+  Alcotest.(check bool) "refused without stable checkpoint" true !failed
+
+let () =
+  Alcotest.run "ninja_ft"
+    [
+      ( "ft",
+        [
+          Alcotest.test_case "periodic checkpoints" `Quick test_periodic_checkpoints;
+          Alcotest.test_case "restart from checkpoint" `Quick test_restart_from_checkpoint;
+          Alcotest.test_case "restart back to IB" `Quick test_restart_back_to_ib_restores_openib;
+          Alcotest.test_case "no checkpoint -> refuse" `Quick test_restart_without_checkpoint_fails;
+        ] );
+    ]

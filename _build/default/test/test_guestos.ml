@@ -1,0 +1,161 @@
+(* Tests for the guest OS device manager and link-state machines. *)
+
+open Ninja_engine
+open Ninja_hardware
+open Ninja_vmm
+open Ninja_guestos
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let setup () =
+  let sim = Sim.create () in
+  let cluster = Cluster.create sim ~spec:Spec.small () in
+  let vm =
+    Vm.create cluster ~name:"vm0" ~host:(Cluster.find_node cluster "ib00") ~vcpus:8
+      ~mem_bytes:(Units.gb 20.0) ()
+  in
+  (sim, cluster, vm)
+
+let hca () = Device.make ~tag:"vf0" ~pci_addr:"04:00.0" Device.Ib_hca
+
+let test_boot_binds_existing () =
+  let _, _, vm = setup () in
+  let guest = Guest.boot vm in
+  Alcotest.(check int) "virtio driver bound" 1 (List.length (Guest.drivers guest));
+  match Guest.find_driver guest ~kind:Device.Virtio_net with
+  | None -> Alcotest.fail "no virtio driver"
+  | Some d -> Alcotest.(check bool) "active at boot" true (Link_state.equal (Guest.link d) Link_state.Active)
+
+let test_ib_linkup_takes_30s () =
+  let sim, _, vm = setup () in
+  let guest = Guest.boot vm in
+  let t_active = ref 0.0 in
+  Sim.spawn sim (fun () ->
+      ignore (Hotplug.device_add vm ~device:(hca ()) ());
+      let t_attached = Time.to_sec_f (Sim.now sim) in
+      (match Guest.find_driver guest ~kind:Device.Ib_hca with
+      | Some d ->
+        Alcotest.(check bool) "polling after attach" true
+          (Link_state.equal (Guest.link d) Link_state.Polling)
+      | None -> Alcotest.fail "driver not bound");
+      Guest.await_link_active guest Device.Ib_hca;
+      t_active := Time.to_sec_f (Sim.now sim) -. t_attached);
+  Sim.run sim;
+  check_float "ib polling ~29.85 s" (Time.to_sec_f Calibration.linkup_ib) !t_active
+
+let test_eth_linkup_immediate () =
+  let sim, _, vm = setup () in
+  let guest = Guest.boot vm in
+  let elapsed = ref (-1.0) in
+  Sim.spawn sim (fun () ->
+      let nic = Device.make ~tag:"virtio1" ~pci_addr:"00:04.0" Device.Virtio_net in
+      ignore (Hotplug.device_add vm ~device:nic ());
+      let t0 = Time.to_sec_f (Sim.now sim) in
+      Guest.await_link_active guest Device.Virtio_net;
+      elapsed := Time.to_sec_f (Sim.now sim) -. t0);
+  Sim.run sim;
+  check_float "virtio up immediately" 0.0 !elapsed
+
+let test_detach_downs_link () =
+  let sim, _, vm = setup () in
+  let guest = Guest.boot vm in
+  Sim.spawn sim (fun () ->
+      ignore (Hotplug.device_add vm ~device:(hca ()) ());
+      Guest.await_link_active guest Device.Ib_hca;
+      ignore (Hotplug.device_del vm ~tag:"vf0" ());
+      Alcotest.(check bool) "driver unbound" true
+        (Guest.find_driver guest ~kind:Device.Ib_hca = None));
+  Sim.run sim
+
+let test_detach_before_linkup () =
+  (* Detaching while still POLLING must not leave a ghost ACTIVE event. *)
+  let sim, _, vm = setup () in
+  let guest = Guest.boot vm in
+  Sim.spawn sim (fun () ->
+      ignore (Hotplug.device_add vm ~device:(hca ()) ());
+      Sim.sleep (Time.sec 5);
+      ignore (Hotplug.device_del vm ~tag:"vf0" ());
+      Sim.sleep (Time.sec 60);
+      Alcotest.(check bool) "no ib in usable kinds" true
+        (not (List.mem Device.Ib_hca (Guest.usable_kinds guest))));
+  Sim.run sim
+
+let test_usable_kinds_ordering () =
+  let sim, _, vm = setup () in
+  let guest = Guest.boot vm in
+  Sim.spawn sim (fun () ->
+      ignore (Hotplug.device_add vm ~device:(hca ()) ());
+      Guest.await_link_active guest Device.Ib_hca;
+      match Guest.usable_kinds guest with
+      | Device.Ib_hca :: Device.Virtio_net :: _ -> ()
+      | kinds ->
+        Alcotest.failf "expected ib first, got [%s]"
+          (String.concat "; " (List.map Device.kind_name kinds)));
+  Sim.run sim
+
+let test_link_change_hook () =
+  let sim, _, vm = setup () in
+  let guest = Guest.boot vm in
+  let events = ref [] in
+  Guest.on_link_change guest (fun d ->
+      events :=
+        Format.asprintf "%s:%a" (Guest.device d).Device.tag Link_state.pp (Guest.link d)
+        :: !events);
+  Sim.spawn sim (fun () ->
+      ignore (Hotplug.device_add vm ~device:(hca ()) ());
+      Sim.sleep (Time.minutes 1);
+      ignore (Hotplug.device_del vm ~tag:"vf0" ()));
+  Sim.run sim;
+  Alcotest.(check (list string)) "active then down" [ "vf0:active"; "vf0:down" ] (List.rev !events)
+
+let test_reattach_cycle () =
+  (* Full fallback/recovery device cycle: attach, up, detach, re-attach,
+     up again — what each VM's guest sees across Fig. 2's four phases. *)
+  let sim, _, vm = setup () in
+  let guest = Guest.boot vm in
+  let cycles = ref 0 in
+  Sim.spawn sim (fun () ->
+      for _ = 1 to 3 do
+        ignore (Hotplug.device_add vm ~device:(hca ()) ());
+        Guest.await_link_active guest Device.Ib_hca;
+        incr cycles;
+        ignore (Hotplug.device_del vm ~tag:"vf0" ())
+      done);
+  Sim.run sim;
+  Alcotest.(check int) "three cycles" 3 !cycles
+
+let test_sysinfo () =
+  let sim, _, vm = setup () in
+  let guest = Guest.boot vm in
+  Sim.spawn sim (fun () ->
+      Alcotest.(check string) "ibstat without hca" "no InfiniBand devices" (Sysinfo.ibstat guest);
+      ignore (Hotplug.device_add vm ~device:(hca ()) ());
+      Alcotest.(check string) "polling after attach" "CA 'vf0': port 1 state POLLING"
+        (Sysinfo.ibstat guest);
+      Guest.await_link_active guest Device.Ib_hca;
+      Alcotest.(check string) "active after training" "CA 'vf0': port 1 state PORT_ACTIVE"
+        (Sysinfo.ibstat guest);
+      Alcotest.(check int) "lspci lists both devices" 2 (List.length (Sysinfo.lspci guest));
+      match Sysinfo.netdev_summary guest with
+      | [ ("virtio0", "virtio-net", "active"); ("vf0", "ib-hca", "active") ] -> ()
+      | other ->
+        Alcotest.failf "unexpected summary: %s"
+          (String.concat "; " (List.map (fun (a, b, c) -> a ^ "/" ^ b ^ "/" ^ c) other)));
+  Sim.run sim
+
+let () =
+  Alcotest.run "ninja_guestos"
+    [
+      ( "guest",
+        [
+          Alcotest.test_case "boot binds existing" `Quick test_boot_binds_existing;
+          Alcotest.test_case "ib linkup ~30s" `Quick test_ib_linkup_takes_30s;
+          Alcotest.test_case "eth linkup immediate" `Quick test_eth_linkup_immediate;
+          Alcotest.test_case "detach downs link" `Quick test_detach_downs_link;
+          Alcotest.test_case "detach before linkup" `Quick test_detach_before_linkup;
+          Alcotest.test_case "usable kinds ordering" `Quick test_usable_kinds_ordering;
+          Alcotest.test_case "link change hook" `Quick test_link_change_hook;
+          Alcotest.test_case "reattach cycle" `Quick test_reattach_cycle;
+          Alcotest.test_case "sysinfo tools" `Quick test_sysinfo;
+        ] );
+    ]

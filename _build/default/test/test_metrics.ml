@@ -1,0 +1,108 @@
+(* Tests for the metrics library: breakdowns, tables, stats. *)
+
+open Ninja_engine
+open Ninja_metrics
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let breakdown =
+  {
+    Breakdown.coordination = Time.of_sec_f 0.5;
+    detach = Time.of_sec_f 2.75;
+    migration = Time.of_sec_f 28.5;
+    attach = Time.of_sec_f 1.13;
+    linkup = Time.of_sec_f 29.85;
+    total = Time.of_sec_f 70.0;
+  }
+
+let test_breakdown_hotplug () =
+  check_float "hotplug = detach + attach" 3.88 (Time.to_sec_f (Breakdown.hotplug breakdown))
+
+let test_breakdown_overhead_sum () =
+  check_float "sum of segments" (0.5 +. 3.88 +. 28.5 +. 29.85)
+    (Time.to_sec_f (Breakdown.overhead_sum breakdown))
+
+let test_breakdown_add () =
+  let doubled = Breakdown.add breakdown breakdown in
+  check_float "add sums fields" 57.0 (Time.to_sec_f doubled.Breakdown.migration);
+  check_float "zero is neutral" 28.5
+    (Time.to_sec_f (Breakdown.add breakdown Breakdown.zero).Breakdown.migration)
+
+let test_breakdown_row () =
+  let row = Breakdown.to_row breakdown in
+  Alcotest.(check (list string)) "labels"
+    [ "coordination"; "hotplug"; "migration"; "linkup"; "total" ]
+    (List.map fst row);
+  check_float "hotplug cell" 3.88 (List.assoc "hotplug" row)
+
+let test_table_render () =
+  let t = Table.create ~title:"T" ~columns:[ "a"; "bb" ] in
+  Table.add_row t [ "x"; "y" ];
+  Table.add_float_row t "row2" [ 1.234 ];
+  let s = Format.asprintf "%a" Table.pp t in
+  Alcotest.(check bool) "title present" true (String.length s > 0 && String.sub s 0 1 = "T");
+  Alcotest.(check int) "two rows" 2 (List.length (Table.rows t));
+  Alcotest.(check (list string)) "float row formatted" [ "row2"; "1.23" ]
+    (List.nth (Table.rows t) 1)
+
+let test_table_arity_check () =
+  let t = Table.create ~title:"T" ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: cell count does not match columns")
+    (fun () -> Table.add_row t [ "only-one" ])
+
+let test_table_csv () =
+  let t = Table.create ~title:"T" ~columns:[ "a"; "b" ] in
+  Table.add_row t [ "x,1"; "plain" ];
+  Alcotest.(check string) "escaped csv" "a,b\n\"x,1\",plain\n" (Table.to_csv t)
+
+let test_stats () =
+  check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "min" 1.0 (Stats.minimum [ 3.0; 1.0; 2.0 ]);
+  check_float "max" 3.0 (Stats.maximum [ 3.0; 1.0; 2.0 ]);
+  check_float "stddev of constant" 0.0 (Stats.stddev [ 5.0; 5.0 ]);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats: empty sample") (fun () ->
+      ignore (Stats.mean []))
+
+let test_best_of () =
+  let calls = ref 0 in
+  let v =
+    Stats.best_of 3 (fun () ->
+        incr calls;
+        float_of_int !calls)
+  in
+  check_float "keeps the minimum" 1.0 v;
+  Alcotest.(check int) "ran n times" 3 !calls
+
+let stats_props =
+  [
+    QCheck.Test.make ~name:"min <= mean <= max" ~count:300
+      QCheck.(list_of_size Gen.(int_range 1 20) (float_bound_exclusive 1000.0))
+      (fun l ->
+        let l = List.map Float.abs l in
+        Stats.minimum l <= Stats.mean l +. 1e-9 && Stats.mean l <= Stats.maximum l +. 1e-9);
+    QCheck.Test.make ~name:"stddev non-negative" ~count:300
+      QCheck.(list_of_size Gen.(int_range 1 20) (float_bound_exclusive 1000.0))
+      (fun l -> Stats.stddev l >= 0.0);
+  ]
+
+let () =
+  Alcotest.run "ninja_metrics"
+    [
+      ( "breakdown",
+        [
+          Alcotest.test_case "hotplug" `Quick test_breakdown_hotplug;
+          Alcotest.test_case "overhead sum" `Quick test_breakdown_overhead_sum;
+          Alcotest.test_case "add" `Quick test_breakdown_add;
+          Alcotest.test_case "to_row" `Quick test_breakdown_row;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity check" `Quick test_table_arity_check;
+          Alcotest.test_case "csv escaping" `Quick test_table_csv;
+        ] );
+      ( "stats",
+        Alcotest.test_case "basics" `Quick test_stats
+        :: Alcotest.test_case "best_of" `Quick test_best_of
+        :: List.map QCheck_alcotest.to_alcotest stats_props );
+    ]

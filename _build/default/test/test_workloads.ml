@@ -1,0 +1,236 @@
+(* Tests for the workload models: memtest, bcast+reduce, NPB skeletons. *)
+
+open Ninja_engine
+open Ninja_hardware
+open Ninja_vmm
+open Ninja_guestos
+open Ninja_mpi
+open Ninja_workloads
+
+let check_near msg tolerance expected actual =
+  if Float.abs (expected -. actual) > tolerance then
+    Alcotest.failf "%s: expected %g +/- %g, got %g" msg expected tolerance actual
+
+let setup ?(n = 2) ?(ib = true) () =
+  let sim = Sim.create () in
+  let cluster = Cluster.create sim ~spec:Spec.agc_ib16 () in
+  let members =
+    List.init n (fun i ->
+        let host = Cluster.find_node cluster (Printf.sprintf "ib%02d" i) in
+        let vm =
+          Vm.create cluster ~name:(Printf.sprintf "vm%d" i) ~host ~vcpus:8
+            ~mem_bytes:(Units.gb 20.0) ()
+        in
+        if ib then Vm.attach_device vm (Device.make ~tag:"vf0" ~pci_addr:"04:00.0" Device.Ib_hca);
+        (vm, Guest.boot vm))
+  in
+  (sim, cluster, members)
+
+(* ------------------------------------------------------------------ *)
+(* Memtest *)
+
+let test_memtest_dirties_memory () =
+  let sim, cluster, members = setup ~n:1 () in
+  let job =
+    Runtime.mpirun cluster ~members ~procs_per_vm:1 (fun ctx ->
+        Memtest.run ctx ~array_bytes:(Units.gb 2.0) ~passes:2 ())
+  in
+  Sim.spawn sim (fun () -> Runtime.wait job);
+  Sim.run sim;
+  let vm, _ = List.hd members in
+  (* OS image (~2.3 GB) + the 2 GiB array are resident. *)
+  check_near "array resident" 1e8
+    (2.3e9 +. Units.gb 2.0)
+    (Memory.nonzero_bytes (Vm.memory vm));
+  check_near "array re-dirtied by the last pass" 1e8 (Units.gb 2.0)
+    (Memory.dirty_bytes (Vm.memory vm))
+
+let test_memtest_pass_duration () =
+  (* One pass of S bytes at W bytes/s takes S/W on an idle host. *)
+  let sim, cluster, members = setup ~n:1 () in
+  let t = ref 0.0 in
+  let job =
+    Runtime.mpirun cluster ~members ~procs_per_vm:1 (fun ctx ->
+        Memtest.run ctx ~array_bytes:(Units.gb 3.0) ~passes:1 ~write_bandwidth:2.0e9 ();
+        t := Mpi.wtime ctx)
+  in
+  Sim.spawn sim (fun () -> Runtime.wait job);
+  Sim.run sim;
+  check_near "pass time" 0.01 (Units.gb 3.0 /. 2.0e9) !t
+
+let test_memtest_run_until_stops () =
+  let sim, cluster, members = setup ~n:2 () in
+  let t = ref 0.0 in
+  let job =
+    Runtime.mpirun cluster ~members ~procs_per_vm:1 (fun ctx ->
+        Memtest.run_until ctx ~array_bytes:(Units.gb 1.0) ~until:5.0 ();
+        if Mpi.rank ctx = 0 then t := Mpi.wtime ctx)
+  in
+  Sim.spawn sim (fun () -> Runtime.wait job);
+  Sim.run sim;
+  Alcotest.(check bool) "stops shortly after the deadline" true (!t >= 5.0 && !t < 6.5)
+
+(* ------------------------------------------------------------------ *)
+(* Bcast+reduce *)
+
+let test_bcast_reduce_samples () =
+  let sim, cluster, members = setup ~n:4 () in
+  let samples = ref [] in
+  let job =
+    Runtime.mpirun cluster ~members ~procs_per_vm:1 (fun ctx ->
+        Bcast_reduce.run ctx ~data_per_node:1.0e9 ~procs_per_vm:1 ~steps:5
+          ~on_step:(fun s -> samples := s :: !samples)
+          ())
+  in
+  Sim.spawn sim (fun () -> Runtime.wait job);
+  Sim.run sim;
+  let samples = List.rev !samples in
+  Alcotest.(check (list int)) "one sample per step" [ 1; 2; 3; 4; 5 ]
+    (List.map (fun s -> s.Bcast_reduce.step) samples);
+  List.iter
+    (fun s -> Alcotest.(check bool) "positive elapsed" true (s.Bcast_reduce.elapsed > 0.0))
+    samples;
+  (* Steady state: all steps take the same time on a static cluster. *)
+  let es = List.map (fun s -> s.Bcast_reduce.elapsed) samples in
+  check_near "constant step time" 0.02 (Ninja_metrics.Stats.minimum es)
+    (Ninja_metrics.Stats.maximum es)
+
+let test_bcast_reduce_scales_with_interconnect () =
+  let run ib =
+    let sim, cluster, members = setup ~n:2 ~ib () in
+    let elapsed = ref 0.0 in
+    let job =
+      Runtime.mpirun cluster ~members ~procs_per_vm:1 (fun ctx ->
+          Bcast_reduce.run ctx ~data_per_node:2.0e9 ~procs_per_vm:1 ~steps:2
+            ~on_step:(fun s -> elapsed := s.Bcast_reduce.elapsed)
+            ())
+    in
+    Sim.spawn sim (fun () -> Runtime.wait job);
+    Sim.run sim;
+    !elapsed
+  in
+  let ib = run true and tcp = run false in
+  (* QDR vs virtio: roughly the bandwidth ratio. *)
+  Alcotest.(check bool) "IB much faster" true (tcp /. ib > 2.0)
+
+(* ------------------------------------------------------------------ *)
+(* NPB *)
+
+let test_npb_kernel_names () =
+  Alcotest.(check (list string)) "names" [ "BT"; "CG"; "FT"; "LU" ]
+    (List.map Npb.kernel_name Npb.all);
+  Alcotest.(check bool) "parse" true (Npb.kernel_of_string "cg" = Some Npb.CG);
+  Alcotest.(check bool) "parse garbage" true (Npb.kernel_of_string "ZZ" = None)
+
+let test_npb_footprints_span_paper_range () =
+  (* Per-VM application footprints + 2.3 GB OS must span ~2.3-16 GB. *)
+  let fp k = (Npb.footprint_per_vm k Npb.D ~procs_per_vm:8 +. 2.3e9) /. 1e9 in
+  Alcotest.(check bool) "CG smallest ~2-5 GB" true (fp Npb.CG > 2.3 && fp Npb.CG < 5.0);
+  Alcotest.(check bool) "FT largest ~16 GB" true (fp Npb.FT > 14.0 && fp Npb.FT <= 17.0);
+  List.iter
+    (fun k -> Alcotest.(check bool) "within VM memory" true (fp k < 20.0))
+    Npb.all
+
+let test_npb_class_c_runs_to_nominal_time () =
+  (* CG class C on 2 VMs x 2 ranks: compute-dominated, so the wall time
+     should sit near iterations x compute. *)
+  let sim, cluster, members = setup ~n:2 () in
+  let t = ref 0.0 in
+  let iter_count = ref 0 in
+  let job =
+    Runtime.mpirun cluster ~members ~procs_per_vm:2 (fun ctx ->
+        Npb.run ctx Npb.CG Npb.C ~on_iteration:(fun _ _ -> incr iter_count) ();
+        if Mpi.rank ctx = 0 then t := Mpi.wtime ctx)
+  in
+  Sim.spawn sim (fun () -> Runtime.wait job);
+  Sim.run sim;
+  Alcotest.(check int) "iteration callbacks" (Npb.iterations Npb.CG Npb.C) !iter_count;
+  let expected = float_of_int (Npb.iterations Npb.CG Npb.C) *. 7.6 /. 4.0 in
+  check_near "near nominal" (expected *. 0.1) expected !t
+
+let test_npb_allocates_working_set () =
+  let sim, cluster, members = setup ~n:1 () in
+  let job =
+    Runtime.mpirun cluster ~members ~procs_per_vm:2 (fun ctx -> Npb.run ctx Npb.LU Npb.C ())
+  in
+  Sim.spawn sim (fun () -> Runtime.wait job);
+  Sim.run sim;
+  let vm, _ = List.hd members in
+  let expected = 2.3e9 +. Npb.footprint_per_vm Npb.LU Npb.C ~procs_per_vm:2 in
+  check_near "working set resident" 2e8 expected (Memory.nonzero_bytes (Vm.memory vm))
+
+let test_npb_baseline_ordering () =
+  (* Class D analytic baselines keep the paper's ordering:
+     BT > CG > LU > FT. *)
+  let b k = Npb.nominal_baseline k Npb.D in
+  Alcotest.(check bool) "BT slowest" true (b Npb.BT > b Npb.CG);
+  Alcotest.(check bool) "CG > LU" true (b Npb.CG > b Npb.LU);
+  Alcotest.(check bool) "LU > FT" true (b Npb.LU > b Npb.FT)
+
+let test_npb_extended_kernels () =
+  (* The non-paper kernels run to completion too, and EP (embarrassingly
+     parallel) spends essentially no time communicating. *)
+  Alcotest.(check int) "eight kernels" 8 (List.length Npb.extended);
+  let time kernel =
+    let sim, cluster, members = setup ~n:2 () in
+    let t = ref 0.0 in
+    let job =
+      Runtime.mpirun cluster ~members ~procs_per_vm:2 (fun ctx ->
+          Npb.run ctx kernel Npb.C ();
+          if Mpi.rank ctx = 0 then t := Mpi.wtime ctx)
+    in
+    Sim.spawn sim (fun () -> Runtime.wait job);
+    Sim.run sim;
+    !t
+  in
+  List.iter
+    (fun kernel ->
+      let t = time kernel in
+      let nominal =
+        float_of_int (Npb.iterations kernel Npb.C)
+        *. (Npb.nominal_baseline kernel Npb.C /. float_of_int (Npb.iterations kernel Npb.C))
+      in
+      if t <= 0.0 || t > 3.0 *. nominal then
+        Alcotest.failf "%s: implausible runtime %.1f (nominal %.1f)" (Npb.kernel_name kernel) t
+          nominal)
+    [ Npb.EP; Npb.IS; Npb.MG; Npb.SP ]
+
+let test_npb_survives_migration () =
+  (* An NPB run keeps iterating across a mid-run checkpoint. *)
+  let sim, cluster, members = setup ~n:2 () in
+  let job =
+    Runtime.mpirun cluster ~members ~procs_per_vm:2 (fun ctx -> Npb.run ctx Npb.LU Npb.C ())
+  in
+  Sim.spawn sim (fun () ->
+      Sim.sleep (Time.sec 20);
+      Runtime.await_checkpoint_complete (Runtime.request_checkpoint job);
+      Runtime.wait job);
+  Sim.run sim;
+  Alcotest.(check bool) "finished" true (Runtime.is_finished job)
+
+let () =
+  Alcotest.run "ninja_workloads"
+    [
+      ( "memtest",
+        [
+          Alcotest.test_case "dirties memory" `Quick test_memtest_dirties_memory;
+          Alcotest.test_case "pass duration" `Quick test_memtest_pass_duration;
+          Alcotest.test_case "run_until" `Quick test_memtest_run_until_stops;
+        ] );
+      ( "bcast_reduce",
+        [
+          Alcotest.test_case "samples" `Quick test_bcast_reduce_samples;
+          Alcotest.test_case "interconnect sensitivity" `Quick
+            test_bcast_reduce_scales_with_interconnect;
+        ] );
+      ( "npb",
+        [
+          Alcotest.test_case "kernel names" `Quick test_npb_kernel_names;
+          Alcotest.test_case "footprint range" `Quick test_npb_footprints_span_paper_range;
+          Alcotest.test_case "class C nominal time" `Quick test_npb_class_c_runs_to_nominal_time;
+          Alcotest.test_case "working set" `Quick test_npb_allocates_working_set;
+          Alcotest.test_case "baseline ordering" `Quick test_npb_baseline_ordering;
+          Alcotest.test_case "extended kernels" `Quick test_npb_extended_kernels;
+          Alcotest.test_case "survives migration" `Quick test_npb_survives_migration;
+        ] );
+    ]
