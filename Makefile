@@ -1,0 +1,19 @@
+.PHONY: all build test check fmt clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# The gate CI runs: everything compiles and the full suite passes.
+check: build test
+
+# Advisory: requires ocamlformat, which not every dev box has.
+fmt:
+	dune fmt
+
+clean:
+	dune clean

@@ -3,12 +3,23 @@
    Examples:
      ninja_sim list
      ninja_sim run table2
-     ninja_sim run fig8 --full
+     ninja_sim run fig8 --full --seed 7
      ninja_sim run all --csv out/
+     ninja_sim plan --vms 4 --strategy grouped
 *)
 
 open Cmdliner
 open Ninja_experiments
+
+let seed_arg =
+  let doc = "PRNG seed for the simulation(s), for reproducibly variable runs." in
+  Arg.(value & opt (some int64) None & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let strategy_conv =
+  let parse s = Ninja_planner.Solver.of_string s |> Result.map_error (fun e -> `Msg e) in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Ninja_planner.Solver.name s))
+
+let apply_seed = Option.iter Exp_common.set_default_seed
 
 let print_tables ~csv_dir name tables =
   List.iter Ninja_metrics.Table.print tables;
@@ -48,7 +59,8 @@ let run_cmd =
     let doc = "Also write each table as CSV into $(docv)." in
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
   in
-  let run name full csv_dir =
+  let run name full csv_dir seed =
+    apply_seed seed;
     let mode = if full then Exp_common.Full else Exp_common.Quick in
     let entries =
       if String.equal name "all" then Ok Registry.all
@@ -71,7 +83,7 @@ let run_cmd =
           print_tables ~csv_dir e.Registry.name (e.Registry.run mode))
         entries
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ name_arg $ full $ csv_dir)
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ name_arg $ full $ csv_dir $ seed_arg)
 
 (* `ninja_sim script [FILE]`: execute a Fig. 5-style migration script
    against a canned demo scenario (2 VMs on the IB cluster running a
@@ -82,7 +94,7 @@ let script_cmd =
     let doc = "Script file; '-' or absent runs the built-in Fig. 5 script." in
     Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
   in
-  let run file =
+  let run file seed =
     let text =
       match file with
       | None | Some "-" -> Ninja_core.Script_lang.fig5
@@ -100,7 +112,7 @@ let script_cmd =
     | Ok commands ->
       let open Ninja_engine in
       let open Ninja_hardware in
-      let sim = Sim.create ~seed:3L () in
+      let sim = Sim.create ~seed:(Option.value seed ~default:3L) () in
       let cluster = Cluster.create sim () in
       let hosts = [ Cluster.find_node cluster "ib00"; Cluster.find_node cluster "ib01" ] in
       let ninja = Ninja_core.Ninja.setup cluster ~hosts () in
@@ -126,9 +138,66 @@ let script_cmd =
       Sim.run sim;
       Printf.printf "job finished at %.1f simulated seconds.\n" (Time.to_sec_f (Sim.now sim))
   in
-  Cmd.v (Cmd.info "script" ~doc) Term.(const run $ file)
+  Cmd.v (Cmd.info "script" ~doc) Term.(const run $ file $ seed_arg)
+
+(* `ninja_sim plan`: build, print and execute a batch evacuation plan on a
+   demo scenario (N idle VMs on the IB rack, one constrained inter-rack
+   uplink), showing the planner's step DAG, wave decomposition and the
+   measured makespan of the chosen strategy. *)
+let plan_cmd =
+  let doc = "Build and execute a batch migration plan on a demo evacuation scenario." in
+  let vms =
+    let doc = "Number of VMs to evacuate (1-8)." in
+    Arg.(value & opt int 4 & info [ "vms" ] ~docv:"N" ~doc)
+  in
+  let strategy =
+    let doc = "Planner strategy: $(b,sequential) or $(b,grouped)." in
+    Arg.(value & opt strategy_conv Ninja_planner.Solver.Grouped & info [ "strategy" ] ~docv:"STRATEGY" ~doc)
+  in
+  let uplink =
+    let doc = "Inter-rack uplink capacity in Gb/s." in
+    Arg.(value & opt float 10.0 & info [ "uplink-gbps" ] ~docv:"GBPS" ~doc)
+  in
+  let run n strategy uplink_gbps seed =
+    if n < 1 || n > 8 then begin
+      prerr_endline "plan: --vms must be between 1 and 8";
+      exit 1
+    end;
+    let open Ninja_engine in
+    let open Ninja_hardware in
+    let open Ninja_planner in
+    let sim = Sim.create ~seed:(Option.value seed ~default:42L) () in
+    let cluster = Cluster.create sim () in
+    Cluster.set_inter_rack cluster ~rack_a:0 ~rack_b:1
+      ~capacity:(Units.gbps uplink_gbps) ~latency:(Time.us 50);
+    let host i = Cluster.find_node cluster (Printf.sprintf "ib%02d" i) in
+    let dst i = Cluster.find_node cluster (Printf.sprintf "eth%02d" i) in
+    let vms =
+      List.init n (fun i ->
+          Ninja_vmm.Vm.create cluster
+            ~name:(Printf.sprintf "vm%d" i)
+            ~host:(host i) ~vcpus:8 ~mem_bytes:(Units.gb 20.0) ())
+    in
+    let table = List.mapi (fun i vm -> (vm, dst i)) vms in
+    let dst_of vm = List.assq vm table in
+    let plan = Plan.of_assignment cluster ~vms ~dst_of () in
+    Format.printf "%a@." Plan.pp plan;
+    List.iteri
+      (fun i wave ->
+        Format.printf "wave %d: %s@." (i + 1)
+          (String.concat ", "
+             (List.map (fun (s : Plan.step) -> Ninja_vmm.Vm.name s.Plan.vm) wave)))
+      (Solver.grouped_waves cluster plan);
+    let solved = Solver.solve strategy cluster plan in
+    Format.printf "executing with strategy %s...@." (Solver.name strategy);
+    let report = ref None in
+    Sim.spawn sim (fun () -> report := Some (Executor.run cluster solved));
+    Sim.run sim;
+    Format.printf "%a@." Executor.pp_report (Option.get !report)
+  in
+  Cmd.v (Cmd.info "plan" ~doc) Term.(const run $ vms $ strategy $ uplink $ seed_arg)
 
 let () =
   let doc = "Ninja migration reproduction: run the paper's experiments on the simulator." in
   let info = Cmd.info "ninja_sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; script_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; script_cmd; plan_cmd ]))

@@ -137,7 +137,7 @@ let default_attach plan vm =
    process ACPI events; [`Single] holds one fence across all three phases
    (measured overheads are equal, asserted by tests). *)
 let migrate t ~plan ?(transport = Migration.Tcp) ?hotplug_noise
-    ?(protocol = `Multi_fence) ?detach:detach_f ?attach:attach_f () =
+    ?(protocol = `Multi_fence) ?detach:detach_f ?attach:attach_f ?migration_exec () =
   let rt = runtime t in
   if Runtime.is_finished rt then
     invalid_arg "Ninja.migrate: the MPI job has already finished (nothing to fence)";
@@ -175,9 +175,13 @@ let migrate t ~plan ?(transport = Migration.Tcp) ?hotplug_noise
          List.map (fun tag -> Qmp.Device_del { tag; noise }) (detach_f vm)));
   let detach = span_since sim t1 in
   fence_boundary ~last:false;
-  (* 3. Live migration (agents, in parallel). *)
+  (* 3. Live migration: by default one agent per VM, all in parallel; a
+     batch planner can substitute its own ordered execution of the same
+     window (every VM must be at [plan vm] when it returns). *)
   let t2 = Sim.now sim in
-  ignore (Controller.migration ctl ~plan ~transport ());
+  (match migration_exec with
+  | Some exec -> exec ()
+  | None -> ignore (Controller.migration ctl ~plan ~transport ()));
   let migration = span_since sim t2 in
   fence_boundary ~last:false;
   (* 4. Re-attach where the destination hardware allows it. *)

@@ -84,6 +84,7 @@ val migrate :
   ?protocol:[ `Multi_fence | `Single_fence ] ->
   ?detach:(Vm.t -> string list) ->
   ?attach:(Vm.t -> Device.t list) ->
+  ?migration_exec:(unit -> unit) ->
   unit ->
   Breakdown.t
 (** The full Ninja migration of every VM (concurrently, one agent each).
@@ -96,7 +97,10 @@ val migrate :
     bypass HCA if present; [attach] defaults to an HCA wherever the
     destination node has an IB port. The Table II experiment overrides
     both to hotplug the interconnect device under test (including virtio
-    NICs for the Ethernet rows). *)
+    NICs for the Ethernet rows). [migration_exec] replaces the migration
+    phase itself — the batch planner ({!Ninja_planner.Executor}) uses it
+    to run an ordered plan inside the fence window; when it returns,
+    every VM must already sit on [plan vm]. *)
 
 val fallback : t -> dsts:Node.t list -> Breakdown.t
 (** Migrate VM i to [dsts.(i)] — e.g. from the IB cluster to the Ethernet

@@ -3,8 +3,12 @@ open Ninja_hardware
 
 type mode = Quick | Full
 
-let fresh ?(spec = Spec.agc) () =
-  let sim = Sim.create ~seed:42L () in
+let default_seed = ref 42L
+
+let set_default_seed s = default_seed := s
+
+let fresh ?seed ?(spec = Spec.agc) () =
+  let sim = Sim.create ~seed:(Option.value seed ~default:!default_seed) () in
   (sim, Cluster.create sim ~spec ())
 
 let hosts cluster ~prefix ~first ~count =

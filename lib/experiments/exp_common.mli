@@ -7,7 +7,12 @@ type mode = Quick | Full
 (** [Quick] shrinks sizes/iterations so the whole suite stays test-speed;
     [Full] reproduces the paper's parameters. *)
 
-val fresh : ?spec:Spec.t -> unit -> Sim.t * Cluster.t
+val set_default_seed : int64 -> unit
+(** Seed used by {!fresh} when none is passed (initially 42). The CLI's
+    [--seed] flag threads through here so whole experiment runs are
+    reproducibly variable. *)
+
+val fresh : ?seed:int64 -> ?spec:Spec.t -> unit -> Sim.t * Cluster.t
 (** A deterministic simulation (fixed seed) plus its cluster. *)
 
 val hosts : Cluster.t -> prefix:string -> first:int -> count:int -> Node.t list

@@ -1,0 +1,24 @@
+(** Batch evacuation under a shared bottleneck: VM count × planner
+    strategy.
+
+    The §II-A disaster-recovery scenario at batch scale: N VMs on the IB
+    rack evacuate to the Ethernet rack over one constrained inter-rack
+    uplink. The sweep compares the planner's [Sequential] baseline (one
+    migration at a time) against [Grouped] (bandwidth-aware parallel
+    waves) on evacuation makespan, per-step latency and aggregate
+    downtime. *)
+
+type row = {
+  n_vms : int;
+  strategy : Ninja_planner.Solver.strategy;
+  steps : int;
+  makespan : float;  (** migration-phase plan makespan [s] *)
+  mean_step : float;  (** mean per-step latency [s] *)
+  downtime : float;  (** aggregate stop-and-copy downtime [s] *)
+  total : float;  (** full trigger-to-resume breakdown total [s] *)
+}
+
+val measure :
+  n_vms:int -> strategy:Ninja_planner.Solver.strategy -> ?uplink_gbps:float -> unit -> row
+
+val run : Exp_common.mode -> Ninja_metrics.Table.t list

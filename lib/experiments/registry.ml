@@ -52,6 +52,12 @@ let all =
       run = Exp_ablation.postcopy;
     };
     {
+      name = "evacuation";
+      description =
+        "Batch evacuation planner: sequential vs grouped strategy makespan (VM count sweep)";
+      run = Exp_evacuation.run;
+    };
+    {
       name = "scalability";
       description = "Section V open issue: N simultaneous migrations under uplink congestion";
       run = Exp_scalability.run;

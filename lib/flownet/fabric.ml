@@ -87,6 +87,8 @@ let add_link t ~name ~capacity =
 
 let link_name l = l.name
 
+let link_id l = l.id
+
 let link_capacity l = l.capacity
 
 let set_link_capacity t l c =

@@ -27,6 +27,10 @@ val add_link : t -> name:string -> capacity:float -> link
 
 val link_name : link -> string
 
+val link_id : link -> int
+(** Unique within a fabric; stable for the link's lifetime. Useful as a
+    hash/set key when reasoning about route overlap. *)
+
 val link_capacity : link -> float
 
 val set_link_capacity : t -> link -> float -> unit

@@ -1,0 +1,114 @@
+open Ninja_engine
+open Ninja_hardware
+open Ninja_vmm
+
+type step_result = {
+  step : Plan.step;
+  started : Time.t;
+  finished : Time.t;
+  stats : Migration.stats;
+}
+
+type report = {
+  started : Time.t;
+  finished : Time.t;
+  makespan : Time.span;
+  total_downtime : Time.span;
+  total_wire_bytes : float;
+  step_results : step_result list;
+}
+
+exception Step_failed of string
+
+let default_max_per_host = 4
+
+let default_run_step transport (step : Plan.step) =
+  match Qmp.execute step.Plan.vm (Qmp.Migrate { dst = step.Plan.dst; transport }) with
+  | Qmp.Migrated stats -> stats
+  | Qmp.Error msg ->
+    raise (Step_failed (Printf.sprintf "%s: %s" (Vm.name step.Plan.vm) msg))
+  | Qmp.Ok_empty | Qmp.Elapsed _ | Qmp.Status _ ->
+    raise (Step_failed "unexpected QMP response to migrate")
+
+(* Permits for the step's endpoints, in global node-id order: fibers never
+   hold a high-id permit while waiting for a lower one, so permit waits
+   cannot form a cycle even at max_per_host = 1. *)
+let permit_nodes (step : Plan.step) =
+  let src = step.Plan.src and dst = step.Plan.dst in
+  if src.Node.id = dst.Node.id then [ src ]
+  else if src.Node.id < dst.Node.id then [ src; dst ]
+  else [ dst; src ]
+
+let run cluster ?(transport = Migration.Tcp) ?(max_per_host = default_max_per_host)
+    ?run_step plan =
+  if max_per_host <= 0 then invalid_arg "Executor.run: max_per_host must be positive";
+  ignore (Plan.topo_order plan);
+  let sim = Cluster.sim cluster in
+  let trace = Cluster.trace cluster in
+  let run_step = Option.value run_step ~default:(default_run_step transport) in
+  let steps = Plan.steps plan in
+  let started = Sim.now sim in
+  let sems : (int, Semaphore.t) Hashtbl.t = Hashtbl.create 8 in
+  let sem (n : Node.t) =
+    match Hashtbl.find_opt sems n.Node.id with
+    | Some s -> s
+    | None ->
+      let s = Semaphore.create max_per_host in
+      Hashtbl.add sems n.Node.id s;
+      s
+  in
+  let done_ivars : (int, step_result Ivar.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (s : Plan.step) -> Hashtbl.add done_ivars s.Plan.id (Ivar.create ())) steps;
+  let completed = ref [] in
+  List.iter
+    (fun (s : Plan.step) ->
+      Sim.spawn sim
+        ~name:(Printf.sprintf "plan-step-%d-%s" s.Plan.id (Vm.name s.Plan.vm))
+        (fun () ->
+          List.iter
+            (fun (d : Plan.step) ->
+              ignore (Ivar.read (Hashtbl.find done_ivars d.Plan.id)))
+            (Plan.deps_of plan s);
+          let nodes = permit_nodes s in
+          List.iter (fun n -> Semaphore.acquire (sem n)) nodes;
+          let t0 = Sim.now sim in
+          Trace.recordf trace ~category:"planner" "%a starts" Plan.pp_step s;
+          let stats = run_step s in
+          (* Release before waking dependents so a freed permit is visible
+             to them even at max_per_host = 1. *)
+          List.iter (fun n -> Semaphore.release (sem n)) nodes;
+          let finished = Sim.now sim in
+          let result = { step = s; started = t0; finished; stats } in
+          completed := result :: !completed;
+          Trace.recordf trace ~category:"planner" "%a done in %a" Plan.pp_step s Time.pp
+            (Time.diff finished t0);
+          Ivar.fill (Hashtbl.find done_ivars s.Plan.id) result))
+    steps;
+  List.iter
+    (fun (s : Plan.step) -> ignore (Ivar.read (Hashtbl.find done_ivars s.Plan.id)))
+    steps;
+  let finished = Sim.now sim in
+  let step_results = List.rev !completed in
+  {
+    started;
+    finished;
+    makespan = Time.diff finished started;
+    total_downtime =
+      List.fold_left
+        (fun acc r -> Time.add acc r.stats.Migration.downtime)
+        Time.zero step_results;
+    total_wire_bytes =
+      List.fold_left (fun acc r -> acc +. r.stats.Migration.transferred_bytes) 0.0 step_results;
+    step_results;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v>%d steps, makespan %a, downtime %a, %a on the wire"
+    (List.length r.step_results) Time.pp r.makespan Time.pp r.total_downtime Units.pp_bytes
+    r.total_wire_bytes;
+  List.iter
+    (fun (sr : step_result) ->
+      Format.fprintf fmt "@,  [%a .. %a] %a" Time.pp sr.started Time.pp sr.finished
+        Plan.pp_step sr.step)
+    r.step_results;
+  Format.fprintf fmt "@]"

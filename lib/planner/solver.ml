@@ -1,0 +1,136 @@
+open Ninja_flownet
+
+type strategy = Sequential | Grouped
+
+let all = [ Sequential; Grouped ]
+
+let name = function Sequential -> "sequential" | Grouped -> "grouped"
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "sequential" | "seq" -> Ok Sequential
+  | "grouped" | "group" -> Ok Grouped
+  | other -> Error (Printf.sprintf "unknown strategy %S (expected sequential|grouped)" other)
+
+let sequential plan =
+  let rec chain = function
+    | a :: (b :: _ as rest) ->
+      Plan.add_dep plan ~before:a ~after:b;
+      chain rest
+    | [] | [ _ ] -> ()
+  in
+  chain (Plan.topo_order plan);
+  plan
+
+(* Greedy wave packing. Steps are released in dependency order (Kahn);
+   among the released steps the most contended work goes first, and each
+   step lands in the earliest wave where (a) all its plan dependencies
+   are in strictly earlier waves and (b) adding its standalone rate
+   oversubscribes no fabric link used by that wave. *)
+let grouped_waves cluster ?transport plan =
+  let steps = Plan.steps plan in
+  let n = Plan.length plan in
+  if n = 0 then []
+  else begin
+    let est = Array.make n None in
+    List.iter
+      (fun (s : Plan.step) ->
+        est.(s.Plan.id) <- Some (Estimator.estimate cluster ?transport s))
+      steps;
+    let est i = Option.get est.(i) in
+    let loads = Estimator.contention cluster plan in
+    let hot_load (s : Plan.step) =
+      List.fold_left
+        (fun acc l -> Float.max acc (Estimator.link_load loads l))
+        0.0
+        (Estimator.route cluster s)
+    in
+    let priority = Array.make n 0.0 in
+    let bytes = Array.make n 0.0 in
+    List.iter
+      (fun (s : Plan.step) ->
+        priority.(s.Plan.id) <- hot_load s;
+        bytes.(s.Plan.id) <- s.Plan.bytes)
+      steps;
+    let better a b =
+      (* Larger footprint on the more contended link first; id for ties. *)
+      priority.(a) > priority.(b)
+      || (priority.(a) = priority.(b)
+         && (bytes.(a) > bytes.(b) || (bytes.(a) = bytes.(b) && a < b)))
+    in
+    let indeg = Array.make n 0 in
+    let out = Array.make n [] in
+    List.iter
+      (fun (s : Plan.step) ->
+        let ds = Plan.deps_of plan s in
+        indeg.(s.Plan.id) <- List.length ds;
+        List.iter (fun (d : Plan.step) -> out.(d.Plan.id) <- s.Plan.id :: out.(d.Plan.id)) ds)
+      steps;
+    let ready = ref (List.filter_map (fun (s : Plan.step) -> if indeg.(s.Plan.id) = 0 then Some s.Plan.id else None) steps) in
+    let wave = Array.make n 0 in
+    let usage : (int * int, float) Hashtbl.t = Hashtbl.create 32 in
+    let fits w (s : Plan.step) demand =
+      List.for_all
+        (fun l ->
+          let used = Option.value (Hashtbl.find_opt usage (w, Fabric.link_id l)) ~default:0.0 in
+          used +. demand <= Fabric.link_capacity l +. 1e-6)
+        (Estimator.route cluster s)
+    in
+    let occupy w (s : Plan.step) demand =
+      List.iter
+        (fun l ->
+          let key = (w, Fabric.link_id l) in
+          let used = Option.value (Hashtbl.find_opt usage key) ~default:0.0 in
+          Hashtbl.replace usage key (used +. demand))
+        (Estimator.route cluster s)
+    in
+    let max_wave = ref 0 in
+    while !ready <> [] do
+      let id = List.fold_left (fun best i -> if better i best then i else best) (List.hd !ready) !ready in
+      ready := List.filter (fun i -> i <> id) !ready;
+      let s = Plan.find plan id in
+      let floor =
+        List.fold_left
+          (fun acc (d : Plan.step) -> max acc (wave.(d.Plan.id) + 1))
+          1 (Plan.deps_of plan s)
+      in
+      let demand = (est id).Estimator.rate in
+      let w = ref floor in
+      while not (fits !w s demand) do
+        incr w
+      done;
+      wave.(id) <- !w;
+      occupy !w s demand;
+      if !w > !max_wave then max_wave := !w;
+      List.iter
+        (fun j ->
+          indeg.(j) <- indeg.(j) - 1;
+          if indeg.(j) = 0 then ready := j :: !ready)
+        out.(id)
+    done;
+    List.init !max_wave (fun i ->
+        List.filter (fun (s : Plan.step) -> wave.(s.Plan.id) = i + 1) steps)
+  end
+
+let grouped cluster ?transport plan =
+  let waves = grouped_waves cluster ?transport plan in
+  let rec order earlier = function
+    | [] -> ()
+    | wave :: rest ->
+      List.iter
+        (fun (s : Plan.step) ->
+          List.iter
+            (fun (s' : Plan.step) ->
+              if Estimator.shared_links cluster s s' <> [] then
+                Plan.add_dep plan ~before:s' ~after:s)
+            earlier)
+        wave;
+      order (earlier @ wave) rest
+  in
+  order [] waves;
+  plan
+
+let solve strategy cluster ?transport plan =
+  match strategy with
+  | Sequential -> sequential plan
+  | Grouped -> grouped cluster ?transport plan

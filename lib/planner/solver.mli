@@ -1,0 +1,39 @@
+(** Plan scheduling strategies.
+
+    A solver takes a plan whose edges encode only {e correctness}
+    (capacity conflicts, staging chains) and adds {e ordering} edges that
+    shape how much of it may run concurrently. Two strategies ship:
+
+    - [Sequential] — a total chain, one migration at a time in dependency
+      order. The pre-planner baseline behaviour of a scheduler that walks
+      its VM list serially.
+    - [Grouped] — bandwidth-aware greedy bin-packing (after Wang et al.,
+      arXiv:1412.4980): steps are packed into maximal parallel waves such
+      that no fabric link is oversubscribed — the sum of the member
+      steps' standalone rates stays within every shared link's capacity —
+      processing the most contended work first (largest footprint on the
+      most loaded link). Steps in different waves that share a link are
+      ordered by an edge; link-disjoint steps run freely in parallel. *)
+
+open Ninja_hardware
+open Ninja_vmm
+
+type strategy = Sequential | Grouped
+
+val all : strategy list
+
+val name : strategy -> string
+
+val of_string : string -> (strategy, string) result
+
+val grouped_waves :
+  Cluster.t -> ?transport:Migration.transport -> Plan.t -> Plan.step list list
+(** The wave decomposition [Grouped] would use, for inspection: wave [i]
+    steps only contend with steps in earlier waves. Call it on the unsolved
+    plan — ordering edges added by {!solve} count as dependencies and
+    would refine the result. *)
+
+val solve :
+  strategy -> Cluster.t -> ?transport:Migration.transport -> Plan.t -> Plan.t
+(** Mutates (and returns) the plan, adding ordering edges. The result is
+    acyclic whenever the input is. *)

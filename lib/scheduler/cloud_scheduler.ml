@@ -2,6 +2,7 @@ open Ninja_engine
 open Ninja_hardware
 open Ninja_metrics
 open Ninja_core
+open Ninja_planner
 
 type trigger =
   | Maintenance of { avoid : Node.t -> bool }
@@ -9,11 +10,27 @@ type trigger =
   | Consolidate of { vms_per_host : int; targets : Node.t list }
   | Rebalance of { targets : Node.t list }
 
-type record = { at : Time.t; trigger : trigger; breakdown : Breakdown.t }
+type record = {
+  at : Time.t;
+  trigger : trigger;
+  breakdown : Breakdown.t;
+  report : Executor.report option;
+}
 
-type t = { ninja : Ninja.t; sim : Sim.t; mutable records : record list }
+type t = {
+  ninja : Ninja.t;
+  sim : Sim.t;
+  strategy : Solver.strategy;
+  max_per_host : int;
+  mutable records : record list;
+}
 
-let create ninja = { ninja; sim = Cluster.sim (Ninja.cluster ninja); records = [] }
+let create ?(strategy = Solver.Grouped) ?(max_per_host = Executor.default_max_per_host)
+    ninja =
+  if max_per_host <= 0 then invalid_arg "Cloud_scheduler.create: max_per_host";
+  { ninja; sim = Cluster.sim (Ninja.cluster ninja); strategy; max_per_host; records = [] }
+
+let strategy t = t.strategy
 
 let trigger_name = function
   | Maintenance _ -> "maintenance"
@@ -32,10 +49,35 @@ let plan_for t trigger =
     Placement.consolidation_plan cluster ~vms ~vms_per_host ~targets
   | Rebalance { targets } -> Placement.spread_plan cluster ~vms ~targets
 
+(* Turn the trigger's placement into an executable migration plan: derive
+   capacity/staging dependencies, let the configured strategy shape the
+   parallelism, and run the result inside the fence window that
+   [Ninja.migrate] opens. VMs already on an acceptable host contribute no
+   step (in particular they no longer pay a loopback self-migration). *)
+let build_plan t trigger dst_of =
+  let cluster = Ninja.cluster t.ninja in
+  let vms = Ninja.vms t.ninja in
+  let staging = Placement.nodes_free cluster ~vms in
+  let plan = Plan.of_assignment cluster ~vms ~dst_of ~staging () in
+  Trace.recordf
+    (Cluster.trace cluster)
+    ~category:"planner" "trigger %s: %d steps, strategy %s, est. serial %a"
+    (trigger_name trigger) (Plan.length plan) (Solver.name t.strategy) Time.pp
+    (Estimator.sequential_duration cluster plan);
+  Solver.solve t.strategy cluster plan
+
 let execute t trigger =
-  let plan = plan_for t trigger in
-  let breakdown = Ninja.migrate t.ninja ~plan () in
-  t.records <- { at = Sim.now t.sim; trigger; breakdown } :: t.records;
+  let dst_of = plan_for t trigger in
+  let plan = build_plan t trigger dst_of in
+  let report = ref None in
+  let breakdown =
+    Ninja.migrate t.ninja ~plan:dst_of
+      ~migration_exec:(fun () ->
+        report :=
+          Some (Executor.run (Ninja.cluster t.ninja) ~max_per_host:t.max_per_host plan))
+      ()
+  in
+  t.records <- { at = Sim.now t.sim; trigger; breakdown; report = !report } :: t.records;
   Trace.recordf
     (Cluster.trace (Ninja.cluster t.ninja))
     ~category:"scheduler" "trigger %s done: %a" (trigger_name trigger) Breakdown.pp breakdown;

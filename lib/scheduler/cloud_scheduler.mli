@@ -2,14 +2,19 @@
     trigger events to the MPI runtime and the SymVirt controller (both via
     {!Ninja_core.Ninja.migrate}).
 
-    Triggers fire at scheduled simulation times; each executes a Ninja
-    migration with a placement computed by {!Placement} and records the
-    overhead breakdown in the history. *)
+    Triggers fire at scheduled simulation times. Each computes a placement
+    with {!Placement}, turns it into a batch migration plan via
+    {!Ninja_planner} (capacity conflicts and swap cycles become dependency
+    edges; the configured {!Ninja_planner.Solver.strategy} — [Grouped] by
+    default — shapes the parallelism), executes the plan inside the
+    SymVirt fence window, and records the overhead breakdown plus the
+    per-step executor report in the history. *)
 
 open Ninja_engine
 open Ninja_hardware
 open Ninja_metrics
 open Ninja_core
+open Ninja_planner
 
 type trigger =
   | Maintenance of { avoid : Node.t -> bool }
@@ -22,11 +27,23 @@ type trigger =
   | Rebalance of { targets : Node.t list }
       (** Spread back out, e.g. after maintenance ends. *)
 
-type record = { at : Time.t; trigger : trigger; breakdown : Breakdown.t }
+type record = {
+  at : Time.t;
+  trigger : trigger;
+  breakdown : Breakdown.t;
+  report : Executor.report option;
+      (** Per-step plan execution report ([None] only if the migration
+          phase never ran). *)
+}
 
 type t
 
-val create : Ninja.t -> t
+val create : ?strategy:Solver.strategy -> ?max_per_host:int -> Ninja.t -> t
+(** [strategy] defaults to [Grouped]; [max_per_host] bounds concurrent
+    migrations touching one node (default
+    {!Ninja_planner.Executor.default_max_per_host}). *)
+
+val strategy : t -> Solver.strategy
 
 val plan_for : t -> trigger -> Ninja_vmm.Vm.t -> Node.t
 

@@ -15,7 +15,7 @@ let test_registry_complete () =
     [
       "table1"; "table2"; "fig6"; "fig7"; "fig8";
       "ablation-bypass"; "ablation-rdma"; "ablation-quiesce"; "ablation-postcopy";
-      "scalability"; "power";
+      "evacuation"; "scalability"; "power";
     ]
     Registry.names;
   Alcotest.(check bool) "find" true (Registry.find "fig6" <> None);
@@ -152,6 +152,23 @@ let test_ablation_postcopy_tradeoff () =
     Alcotest.(check bool) "but the guest pays fault slowdown" true (post_work > pre_work)
   | _ -> Alcotest.fail "expected one table"
 
+let test_evacuation_grouped_beats_sequential () =
+  (* The acceptance scenario: multi-VM evacuation over one shared uplink.
+     Grouped waves must finish strictly sooner than the serial chain, with
+     the same number of steps and no extra downtime blowup. *)
+  let seq = Exp_evacuation.measure ~n_vms:4 ~strategy:Ninja_planner.Solver.Sequential () in
+  let grp = Exp_evacuation.measure ~n_vms:4 ~strategy:Ninja_planner.Solver.Grouped () in
+  Alcotest.(check int) "same steps" seq.Exp_evacuation.steps grp.Exp_evacuation.steps;
+  Alcotest.(check int) "one step per VM" 4 grp.Exp_evacuation.steps;
+  Alcotest.(check bool) "grouped strictly faster" true
+    (grp.Exp_evacuation.makespan < seq.Exp_evacuation.makespan);
+  (* The 10 Gb/s uplink fits two sender-bound streams: the grouped plan
+     should roughly halve the serial makespan, not just shave it. *)
+  Alcotest.(check bool) "grouped ~2x faster" true
+    (grp.Exp_evacuation.makespan < 0.7 *. seq.Exp_evacuation.makespan);
+  Alcotest.(check bool) "total includes makespan" true
+    (grp.Exp_evacuation.total >= grp.Exp_evacuation.makespan)
+
 let test_scalability_congestion () =
   (* Below the uplink's capacity migrations run at the sender rate; well
      above it they stretch while hotplug stays constant. *)
@@ -203,6 +220,7 @@ let () =
           Alcotest.test_case "ablation rdma" `Quick test_ablation_rdma_speedup;
           Alcotest.test_case "ablation quiesce" `Quick test_ablation_quiesce_contrast;
           Alcotest.test_case "ablation postcopy" `Quick test_ablation_postcopy_tradeoff;
+          Alcotest.test_case "evacuation planner" `Quick test_evacuation_grouped_beats_sequential;
           Alcotest.test_case "scalability congestion" `Quick test_scalability_congestion;
           Alcotest.test_case "power consolidation" `Slow test_power_consolidation;
         ] );

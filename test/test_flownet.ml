@@ -173,6 +173,80 @@ let capacity_respected_prop =
       Sim.run sim;
       !ok)
 
+(* Property: however flow starts and cancels interleave, the summed rates
+   of the live flows crossing a link never exceed its capacity. Each op is
+   ((link a, link b), start slot, optional cancel slot); a monitor fiber
+   samples between slots. *)
+let start_cancel_capacity_prop =
+  QCheck.Test.make ~name:"capacity respected under start/cancel churn" ~count:100
+    QCheck.(
+      small_list
+        (triple (pair (int_bound 2) (int_bound 2)) (int_bound 5) (option (int_bound 5))))
+    (fun ops ->
+      let sim = Sim.create () in
+      let fab = Fabric.create sim in
+      let links =
+        Array.init 3 (fun i ->
+            Fabric.add_link fab ~name:(Printf.sprintf "l%d" i)
+              ~capacity:(float_of_int (i + 1)))
+      in
+      let live = ref [] in
+      let remove f = live := List.filter (fun (g, _) -> g != f) !live in
+      List.iter
+        (fun ((a, b), start_slot, cancel_slot) ->
+          Sim.spawn sim (fun () ->
+              Sim.sleep (Time.ms (start_slot * 10));
+              let route = if a = b then [ links.(a) ] else [ links.(a); links.(b) ] in
+              let f = Fabric.start fab ~route ~bytes:50.0 in
+              live := (f, route) :: !live;
+              (match cancel_slot with
+              | Some slot ->
+                Sim.sleep (Time.ms ((slot * 10) + 5));
+                if not (Fabric.is_done f) then Fabric.cancel fab f
+              | None -> Fabric.await f);
+              remove f))
+        ops;
+      let ok = ref true in
+      Sim.spawn sim (fun () ->
+          for _ = 1 to 20 do
+            Sim.sleep (Time.ms 7);
+            Array.iter
+              (fun l ->
+                let used =
+                  List.fold_left
+                    (fun acc (f, route) ->
+                      if (not (Fabric.is_done f)) && List.memq l route then
+                        acc +. Fabric.rate f
+                      else acc)
+                    0.0 !live
+                in
+                if used > Fabric.link_capacity l +. 1e-6 then ok := false)
+              links
+          done);
+      Sim.run sim;
+      !ok)
+
+(* Property: n identical flows sharing one link each get exactly
+   capacity/n — max–min fairness degenerates to equal split. *)
+let equal_share_prop =
+  QCheck.Test.make ~name:"equal flows get equal rates" ~count:100
+    QCheck.(pair (int_range 2 8) (int_range 1 20))
+    (fun (n, cap) ->
+      let sim = Sim.create () in
+      let fab = Fabric.create sim in
+      let l = Fabric.add_link fab ~name:"l" ~capacity:(float_of_int cap) in
+      let ok = ref true in
+      Sim.spawn sim (fun () ->
+          let flows = List.init n (fun _ -> Fabric.start fab ~route:[ l ] ~bytes:1e6) in
+          Sim.sleep (Time.ms 10);
+          let expected = float_of_int cap /. float_of_int n in
+          List.iter
+            (fun f -> if Float.abs (Fabric.rate f -. expected) > 1e-6 then ok := false)
+            flows;
+          List.iter (fun f -> Fabric.cancel fab f) flows);
+      Sim.run sim;
+      !ok)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -187,5 +261,11 @@ let () =
         :: Alcotest.test_case "cancel releases bw" `Quick test_cancel_releases_bandwidth
         :: Alcotest.test_case "zero bytes" `Quick test_zero_byte_flow
         :: Alcotest.test_case "route validation" `Quick test_route_validation
-        :: qsuite [ conservation_prop; capacity_respected_prop ] );
+        :: qsuite
+             [
+               conservation_prop;
+               capacity_respected_prop;
+               start_cancel_capacity_prop;
+               equal_share_prop;
+             ] );
     ]

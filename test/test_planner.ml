@@ -1,0 +1,380 @@
+(* Tests for the batch migration planner: plan IR, estimator, solver
+   strategies and the fiber executor. *)
+
+open Ninja_engine
+open Ninja_hardware
+open Ninja_vmm
+open Ninja_planner
+
+let setup () =
+  let sim = Sim.create () in
+  let cluster = Cluster.create sim ~spec:Spec.agc () in
+  (sim, cluster)
+
+let node cluster name = Cluster.find_node cluster name
+
+let mk_vm cluster ~name ~host =
+  Vm.create cluster ~name ~host:(node cluster host) ~vcpus:4
+    ~mem_bytes:(Units.gb 4.0) ()
+
+let step_of plan vm =
+  List.find (fun (s : Plan.step) -> s.Plan.vm == vm) (Plan.steps plan)
+
+(* ------------------------------------------------------------------ *)
+(* Plan IR *)
+
+let test_of_assignment_basic () =
+  let _, cluster = setup () in
+  let a = mk_vm cluster ~name:"a" ~host:"ib00" in
+  let b = mk_vm cluster ~name:"b" ~host:"ib01" in
+  let dst_of vm =
+    node cluster (if Vm.name vm = "a" then "eth00" else "eth01")
+  in
+  let plan = Plan.of_assignment cluster ~vms:[ a; b ] ~dst_of () in
+  Alcotest.(check int) "two steps" 2 (Plan.length plan);
+  Alcotest.(check int) "no conflicts, no edges" 0 (Plan.dep_count plan);
+  List.iter
+    (fun (s : Plan.step) ->
+      Alcotest.(check string) "direct" "direct" (Plan.kind_name s.Plan.kind);
+      Alcotest.(check bool) "bytes from footprint" true (s.Plan.bytes > 0.0))
+    (Plan.steps plan);
+  Alcotest.(check int) "topo covers all" 2 (List.length (Plan.topo_order plan))
+
+let test_stay_put_vm_has_no_step () =
+  let _, cluster = setup () in
+  let a = mk_vm cluster ~name:"a" ~host:"ib00" in
+  let b = mk_vm cluster ~name:"b" ~host:"ib01" in
+  let dst_of vm =
+    if Vm.name vm = "a" then node cluster "eth00" else Vm.host vm
+  in
+  let plan = Plan.of_assignment cluster ~vms:[ a; b ] ~dst_of () in
+  Alcotest.(check int) "only the mover gets a step" 1 (Plan.length plan);
+  Alcotest.(check string) "and it is vm a" "a"
+    (Vm.name (List.hd (Plan.steps plan)).Plan.vm)
+
+let test_capacity_conflict_edge () =
+  let _, cluster = setup () in
+  (* a: ib00 -> ib01 (occupied by b); b: ib01 -> ib02 (free). *)
+  let a = mk_vm cluster ~name:"a" ~host:"ib00" in
+  let b = mk_vm cluster ~name:"b" ~host:"ib01" in
+  let dst_of vm =
+    node cluster (if Vm.name vm = "a" then "ib01" else "ib02")
+  in
+  let plan = Plan.of_assignment cluster ~vms:[ a; b ] ~dst_of () in
+  Alcotest.(check int) "one conflict edge" 1 (Plan.dep_count plan);
+  let sa = step_of plan a and sb = step_of plan b in
+  Alcotest.(check bool) "a waits for b to vacate" true
+    (List.memq sb (Plan.deps_of plan sa));
+  Alcotest.(check bool) "acyclic" true (Plan.is_acyclic plan);
+  match Plan.topo_order plan with
+  | [ first; second ] ->
+    Alcotest.(check string) "b first" "b" (Vm.name first.Plan.vm);
+    Alcotest.(check string) "a second" "a" (Vm.name second.Plan.vm)
+  | _ -> Alcotest.fail "expected two steps in topo order"
+
+let test_swap_cycle_staged () =
+  let _, cluster = setup () in
+  (* a: ib00 -> ib01 and b: ib01 -> ib00 — a 2-cycle; ib02 is free. *)
+  let a = mk_vm cluster ~name:"a" ~host:"ib00" in
+  let b = mk_vm cluster ~name:"b" ~host:"ib01" in
+  let dst_of vm =
+    node cluster (if Vm.name vm = "a" then "ib01" else "ib00")
+  in
+  let plan =
+    Plan.of_assignment cluster ~vms:[ a; b ]
+      ~dst_of
+      ~staging:[ node cluster "ib02" ] ()
+  in
+  Alcotest.(check int) "three steps: direct + stage_out + stage_in" 3
+    (Plan.length plan);
+  Alcotest.(check bool) "acyclic after staging" true (Plan.is_acyclic plan);
+  let kinds =
+    Plan.steps plan
+    |> List.map (fun (s : Plan.step) -> Plan.kind_name s.Plan.kind)
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "kinds" [ "direct"; "stage-in"; "stage-out" ] kinds;
+  let stage_out =
+    List.find
+      (fun (s : Plan.step) -> s.Plan.kind = Plan.Stage_out)
+      (Plan.steps plan)
+  in
+  Alcotest.(check string) "stages through the free node" "ib02"
+    stage_out.Plan.dst.Node.name
+
+let test_swap_cycle_no_staging_falls_back () =
+  let _, cluster = setup () in
+  let a = mk_vm cluster ~name:"a" ~host:"ib00" in
+  let b = mk_vm cluster ~name:"b" ~host:"ib01" in
+  let dst_of vm =
+    node cluster (if Vm.name vm = "a" then "ib01" else "ib00")
+  in
+  (* No staging pool: the planner must drop an edge rather than emit a
+     cyclic (undeadlockable) plan. *)
+  let plan = Plan.of_assignment cluster ~vms:[ a; b ] ~dst_of () in
+  Alcotest.(check int) "two direct steps" 2 (Plan.length plan);
+  Alcotest.(check bool) "still acyclic" true (Plan.is_acyclic plan);
+  Alcotest.(check bool) "at most one edge survives" true (Plan.dep_count plan <= 1)
+
+let test_add_dep_validation () =
+  let plan = Plan.create () in
+  let _, cluster = setup () in
+  let a = mk_vm cluster ~name:"a" ~host:"ib00" in
+  let s =
+    Plan.add_step plan ~vm:a ~src:(node cluster "ib00") ~dst:(node cluster "eth00")
+      ~bytes:1e9 ()
+  in
+  Alcotest.check_raises "self edge rejected"
+    (Invalid_argument "Plan.add_dep: self-dependency") (fun () ->
+      Plan.add_dep plan ~before:s ~after:s)
+
+(* ------------------------------------------------------------------ *)
+(* Estimator *)
+
+let test_estimator_sanity () =
+  let _, cluster = setup () in
+  let a = mk_vm cluster ~name:"a" ~host:"ib00" in
+  let plan =
+    Plan.of_assignment cluster ~vms:[ a ]
+      ~dst_of:(fun _ -> node cluster "eth00")
+      ()
+  in
+  let s = List.hd (Plan.steps plan) in
+  let e = Estimator.estimate cluster s in
+  Alcotest.(check bool) "wire bytes positive" true (e.Estimator.wire_bytes > 0.0);
+  Alcotest.(check bool) "rate positive" true (e.Estimator.rate > 0.0);
+  Alcotest.(check bool) "rate capped by sender" true
+    (e.Estimator.rate <= Estimator.sender_demand Migration.Tcp +. 1.0);
+  Alcotest.(check bool) "duration positive" true
+    (Time.to_sec_f e.Estimator.duration > 0.0);
+  Alcotest.(check bool) "route is non-empty" true
+    (Estimator.route cluster s <> [])
+
+let test_estimator_contention () =
+  let _, cluster = setup () in
+  Cluster.set_inter_rack cluster ~rack_a:0 ~rack_b:1 ~capacity:(Units.gbps 10.0)
+    ~latency:(Time.us 50);
+  let vms =
+    List.init 3 (fun i ->
+        mk_vm cluster ~name:(Printf.sprintf "v%d" i)
+          ~host:(Printf.sprintf "ib%02d" i))
+  in
+  let dst_of =
+    let table =
+      List.mapi (fun i vm -> (vm, node cluster (Printf.sprintf "eth%02d" i))) vms
+    in
+    fun vm -> List.assq vm table
+  in
+  let plan = Plan.of_assignment cluster ~vms ~dst_of () in
+  match Estimator.contention cluster plan with
+  | [] -> Alcotest.fail "expected contended links"
+  | (top, load) :: rest ->
+    (* Every cross-rack step crosses the shared uplink, so the most
+       contended link carries all three footprints. *)
+    let total =
+      List.fold_left (fun acc (s : Plan.step) -> acc +. s.Plan.bytes) 0.0
+        (Plan.steps plan)
+    in
+    Alcotest.(check (float 1e6)) "top link carries the whole batch" total load;
+    Alcotest.(check bool) "sorted descending" true
+      (List.for_all (fun (_, l) -> l <= load) rest);
+    ignore top
+
+(* ------------------------------------------------------------------ *)
+(* Solver *)
+
+let evacuation_scenario ?(n = 4) ?(uplink_gbps = 10.0) () =
+  let sim, cluster = setup () in
+  Cluster.set_inter_rack cluster ~rack_a:0 ~rack_b:1
+    ~capacity:(Units.gbps uplink_gbps) ~latency:(Time.us 50);
+  let vms =
+    List.init n (fun i ->
+        mk_vm cluster ~name:(Printf.sprintf "v%d" i)
+          ~host:(Printf.sprintf "ib%02d" i))
+  in
+  let table =
+    List.mapi (fun i vm -> (vm, node cluster (Printf.sprintf "eth%02d" i))) vms
+  in
+  let dst_of vm = List.assq vm table in
+  (sim, cluster, vms, dst_of)
+
+let test_sequential_chains_everything () =
+  let _, cluster, vms, dst_of = evacuation_scenario () in
+  let plan = Plan.of_assignment cluster ~vms ~dst_of () in
+  let plan = Solver.solve Solver.Sequential cluster plan in
+  Alcotest.(check int) "n-1 chain edges" (List.length vms - 1) (Plan.dep_count plan);
+  Alcotest.(check bool) "acyclic" true (Plan.is_acyclic plan);
+  (* Exactly one step has no dependency; every other step has exactly one. *)
+  let roots =
+    List.filter (fun s -> Plan.deps_of plan s = []) (Plan.steps plan)
+  in
+  Alcotest.(check int) "single root" 1 (List.length roots)
+
+let test_grouped_waves_respect_capacity () =
+  let _, cluster, vms, dst_of = evacuation_scenario ~n:4 () in
+  let plan = Plan.of_assignment cluster ~vms ~dst_of () in
+  let waves = Solver.grouped_waves cluster plan in
+  Alcotest.(check bool) "more than one wave on a thin uplink" true
+    (List.length waves > 1);
+  Alcotest.(check int) "waves cover every step" (Plan.length plan)
+    (List.fold_left (fun acc w -> acc + List.length w) 0 waves);
+  (* No wave oversubscribes any fabric link: the summed standalone rates
+     of the members sharing a link stay within its capacity. *)
+  List.iter
+    (fun wave ->
+      let usage = Hashtbl.create 8 in
+      List.iter
+        (fun step ->
+          let rate = (Estimator.estimate cluster step).Estimator.rate in
+          List.iter
+            (fun link ->
+              let id = Ninja_flownet.Fabric.link_id link in
+              let prev =
+                Option.value (Hashtbl.find_opt usage id) ~default:(link, 0.0)
+              in
+              Hashtbl.replace usage id (link, snd prev +. rate))
+            (Estimator.route cluster step))
+        wave;
+      Hashtbl.iter
+        (fun _ (link, used) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "link %s not oversubscribed"
+               (Ninja_flownet.Fabric.link_name link))
+            true
+            (used <= Ninja_flownet.Fabric.link_capacity link +. 1e-3))
+        usage)
+    waves
+
+let test_solver_of_string () =
+  Alcotest.(check bool) "grouped parses" true
+    (Solver.of_string "grouped" = Ok Solver.Grouped);
+  Alcotest.(check bool) "seq alias parses" true
+    (Solver.of_string "seq" = Ok Solver.Sequential);
+  Alcotest.(check bool) "garbage rejected" true
+    (Result.is_error (Solver.of_string "fastest"))
+
+(* ------------------------------------------------------------------ *)
+(* Executor *)
+
+let run_plan sim cluster ?max_per_host plan =
+  let report = ref None in
+  Sim.spawn sim (fun () ->
+      report := Some (Executor.run cluster ?max_per_host plan));
+  Sim.run sim;
+  Option.get !report
+
+let test_executor_swap_via_staging () =
+  let sim, cluster = setup () in
+  let a = mk_vm cluster ~name:"a" ~host:"ib00" in
+  let b = mk_vm cluster ~name:"b" ~host:"ib01" in
+  let dst_of vm =
+    node cluster (if Vm.name vm = "a" then "ib01" else "ib00")
+  in
+  let plan =
+    Plan.of_assignment cluster ~vms:[ a; b ] ~dst_of
+      ~staging:[ node cluster "ib02" ] ()
+  in
+  let plan = Solver.solve Solver.Grouped cluster plan in
+  let report = run_plan sim cluster plan in
+  Alcotest.(check int) "three steps executed" 3
+    (List.length report.Executor.step_results);
+  Alcotest.(check string) "a landed on ib01" "ib01" (Vm.host a).Node.name;
+  Alcotest.(check string) "b landed on ib00" "ib00" (Vm.host b).Node.name;
+  Alcotest.(check bool) "makespan positive" true
+    (Time.to_sec_f report.Executor.makespan > 0.0)
+
+let test_executor_swap_max_per_host_one () =
+  (* max_per_host = 1 is the tightest permit regime; the ordered
+     acquisition must still complete the swap without Sim.Deadlock. *)
+  let sim, cluster = setup () in
+  let a = mk_vm cluster ~name:"a" ~host:"ib00" in
+  let b = mk_vm cluster ~name:"b" ~host:"ib01" in
+  let dst_of vm =
+    node cluster (if Vm.name vm = "a" then "ib01" else "ib00")
+  in
+  let plan =
+    Plan.of_assignment cluster ~vms:[ a; b ] ~dst_of
+      ~staging:[ node cluster "ib02" ] ()
+  in
+  let plan = Solver.solve Solver.Sequential cluster plan in
+  let report = run_plan sim cluster ~max_per_host:1 plan in
+  Alcotest.(check int) "all steps done" 3 (List.length report.Executor.step_results);
+  Alcotest.(check string) "a on ib01" "ib01" (Vm.host a).Node.name;
+  Alcotest.(check string) "b on ib00" "ib00" (Vm.host b).Node.name
+
+let test_grouped_beats_sequential () =
+  (* Four migrations share one 10 Gb/s uplink; two senders fill it.
+     Grouped runs two waves of two; Sequential runs them one at a time
+     and must take strictly longer. *)
+  let makespan strategy =
+    let sim, cluster, vms, dst_of = evacuation_scenario ~n:4 () in
+    let plan = Plan.of_assignment cluster ~vms ~dst_of () in
+    let plan = Solver.solve strategy cluster plan in
+    let report = run_plan sim cluster plan in
+    Time.to_sec_f report.Executor.makespan
+  in
+  let seq = makespan Solver.Sequential in
+  let grp = makespan Solver.Grouped in
+  Alcotest.(check bool)
+    (Printf.sprintf "grouped (%.1fs) < sequential (%.1fs)" grp seq)
+    true (grp < seq);
+  Alcotest.(check bool) "grouped at most 60%% of sequential" true
+    (grp <= 0.6 *. seq)
+
+let test_executor_rejects_cycle () =
+  let sim, cluster = setup () in
+  let a = mk_vm cluster ~name:"a" ~host:"ib00" in
+  let b = mk_vm cluster ~name:"b" ~host:"ib01" in
+  let plan = Plan.create () in
+  let sa =
+    Plan.add_step plan ~vm:a ~src:(node cluster "ib00") ~dst:(node cluster "eth00")
+      ~bytes:1e9 ()
+  in
+  let sb =
+    Plan.add_step plan ~vm:b ~src:(node cluster "ib01") ~dst:(node cluster "eth01")
+      ~bytes:1e9 ()
+  in
+  Plan.add_dep plan ~before:sa ~after:sb;
+  Plan.add_dep plan ~before:sb ~after:sa;
+  let raised = ref false in
+  Sim.spawn sim (fun () ->
+      try ignore (Executor.run cluster plan)
+      with Plan.Cyclic _ -> raised := true);
+  Sim.run sim;
+  Alcotest.(check bool) "Cyclic raised instead of deadlock" true !raised
+
+let () =
+  Alcotest.run "planner"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "of_assignment basic" `Quick test_of_assignment_basic;
+          Alcotest.test_case "stay-put VM skipped" `Quick test_stay_put_vm_has_no_step;
+          Alcotest.test_case "capacity conflict edge" `Quick test_capacity_conflict_edge;
+          Alcotest.test_case "swap cycle staged" `Quick test_swap_cycle_staged;
+          Alcotest.test_case "swap without staging" `Quick
+            test_swap_cycle_no_staging_falls_back;
+          Alcotest.test_case "add_dep validation" `Quick test_add_dep_validation;
+        ] );
+      ( "estimator",
+        [
+          Alcotest.test_case "estimate sanity" `Quick test_estimator_sanity;
+          Alcotest.test_case "contention ranking" `Quick test_estimator_contention;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "sequential chain" `Quick test_sequential_chains_everything;
+          Alcotest.test_case "grouped waves fit links" `Quick
+            test_grouped_waves_respect_capacity;
+          Alcotest.test_case "of_string" `Quick test_solver_of_string;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "swap via staging" `Quick test_executor_swap_via_staging;
+          Alcotest.test_case "swap at max_per_host=1" `Quick
+            test_executor_swap_max_per_host_one;
+          Alcotest.test_case "grouped beats sequential" `Quick
+            test_grouped_beats_sequential;
+          Alcotest.test_case "cyclic plan rejected" `Quick test_executor_rejects_cycle;
+        ] );
+    ]
