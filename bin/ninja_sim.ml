@@ -19,6 +19,24 @@ let strategy_conv =
   let parse s = Ninja_planner.Solver.of_string s |> Result.map_error (fun e -> `Msg e) in
   Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Ninja_planner.Solver.name s))
 
+let fault_conv =
+  let parse s =
+    Ninja_faults.Injector.parse_spec s |> Result.map_error (fun e -> `Msg e)
+  in
+  Arg.conv (parse, Ninja_faults.Injector.pp_spec)
+
+let fault_args =
+  let doc =
+    "Arm a fault before the run (repeatable). $(docv) is \
+     POINT[@SITE][:PARAM{,PARAM}] where POINT is one of precopy-stall, \
+     precopy-abort, qmp-timeout, attach-fail, agent-crash, node-death; SITE \
+     narrows it to one VM or node name; PARAMs are t=SEC (fire at sim-time), \
+     n=N (fire on the Nth hit), p=PROB (fire probabilistically) and count=N \
+     or count=inf (firing budget, default 1). Example: \
+     'precopy-abort@vm0:n=1,count=inf'."
+  in
+  Arg.(value & opt_all fault_conv [] & info [ "fault" ] ~docv:"SPEC" ~doc)
+
 let apply_seed = Option.iter Exp_common.set_default_seed
 
 let print_tables ~csv_dir name tables =
@@ -59,8 +77,9 @@ let run_cmd =
     let doc = "Also write each table as CSV into $(docv)." in
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
   in
-  let run name full csv_dir seed =
+  let run name full csv_dir seed faults =
     apply_seed seed;
+    Exp_common.set_default_faults faults;
     let mode = if full then Exp_common.Full else Exp_common.Quick in
     let entries =
       if String.equal name "all" then Ok Registry.all
@@ -83,7 +102,8 @@ let run_cmd =
           print_tables ~csv_dir e.Registry.name (e.Registry.run mode))
         entries
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ name_arg $ full $ csv_dir $ seed_arg)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ name_arg $ full $ csv_dir $ seed_arg $ fault_args)
 
 (* `ninja_sim script [FILE]`: execute a Fig. 5-style migration script
    against a canned demo scenario (2 VMs on the IB cluster running a

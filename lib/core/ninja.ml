@@ -8,6 +8,8 @@ open Ninja_vmm
 
 type vnode = { vm : Vm.t; guest : Guest.t; endpoint : Hypercall.t }
 
+type outcome = Completed | Rolled_back of string
+
 type t = {
   cluster : Cluster.t;
   sim : Sim.t;
@@ -20,9 +22,14 @@ type t = {
      controller one fence per VMM operation group (Fig. 5). *)
   mutable operation_active : bool;
   mutable abort_check : unit -> bool;
+  mutable last_outcome : outcome option;
 }
 
 exception Not_launched
+
+(* Internal: a VMM operation phase could not complete even under the retry
+   policy; the migration must roll back. *)
+exception Phase_failed of string
 
 let hca_tag = "vf0"
 
@@ -38,6 +45,7 @@ let make cluster nodes =
     rt = None;
     operation_active = false;
     abort_check = (fun () -> false);
+    last_outcome = None;
   }
 
 let setup cluster ~hosts ?(vcpus = 8) ?(mem_gb = 20.0) ?(attach_hca = true) () =
@@ -135,9 +143,18 @@ let default_attach plan vm =
    VMM operation group in its own wait_all/signal pair, exactly like the
    Fig. 5 script — the guest runs briefly between fences so the OS can
    process ACPI events; [`Single] holds one fence across all three phases
-   (measured overheads are equal, asserted by tests). *)
+   (measured overheads are equal, asserted by tests).
+
+   The flow is transactional: each VMM phase retries failed VMs under the
+   [retry] policy, and when a phase still cannot complete the whole
+   operation rolls back — every VM returns to its origin node, detached
+   bypass devices are re-attached where the source hardware allows, the
+   fence is released and the guests resume where they were. [migrate]
+   never leaks an exception from an injected fault; callers read
+   {!last_outcome} to distinguish a completed migration from a rollback. *)
 let migrate t ~plan ?(transport = Migration.Tcp) ?hotplug_noise
-    ?(protocol = `Multi_fence) ?detach:detach_f ?attach:attach_f ?migration_exec () =
+    ?(protocol = `Multi_fence) ?detach:detach_f ?attach:attach_f ?migration_exec
+    ?(retry = Retry.default_policy) () =
   let rt = runtime t in
   if Runtime.is_finished rt then
     invalid_arg "Ninja.migrate: the MPI job has already finished (nothing to fence)";
@@ -153,6 +170,19 @@ let migrate t ~plan ?(transport = Migration.Tcp) ?hotplug_noise
   let multi = protocol = `Multi_fence in
   let ctl = controller t in
   let t0 = Sim.now sim in
+  t.last_outcome <- None;
+  (* Rollback bookkeeping: where every VM started, and which devices the
+     detach phase actually removed (so rollback can restore them). *)
+  let origins = List.map (fun n -> (n.vm, Vm.host n.vm)) t.nodes in
+  let origin_of vm = List.assq vm origins in
+  let removed = List.map (fun n -> (n.vm, ref [])) t.nodes in
+  let removed_of vm = List.assq vm removed in
+  let remember_removed vm (d : Device.t) =
+    let r = removed_of vm in
+    if not (List.exists (fun (e : Device.t) -> e.Device.tag = d.Device.tag) !r) then
+      r := d :: !r
+  in
+  let retry_lost = ref Time.zero in
   Trace.record t.trace ~category:"ninja" "migration triggered";
   (* 1. Trigger: the runtime tells every process to reach a safe point and
      call into the coordinator; the controller waits for the fence. *)
@@ -168,36 +198,176 @@ let migrate t ~plan ?(transport = Migration.Tcp) ?hotplug_noise
     end
     else if last then Controller.signal ctl
   in
-  (* 2. Detach VMM-bypass devices (agents, in parallel). *)
-  let t1 = Sim.now sim in
-  ignore
-    (Controller.run_agents ctl (fun vm ->
-         List.map (fun tag -> Qmp.Device_del { tag; noise }) (detach_f vm)));
-  let detach = span_since sim t1 in
-  fence_boundary ~last:false;
-  (* 3. Live migration: by default one agent per VM, all in parallel; a
-     batch planner can substitute its own ordered execution of the same
-     window (every VM must be at [plan vm] when it returns). *)
-  let t2 = Sim.now sim in
-  (match migration_exec with
-  | Some exec -> exec ()
-  | None -> ignore (Controller.migration ctl ~plan ~transport ()));
-  let migration = span_since sim t2 in
-  fence_boundary ~last:false;
-  (* 4. Re-attach where the destination hardware allows it. *)
-  let t3 = Sim.now sim in
-  ignore
-    (Controller.run_agents ctl (fun vm ->
-         List.map (fun device -> Qmp.Device_add { device; noise }) (attach_f vm)));
-  let attach = span_since sim t3 in
-  (* 5. Final signal; guests confirm link-up and rebuild transports. *)
-  fence_boundary ~last:true;
+  (* A VMM phase with per-VM retry: only the VMs whose agent reported an
+     error are re-issued their (idempotent) command lists, after the
+     policy's backoff. [lost] accumulates the sim-time spent on failed
+     attempts and backoff sleeps. [best_effort] phases (rollback) log and
+     drop VMs that exhaust the policy instead of raising. *)
+  let phase ~name ?(lost = retry_lost) ?(best_effort = false)
+      ?(retryable = fun _vm _msg -> true) commands_for =
+    let phase_start = Sim.now sim in
+    let rec go attempt pending =
+      let a0 = Sim.now sim in
+      let results =
+        Controller.run_agents_results ctl (fun vm ->
+            if List.memq vm pending then commands_for vm else [])
+      in
+      let failed =
+        List.filter_map
+          (fun (vm, responses) ->
+            match Controller.first_error responses with
+            | Some msg -> Some (vm, msg)
+            | None -> None)
+          results
+      in
+      if failed <> [] then begin
+        lost := Time.add !lost (span_since sim a0);
+        let fatals, transients = List.partition (fun (vm, msg) -> not (retryable vm msg)) failed in
+        List.iter
+          (fun (vm, msg) ->
+            Trace.recordf t.trace ~category:"faults" "%s: %s unrecoverable: %s" name
+              (Vm.name vm) msg)
+          fatals;
+        (match fatals with
+        | (vm, msg) :: _ when not best_effort ->
+            raise (Phase_failed (Printf.sprintf "%s: %s: %s" name (Vm.name vm) msg))
+        | _ -> ());
+        if transients <> [] then begin
+          let delay = Retry.backoff retry ~attempt in
+          let within_deadline =
+            match retry.Retry.deadline with
+            | None -> true
+            | Some budget ->
+                Time.( <= ) (Time.add (span_since sim phase_start) delay) budget
+          in
+          if attempt >= retry.Retry.max_attempts || not within_deadline then begin
+            let vm, msg = List.hd transients in
+            if best_effort then
+              Trace.recordf t.trace ~category:"faults" "%s: giving up on %s after %d attempts"
+                name (Vm.name vm) attempt
+            else
+              raise
+                (Phase_failed
+                   (Printf.sprintf "%s: %s: %s (after %d attempts)" name (Vm.name vm) msg
+                      attempt))
+          end
+          else begin
+            Trace.recordf t.trace ~category:"faults"
+              "%s: attempt %d failed for %d VM(s); retrying in %a" name attempt
+              (List.length transients) Time.pp delay;
+            lost := Time.add !lost delay;
+            Sim.sleep delay;
+            go (attempt + 1) (List.map fst transients)
+          end
+        end
+      end
+    in
+    go 1 (List.map (fun n -> n.vm) t.nodes)
+  in
+  (* Idempotent command builders: each consults live VM state, so a retry
+     re-issues only what is still missing and a successful VM gets an
+     empty list. *)
+  let detach_builder vm =
+    let devices = List.filter_map (fun tag -> Vm.find_device vm ~tag) (detach_f vm) in
+    List.iter (remember_removed vm) devices;
+    List.map (fun (d : Device.t) -> Qmp.Device_del { tag = d.Device.tag; noise }) devices
+  in
+  let migration_builder vm = [ Qmp.Migrate { dst = plan vm; transport } ] in
+  let attach_builder vm =
+    attach_f vm
+    |> List.filter (fun (d : Device.t) -> Vm.find_device vm ~tag:d.Device.tag = None)
+    |> List.map (fun device -> Qmp.Device_add { device; noise })
+  in
+  let detach_span = ref Time.zero in
+  let migration_span = ref Time.zero in
+  let attach_span = ref Time.zero in
+  let timed cell f =
+    let p0 = Sim.now sim in
+    Fun.protect ~finally:(fun () -> cell := span_since sim p0) f
+  in
+  (* 2–4. Detach, migrate, re-attach — each phase under retry. *)
+  let result =
+    try
+      timed detach_span (fun () -> phase ~name:"detach" detach_builder);
+      fence_boundary ~last:false;
+      timed migration_span (fun () ->
+          match migration_exec with
+          | Some exec -> exec ()
+          | None ->
+              phase ~name:"migration"
+                ~retryable:(fun vm _msg -> Cluster.node_alive t.cluster (plan vm))
+                migration_builder);
+      fence_boundary ~last:false;
+      timed attach_span (fun () -> phase ~name:"attach" attach_builder);
+      Ok ()
+    with
+    | Phase_failed reason -> Error reason
+    | exn -> Error (Printexc.to_string exn)
+  in
+  (match result with
+  | Ok () ->
+      t.last_outcome <- Some Completed;
+      (* 5. Final signal; guests confirm link-up and rebuild transports. *)
+      fence_boundary ~last:true
+  | Error reason ->
+      Trace.recordf t.trace ~category:"ninja" "migration failed (%s); rolling back" reason;
+      let rb0 = Sim.now sim in
+      (* Rollback phases keep their own scratch accounting: the whole
+         rollback span is charged to [retry_lost] below, so counting the
+         inner failed attempts again would double-bill them. *)
+      let scratch = ref Time.zero in
+      (* a. Strip bypass devices from any VM that must travel back (a
+         partially completed attach would otherwise pin it in place). *)
+      phase ~name:"rollback-detach" ~lost:scratch ~best_effort:true (fun vm ->
+          if (Vm.host vm).Node.id <> (origin_of vm).Node.id then begin
+            let stuck =
+              List.filter
+                (fun (d : Device.t) -> Vm.find_device vm ~tag:d.Device.tag <> None)
+                (attach_f vm)
+            in
+            List.iter (remember_removed vm) stuck;
+            List.map (fun (d : Device.t) -> Qmp.Device_del { tag = d.Device.tag; noise }) stuck
+          end
+          else []);
+      (* b. Return every displaced VM to its origin. *)
+      phase ~name:"rollback-return" ~lost:scratch ~best_effort:true
+        ~retryable:(fun vm _msg -> Cluster.node_alive t.cluster (origin_of vm))
+        (fun vm ->
+          if (Vm.host vm).Node.id <> (origin_of vm).Node.id then
+            [ Qmp.Migrate { dst = origin_of vm; transport } ]
+          else []);
+      (* c. Re-attach what the detach phase removed, where the (source)
+         hardware still backs it. *)
+      phase ~name:"rollback-attach" ~lost:scratch ~best_effort:true (fun vm ->
+          !(removed_of vm)
+          |> List.filter (fun (d : Device.t) ->
+                 Vm.find_device vm ~tag:d.Device.tag = None
+                 && (not (Device.is_bypass d.Device.kind) || Node.has_ib (Vm.host vm)))
+          |> List.map (fun device -> Qmp.Device_add { device; noise }));
+      retry_lost := Time.add !retry_lost (span_since sim rb0);
+      t.last_outcome <- Some (Rolled_back reason);
+      Trace.record t.trace ~category:"ninja" "rollback complete: VMs restored at source";
+      (* Release the fence exactly like a completed operation would. *)
+      t.operation_active <- false;
+      Controller.signal ctl);
   Runtime.await_checkpoint_complete complete;
   let linkup = Runtime.last_linkup_wait rt in
   let total = span_since sim t0 in
-  let breakdown = { Breakdown.coordination; detach; migration; attach; linkup; total } in
+  let breakdown =
+    {
+      Breakdown.coordination;
+      detach = !detach_span;
+      migration = !migration_span;
+      attach = !attach_span;
+      linkup;
+      retry = !retry_lost;
+      total;
+    }
+  in
   Trace.recordf t.trace ~category:"ninja" "migration done: %a" Breakdown.pp breakdown;
   breakdown
+
+let last_outcome t = t.last_outcome
 
 let plan_of_dsts t dsts =
   if List.length dsts <> List.length t.nodes then

@@ -17,6 +17,7 @@
     different destinations; the transport switch falls out of BTL
     exclusivity, not from any special-casing here. *)
 
+open Ninja_engine
 open Ninja_guestos
 open Ninja_hardware
 open Ninja_metrics
@@ -27,6 +28,13 @@ open Ninja_vmm
 type t
 
 type vnode = { vm : Vm.t; guest : Guest.t; endpoint : Hypercall.t }
+
+type outcome =
+  | Completed  (** every VM reached its planned destination *)
+  | Rolled_back of string
+      (** a phase exhausted its retry policy; every VM was returned to its
+          origin node with its bypass devices restored, and the guests
+          resumed where they were. The payload is the failure reason. *)
 
 val setup :
   Cluster.t ->
@@ -85,6 +93,7 @@ val migrate :
   ?detach:(Vm.t -> string list) ->
   ?attach:(Vm.t -> Device.t list) ->
   ?migration_exec:(unit -> unit) ->
+  ?retry:Retry.policy ->
   unit ->
   Breakdown.t
 (** The full Ninja migration of every VM (concurrently, one agent each).
@@ -100,7 +109,20 @@ val migrate :
     NICs for the Ethernet rows). [migration_exec] replaces the migration
     phase itself — the batch planner ({!Ninja_planner.Executor}) uses it
     to run an ordered plan inside the fence window; when it returns,
-    every VM must already sit on [plan vm]. *)
+    every VM must already sit on [plan vm].
+
+    The flow is transactional under [retry] (default
+    {!Retry.default_policy}): a VMM phase re-issues only the failed VMs'
+    commands after the policy's backoff, and a phase that still cannot
+    complete rolls the whole operation back — VMs return to their origin
+    nodes, detached bypass devices are re-attached where the source
+    hardware allows, and the fence is released so the job continues where
+    it was. [migrate] does not raise on injected faults; the time lost to
+    retries and rollback is reported in the breakdown's [retry] field and
+    the result is readable via {!last_outcome}. *)
+
+val last_outcome : t -> outcome option
+(** Outcome of the most recent {!migrate} ([None] before the first). *)
 
 val fallback : t -> dsts:Node.t list -> Breakdown.t
 (** Migrate VM i to [dsts.(i)] — e.g. from the IB cluster to the Ethernet

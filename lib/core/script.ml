@@ -122,5 +122,6 @@ let quit ctl =
     migration = ctl.migration;
     attach = ctl.attach;
     linkup = ctl.linkup;
+    retry = Time.zero;
     total = Time.diff (Sim.now ctl.sim) ctl.started;
   }

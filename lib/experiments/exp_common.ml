@@ -7,9 +7,17 @@ let default_seed = ref 42L
 
 let set_default_seed s = default_seed := s
 
+let default_faults : Ninja_faults.Injector.spec list ref = ref []
+
+let set_default_faults specs = default_faults := specs
+
 let fresh ?seed ?(spec = Spec.agc) () =
   let sim = Sim.create ~seed:(Option.value seed ~default:!default_seed) () in
-  (sim, Cluster.create sim ~spec ())
+  let cluster = Cluster.create sim ~spec () in
+  List.iter
+    (fun s -> Ninja_faults.Injector.arm_spec (Cluster.injector cluster) s)
+    !default_faults;
+  (sim, cluster)
 
 let hosts cluster ~prefix ~first ~count =
   List.init count (fun i ->

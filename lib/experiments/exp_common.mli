@@ -12,8 +12,15 @@ val set_default_seed : int64 -> unit
     [--seed] flag threads through here so whole experiment runs are
     reproducibly variable. *)
 
+val set_default_faults : Ninja_faults.Injector.spec list -> unit
+(** Fault specs armed on every cluster {!fresh} creates (initially none).
+    The CLI's repeatable [--fault] flag threads through here, so an
+    experiment run can be re-executed under injected failures without the
+    experiment knowing. *)
+
 val fresh : ?seed:int64 -> ?spec:Spec.t -> unit -> Sim.t * Cluster.t
-(** A deterministic simulation (fixed seed) plus its cluster. *)
+(** A deterministic simulation (fixed seed) plus its cluster, with any
+    default fault specs armed on the cluster's injector. *)
 
 val hosts : Cluster.t -> prefix:string -> first:int -> count:int -> Node.t list
 (** e.g. [hosts c ~prefix:"ib" ~first:8 ~count:8] = ib08..ib15. *)

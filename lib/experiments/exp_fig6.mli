@@ -12,6 +12,7 @@ type row = {
   migration : float;
   hotplug : float;
   linkup : float;
+  retry : float;  (** time lost to recovery; nonzero only under [--fault] *)
   total : float;
 }
 

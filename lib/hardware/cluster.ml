@@ -12,9 +12,13 @@ type t = {
   nodes : Node.t array;
   trace : Trace.t;
   inter_racks : (int * int, inter_rack) Hashtbl.t;
+  injector : Ninja_faults.Injector.t;
+  dead_nodes : (int, unit) Hashtbl.t;
 }
 
 exception Unreachable of string
+
+exception Node_dead of string
 
 let sim t = t.sim
 
@@ -38,7 +42,31 @@ let create sim ?(spec = Spec.agc) () =
              ~with_ib:g.with_ib)
     |> Array.of_list
   in
-  { sim; fabric; spec; nodes; trace = Trace.create sim; inter_racks = Hashtbl.create 4 }
+  let trace = Trace.create sim in
+  let injector = Ninja_faults.Injector.create sim in
+  Ninja_faults.Injector.set_trace injector trace;
+  {
+    sim;
+    fabric;
+    spec;
+    nodes;
+    trace;
+    inter_racks = Hashtbl.create 4;
+    injector;
+    dead_nodes = Hashtbl.create 4;
+  }
+
+let injector t = t.injector
+
+let kill_node t (n : Node.t) =
+  if not (Hashtbl.mem t.dead_nodes n.Node.id) then begin
+    Hashtbl.replace t.dead_nodes n.Node.id ();
+    Trace.recordf t.trace ~category:"faults" "node %s died" n.Node.name
+  end
+
+let node_alive t (n : Node.t) = not (Hashtbl.mem t.dead_nodes n.Node.id)
+
+let alive_nodes t = List.filter (node_alive t) (Array.to_list t.nodes)
 
 let node t i = t.nodes.(i)
 

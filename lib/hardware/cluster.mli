@@ -35,6 +35,23 @@ val eth_only_nodes : t -> Node.t list
 val find_node : t -> string -> Node.t
 (** By name; raises [Not_found]. *)
 
+(** {1 Faults}
+
+    Every cluster owns a fault injector (disabled — nothing armed — by
+    default, at zero cost) and a record of dead nodes. Node death is
+    permanent: a migration targeting a dead node fails with
+    {!Node_dead}. *)
+
+val injector : t -> Ninja_faults.Injector.t
+
+val kill_node : t -> Node.t -> unit
+
+val node_alive : t -> Node.t -> bool
+
+val alive_nodes : t -> Node.t list
+
+exception Node_dead of string
+
 exception Unreachable of string
 
 val route : t -> net:net -> src:Node.t -> dst:Node.t -> Fabric.link list

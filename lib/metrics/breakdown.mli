@@ -13,6 +13,9 @@ type t = {
   migration : Time.span;
   attach : Time.span;
   linkup : Time.span;
+  retry : Time.span;
+      (** sim-time lost to recovery: failed attempts, backoff sleeps and
+          rollback work. A subset of [total]; zero on a fault-free run. *)
   total : Time.span;  (** trigger → every process resumed *)
 }
 
@@ -29,4 +32,6 @@ val overhead_sum : t -> Time.span
 val pp : Format.formatter -> t -> unit
 
 val to_row : t -> (string * float) list
-(** Label/seconds pairs for table and CSV output. *)
+(** Label/seconds pairs for table and CSV output. [retry] is included in
+    both {!pp} and {!to_row} only when nonzero, so fault-free runs render
+    byte-identically to builds without the fault layer. *)

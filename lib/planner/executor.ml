@@ -16,19 +16,36 @@ type report = {
   total_downtime : Time.span;
   total_wire_bytes : float;
   step_results : step_result list;
+  retries : int;
+  retry_delay : Time.span;
+  permits_leaked : int;
 }
 
-exception Step_failed of string
+exception Step_failed of { step_id : int; vm : string; dst : string; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Step_failed { step_id; vm; dst; reason } ->
+        Some (Printf.sprintf "step %d (%s -> %s): %s" step_id vm dst reason)
+    | _ -> None)
 
 let default_max_per_host = 4
+
+let fail_of (step : Plan.step) reason =
+  Step_failed
+    {
+      step_id = step.Plan.id;
+      vm = Vm.name step.Plan.vm;
+      dst = step.Plan.dst.Node.name;
+      reason;
+    }
 
 let default_run_step transport (step : Plan.step) =
   match Qmp.execute step.Plan.vm (Qmp.Migrate { dst = step.Plan.dst; transport }) with
   | Qmp.Migrated stats -> stats
-  | Qmp.Error msg ->
-    raise (Step_failed (Printf.sprintf "%s: %s" (Vm.name step.Plan.vm) msg))
+  | Qmp.Error msg -> raise (fail_of step msg)
   | Qmp.Ok_empty | Qmp.Elapsed _ | Qmp.Status _ ->
-    raise (Step_failed "unexpected QMP response to migrate")
+      raise (fail_of step "unexpected QMP response to migrate")
 
 (* Permits for the step's endpoints, in global node-id order: fibers never
    hold a high-id permit while waiting for a lower one, so permit waits
@@ -40,7 +57,7 @@ let permit_nodes (step : Plan.step) =
   else [ dst; src ]
 
 let run cluster ?(transport = Migration.Tcp) ?(max_per_host = default_max_per_host)
-    ?run_step plan =
+    ?run_step ?(retry = Retry.default_policy) ?reroute plan =
   if max_per_host <= 0 then invalid_arg "Executor.run: max_per_host must be positive";
   ignore (Plan.topo_order plan);
   let sim = Cluster.sim cluster in
@@ -57,9 +74,17 @@ let run cluster ?(transport = Migration.Tcp) ?(max_per_host = default_max_per_ho
       Hashtbl.add sems n.Node.id s;
       s
   in
-  let done_ivars : (int, step_result Ivar.t) Hashtbl.t = Hashtbl.create 16 in
+  (* Completion ivars carry no payload and are filled on success AND on
+     terminal failure: dependents always get to run (the simulated hosts
+     tolerate overcommit), so an injected failure can never deadlock the
+     executor — it surfaces as [Step_failed] from the calling fiber after
+     every step has settled. *)
+  let done_ivars : (int, unit Ivar.t) Hashtbl.t = Hashtbl.create 16 in
   List.iter (fun (s : Plan.step) -> Hashtbl.add done_ivars s.Plan.id (Ivar.create ())) steps;
   let completed = ref [] in
+  let failures = ref [] in
+  let retries = ref 0 in
+  let retry_delay = ref Time.zero in
   List.iter
     (fun (s : Plan.step) ->
       Sim.spawn sim
@@ -69,26 +94,95 @@ let run cluster ?(transport = Migration.Tcp) ?(max_per_host = default_max_per_ho
             (fun (d : Plan.step) ->
               ignore (Ivar.read (Hashtbl.find done_ivars d.Plan.id)))
             (Plan.deps_of plan s);
-          let nodes = permit_nodes s in
-          List.iter (fun n -> Semaphore.acquire (sem n)) nodes;
-          let t0 = Sim.now sim in
-          Trace.recordf trace ~category:"planner" "%a starts" Plan.pp_step s;
-          let stats = run_step s in
-          (* Release before waking dependents so a freed permit is visible
-             to them even at max_per_host = 1. *)
-          List.iter (fun n -> Semaphore.release (sem n)) nodes;
-          let finished = Sim.now sim in
-          let result = { step = s; started = t0; finished; stats } in
-          completed := result :: !completed;
-          Trace.recordf trace ~category:"planner" "%a done in %a" Plan.pp_step s Time.pp
-            (Time.diff finished t0);
-          Ivar.fill (Hashtbl.find done_ivars s.Plan.id) result))
+          let fail (step : Plan.step) reason =
+            failures := (step, reason) :: !failures;
+            Trace.recordf trace ~category:"planner" "step %d (%s -> %s) failed: %s"
+              step.Plan.id (Vm.name step.Plan.vm) step.Plan.dst.Node.name reason
+          in
+          (* A dead destination is not retried in place: the replanner (if
+             any) supplies a live substitute and the step carries on. *)
+          let reroute_or_fail (step : Plan.step) reason =
+            match reroute with
+            | None ->
+                fail step reason;
+                None
+            | Some f -> (
+                match f step with
+                | Some (n : Node.t) when Cluster.node_alive cluster n ->
+                    Trace.recordf trace ~category:"planner"
+                      "step %d (%s) rerouted %s -> %s: %s" step.Plan.id
+                      (Vm.name step.Plan.vm) step.Plan.dst.Node.name n.Node.name reason;
+                    Some (Plan.with_dst step ~dst:n)
+                | _ ->
+                    fail step reason;
+                    None)
+          in
+          let rec attempt (step : Plan.step) attempt_no =
+            let step =
+              if Cluster.node_alive cluster step.Plan.dst then Some step
+              else
+                reroute_or_fail step
+                  (Printf.sprintf "destination %s is dead" step.Plan.dst.Node.name)
+            in
+            match step with
+            | None -> ()
+            | Some step -> (
+                let nodes = permit_nodes step in
+                List.iter (fun n -> Semaphore.acquire (sem n)) nodes;
+                let t0 = Sim.now sim in
+                Trace.recordf trace ~category:"planner" "%a starts" Plan.pp_step step;
+                match run_step step with
+                | stats ->
+                    (* Release before waking dependents so a freed permit is
+                       visible to them even at max_per_host = 1. *)
+                    List.iter (fun n -> Semaphore.release (sem n)) nodes;
+                    let finished = Sim.now sim in
+                    let result = { step; started = t0; finished; stats } in
+                    completed := result :: !completed;
+                    Trace.recordf trace ~category:"planner" "%a done in %a" Plan.pp_step
+                      step Time.pp (Time.diff finished t0)
+                | exception exn ->
+                    List.iter (fun n -> Semaphore.release (sem n)) nodes;
+                    let reason =
+                      match exn with
+                      | Step_failed f -> f.reason
+                      | exn -> Printexc.to_string exn
+                    in
+                    if attempt_no >= retry.Retry.max_attempts then
+                      fail step
+                        (Printf.sprintf "%s (after %d attempts)" reason attempt_no)
+                    else if not (Cluster.node_alive cluster step.Plan.dst) then (
+                      match reroute_or_fail step reason with
+                      | Some step' ->
+                          incr retries;
+                          attempt step' (attempt_no + 1)
+                      | None -> ())
+                    else begin
+                      let delay = Retry.backoff retry ~attempt:attempt_no in
+                      incr retries;
+                      retry_delay := Time.add !retry_delay delay;
+                      Trace.recordf trace ~category:"planner"
+                        "step %d (%s -> %s) attempt %d failed: %s; retrying in %a"
+                        step.Plan.id (Vm.name step.Plan.vm) step.Plan.dst.Node.name
+                        attempt_no reason Time.pp delay;
+                      Sim.sleep delay;
+                      attempt step (attempt_no + 1)
+                    end)
+          in
+          attempt s 1;
+          Ivar.fill (Hashtbl.find done_ivars s.Plan.id) ()))
     steps;
   List.iter
     (fun (s : Plan.step) -> ignore (Ivar.read (Hashtbl.find done_ivars s.Plan.id)))
     steps;
   let finished = Sim.now sim in
   let step_results = List.rev !completed in
+  (match List.rev !failures with
+  | [] -> ()
+  | (step, reason) :: _ -> raise (fail_of step reason));
+  let permits_leaked =
+    Hashtbl.fold (fun _ s acc -> acc + (max_per_host - Semaphore.available s)) sems 0
+  in
   {
     started;
     finished;
@@ -100,12 +194,17 @@ let run cluster ?(transport = Migration.Tcp) ?(max_per_host = default_max_per_ho
     total_wire_bytes =
       List.fold_left (fun acc r -> acc +. r.stats.Migration.transferred_bytes) 0.0 step_results;
     step_results;
+    retries = !retries;
+    retry_delay = !retry_delay;
+    permits_leaked;
   }
 
 let pp_report fmt r =
   Format.fprintf fmt "@[<v>%d steps, makespan %a, downtime %a, %a on the wire"
     (List.length r.step_results) Time.pp r.makespan Time.pp r.total_downtime Units.pp_bytes
     r.total_wire_bytes;
+  if r.retries > 0 then
+    Format.fprintf fmt " (%d retries, %a lost)" r.retries Time.pp r.retry_delay;
   List.iter
     (fun (sr : step_result) ->
       Format.fprintf fmt "@,  [%a .. %a] %a" Time.pp sr.started Time.pp sr.finished

@@ -8,7 +8,16 @@
     execute through the VM's QEMU monitor by default, exactly as the
     per-VM SymVirt agents do, and the executor records a per-step trace
     plus timing so experiments can report makespan, per-step latency and
-    aggregate downtime. *)
+    aggregate downtime.
+
+    Failures are recoverable: a step that errors is re-attempted under the
+    [retry] policy, a step whose destination node has died is handed to
+    the [reroute] replanner for a live substitute, and a step that still
+    cannot complete is recorded without blocking its dependents — every
+    completion ivar is filled on success and failure alike, so an injected
+    fault can never deadlock the executor. Terminal failures surface as
+    {!Step_failed} raised from the calling fiber after all steps settle
+    (never from inside a step fiber, which would abort the simulation). *)
 
 open Ninja_engine
 open Ninja_hardware
@@ -16,6 +25,7 @@ open Ninja_vmm
 
 type step_result = {
   step : Plan.step;
+      (** the step as executed — its [dst] reflects any reroute *)
   started : Time.t;
   finished : Time.t;
   stats : Migration.stats;
@@ -28,9 +38,18 @@ type report = {
   total_downtime : Time.span;  (** sum of per-step stop-and-copy pauses *)
   total_wire_bytes : float;
   step_results : step_result list;  (** in completion order *)
+  retries : int;  (** re-attempts (including reroutes) across all steps *)
+  retry_delay : Time.span;  (** total backoff slept between attempts *)
+  permits_leaked : int;
+      (** per-host permits not returned by completion; always 0 — reported
+          so tests can assert the invariant under injected faults *)
 }
 
-exception Step_failed of string
+exception
+  Step_failed of { step_id : int; vm : string; dst : string; reason : string }
+(** Carries the identity of the first terminally-failed step: its plan
+    step id, the VM being moved and the destination node it could not
+    reach. *)
 
 val default_max_per_host : int
 
@@ -39,13 +58,19 @@ val run :
   ?transport:Migration.transport ->
   ?max_per_host:int ->
   ?run_step:(Plan.step -> Migration.stats) ->
+  ?retry:Retry.policy ->
+  ?reroute:(Plan.step -> Node.t option) ->
   Plan.t ->
   report
 (** Execute every step; blocks the calling fiber until the last one
-    completes. Must be called from inside a fiber. The plan must be
-    acyclic (checked up front, raising {!Plan.Cyclic} rather than
-    deadlocking the simulation). [run_step] overrides how a single step
-    is performed (default: a [migrate] QMP command to the VM's monitor);
-    it raises {!Step_failed} on a monitor error. *)
+    settles. Must be called from inside a fiber. The plan must be acyclic
+    (checked up front, raising {!Plan.Cyclic} rather than deadlocking the
+    simulation). [run_step] overrides how a single step is performed
+    (default: a [migrate] QMP command to the VM's monitor). A failing step
+    is re-attempted under [retry] (default {!Retry.default_policy}); when
+    its destination is dead, [reroute] is asked for a replacement node
+    (a [None] answer, or no [reroute], makes the failure terminal). If any
+    step failed terminally, raises {!Step_failed} for the first of them
+    after all steps have settled. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -29,6 +29,8 @@ let steps t = List.rev t.rev_steps
 
 let find t id = Hashtbl.find t.by_id id
 
+let with_dst (s : step) ~dst = { s with dst }
+
 let add_step t ~vm ~src ~dst ~bytes ?(kind = Direct) () =
   if bytes < 0.0 || not (Float.is_finite bytes) then
     invalid_arg "Plan.add_step: bytes must be non-negative and finite";

@@ -60,6 +60,11 @@ val steps : t -> step list
 val find : t -> int -> step
 (** By id; raises [Not_found]. *)
 
+val with_dst : step -> dst:Node.t -> step
+(** A copy of the step aimed at a different destination — how the
+    executor reroutes a step around a dead node. The copy shares the
+    original's id, so plan dependencies keep applying to it. *)
+
 val deps_of : t -> step -> step list
 (** Steps that must complete before the given step starts. *)
 

@@ -22,13 +22,21 @@ type t = {
   sim : Sim.t;
   strategy : Solver.strategy;
   max_per_host : int;
+  retry : Retry.policy;
   mutable records : record list;
 }
 
 let create ?(strategy = Solver.Grouped) ?(max_per_host = Executor.default_max_per_host)
-    ninja =
+    ?(retry = Retry.default_policy) ninja =
   if max_per_host <= 0 then invalid_arg "Cloud_scheduler.create: max_per_host";
-  { ninja; sim = Cluster.sim (Ninja.cluster ninja); strategy; max_per_host; records = [] }
+  {
+    ninja;
+    sim = Cluster.sim (Ninja.cluster ninja);
+    strategy;
+    max_per_host;
+    retry;
+    records = [];
+  }
 
 let strategy t = t.strategy
 
@@ -66,15 +74,38 @@ let build_plan t trigger dst_of =
     (Estimator.sequential_duration cluster plan);
   Solver.solve t.strategy cluster plan
 
+(* Would [n] be a policy-conformant destination for this trigger? Rerouted
+   steps must respect it too: evacuating onto an avoided node would undo
+   the trigger. *)
+let acceptable trigger n =
+  match trigger with
+  | Maintenance { avoid } -> not (avoid n)
+  | Disaster { rack } -> n.Node.rack <> rack
+  | Consolidate { targets; _ } | Rebalance { targets } ->
+    List.exists (fun m -> m.Node.id = n.Node.id) targets
+
+(* When a destination dies mid-plan, send the step to the first live free
+   node the trigger's policy accepts — the scheduler replans around the
+   loss rather than aborting the whole trigger. *)
+let reroute_for t trigger (step : Plan.step) =
+  let cluster = Ninja.cluster t.ninja in
+  Placement.nodes_free cluster ~vms:(Ninja.vms t.ninja)
+  |> List.find_opt (fun n ->
+         Cluster.node_alive cluster n
+         && n.Node.id <> step.Plan.dst.Node.id
+         && acceptable trigger n)
+
 let execute t trigger =
   let dst_of = plan_for t trigger in
   let plan = build_plan t trigger dst_of in
   let report = ref None in
   let breakdown =
-    Ninja.migrate t.ninja ~plan:dst_of
+    Ninja.migrate t.ninja ~plan:dst_of ~retry:t.retry
       ~migration_exec:(fun () ->
         report :=
-          Some (Executor.run (Ninja.cluster t.ninja) ~max_per_host:t.max_per_host plan))
+          Some
+            (Executor.run (Ninja.cluster t.ninja) ~max_per_host:t.max_per_host
+               ~retry:t.retry ~reroute:(reroute_for t trigger) plan))
       ()
   in
   t.records <- { at = Sim.now t.sim; trigger; breakdown; report = !report } :: t.records;

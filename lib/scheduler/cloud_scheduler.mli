@@ -38,10 +38,17 @@ type record = {
 
 type t
 
-val create : ?strategy:Solver.strategy -> ?max_per_host:int -> Ninja.t -> t
+val create :
+  ?strategy:Solver.strategy -> ?max_per_host:int -> ?retry:Retry.policy -> Ninja.t -> t
 (** [strategy] defaults to [Grouped]; [max_per_host] bounds concurrent
     migrations touching one node (default
-    {!Ninja_planner.Executor.default_max_per_host}). *)
+    {!Ninja_planner.Executor.default_max_per_host}); [retry] (default
+    {!Ninja_engine.Retry.default_policy}) governs both the executor's
+    per-step re-attempts and the migrate flow's per-phase re-attempts.
+    When a plan step's destination dies, the scheduler reroutes it to the
+    first live free node the trigger's placement policy accepts (e.g. not
+    an avoided node during maintenance) rather than aborting the
+    trigger. *)
 
 val strategy : t -> Solver.strategy
 

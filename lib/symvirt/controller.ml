@@ -34,29 +34,43 @@ let signal t =
   Trace.recordf t.trace ~category:"symvirt" "signalled %d VMs" (List.length t.members)
 
 (* One agent fiber per VM, driving its monitor; the caller blocks on all of
-   them (the paper's controller joins its agent threads). *)
-let run_agents t commands_for =
+   them (the paper's controller joins its agent threads). An armed
+   [Agent_crash] fault kills the agent before it issues anything — its
+   command list is untouched, so a fresh agent can safely re-run it. *)
+let run_agents_results t commands_for =
   let sim = Cluster.sim t.cluster in
+  let injector = Cluster.injector t.cluster in
   let jobs =
     List.map
       (fun m ->
         let done_ = Ivar.create () in
         let commands = commands_for m.vm in
         Sim.spawn sim ~name:(Printf.sprintf "agent-%s" (Vm.name m.vm)) (fun () ->
-            let responses = List.map (fun c -> Qmp.execute m.vm c) commands in
+            let responses =
+              if
+                commands <> []
+                && Ninja_faults.Injector.enabled injector
+                && Ninja_faults.Injector.fire injector Ninja_faults.Injector.Agent_crash
+                     ~site:(Vm.name m.vm)
+              then [ Qmp.Error "agent crashed before issuing its commands" ]
+              else List.map (fun c -> Qmp.execute m.vm c) commands
+            in
             Ivar.fill done_ responses);
         (m.vm, done_))
       t.members
   in
-  let results = List.map (fun (vm, done_) -> (vm, Ivar.read done_)) jobs in
+  List.map (fun (vm, done_) -> (vm, Ivar.read done_)) jobs
+
+let first_error responses =
+  List.find_map (function Qmp.Error msg -> Some msg | _ -> None) responses
+
+let run_agents t commands_for =
+  let results = run_agents_results t commands_for in
   List.iter
     (fun (vm, responses) ->
-      List.iter
-        (function
-          | Qmp.Error msg ->
-            raise (Agent_failure (Printf.sprintf "%s: %s" (Vm.name vm) msg))
-          | Qmp.Ok_empty | Qmp.Elapsed _ | Qmp.Migrated _ | Qmp.Status _ -> ())
-        responses)
+      match first_error responses with
+      | Some msg -> raise (Agent_failure (Printf.sprintf "%s: %s" (Vm.name vm) msg))
+      | None -> ())
     results;
   results
 

@@ -32,6 +32,14 @@ val run_agents : t -> (Vm.t -> Qmp.command list) -> (Vm.t * Qmp.response list) l
     all agents finish. Responses are returned in member order. Raises
     {!Agent_failure} if any command returned an error. *)
 
+val run_agents_results : t -> (Vm.t -> Qmp.command list) -> (Vm.t * Qmp.response list) list
+(** Like {!run_agents} but never raises on a monitor error: failures stay
+    in the response lists for the caller's retry/rollback machinery. A VM
+    whose agent is killed by an armed [Agent_crash] fault reports a single
+    [Error] response without having issued anything. *)
+
+val first_error : Qmp.response list -> string option
+
 exception Agent_failure of string
 
 val device_detach : t -> tag:string -> ?noise:float -> unit -> unit

@@ -1,7 +1,10 @@
 open Ninja_engine
+open Ninja_faults
 open Ninja_hardware
 
 exception No_backing_port of string
+
+exception Attach_failed of string
 
 let timed vm span =
   let start = Sim.now (Cluster.sim (Vm.cluster vm)) in
@@ -28,5 +31,15 @@ let device_add vm ~device ?(noise = 1.0) () =
   | Device.Virtio_net | Device.Eth_10g | Device.Emulated_nic -> ());
   let span = Time.scale (Device.attach_time device.kind) noise in
   let elapsed = timed vm span in
+  (* Transient injected failure: the ACPI handshake ran its course but the
+     guest never saw the device come up — a retry may succeed. *)
+  let injector = Cluster.injector (Vm.cluster vm) in
+  if
+    Injector.enabled injector
+    && Injector.fire injector Injector.Hotplug_attach_fail ~site:(Vm.name vm)
+  then
+    raise
+      (Attach_failed
+         (Printf.sprintf "%s: hotplug of %s failed" (Vm.name vm) device.Device.tag));
   Vm.attach_device vm device;
   elapsed

@@ -19,6 +19,10 @@ val device_add : Vm.t -> device:Device.t -> ?noise:float -> unit -> Ninja_engine
 (** Attach a device. For a bypass HCA the host must actually have an IB
     port — raises {!No_backing_port} otherwise (you cannot passthrough
     hardware the destination node does not have, which is exactly the
-    heterogeneity barrier of the paper). *)
+    heterogeneity barrier of the paper). An armed [Hotplug_attach_fail]
+    fault raises {!Attach_failed} after the ACPI delay, leaving the
+    device unattached — a transient failure a retry may clear. *)
 
 exception No_backing_port of string
+
+exception Attach_failed of string

@@ -2,7 +2,11 @@ open Ninja_engine
 open Ninja_flownet
 open Ninja_hardware
 
+open Ninja_faults
+
 exception Bypass_device_attached of string
+
+exception Aborted of string
 
 type transport = Tcp | Rdma
 
@@ -23,6 +27,8 @@ let sender_rate = function
 let sender_cpu_demand = function
   | Tcp -> Calibration.migration_cpu_demand
   | Rdma -> 0.15 (* RDMA offloads the copy; §V. *)
+
+let precopy_stall_duration = Time.sec 3
 
 let postcopy_hot_set_bytes = 256.0 *. 1024.0 *. 1024.0
 
@@ -72,6 +78,24 @@ let precopy vm ~dst ~transport =
   let sender = start_sender vm ~src ~dst ~transport in
   let memory = Vm.memory vm in
   let was_running = Vm.state vm = Vm.Running in
+  (* Injected fault gate, evaluated at each round boundary: a stall burns
+     extra transfer time; an abort tears the attempt down (the VM keeps
+     its source host and pre-migration run state — the destination simply
+     discards the partial image). *)
+  let injector = Cluster.injector cluster in
+  let fault_gate () =
+    if Injector.enabled injector then begin
+      if Injector.fire injector Injector.Precopy_stall ~site:(Vm.name vm) then
+        Sim.sleep precopy_stall_duration;
+      if Injector.fire injector Injector.Precopy_abort ~site:(Vm.name vm) then begin
+        stop_sender sender;
+        if was_running && Vm.state vm = Vm.Paused then Vm.resume vm;
+        raise
+          (Aborted (Printf.sprintf "%s: precopy to %s aborted" (Vm.name vm) dst.Node.name))
+      end
+    end
+  in
+  fault_gate ();
   (* Round 0: full walk. Zero pages cost scan time only. *)
   let zero = Memory.zero_bytes memory in
   Memory.clear_dirty memory;
@@ -81,6 +105,7 @@ let precopy vm ~dst ~transport =
     Time.to_sec_f Calibration.migration_downtime_target *. sender_rate transport
   in
   let rec rounds n =
+    fault_gate ();
     let dirty = Memory.dirty_bytes memory in
     if dirty <= downtime_budget_bytes || n >= Calibration.migration_max_rounds then begin
       (* Stop-and-copy. *)
@@ -140,6 +165,15 @@ let migrate vm ~dst ?(transport = Tcp) ?(mode = Precopy) () =
   let cluster = Vm.cluster vm in
   let sim = Cluster.sim cluster in
   let trace = Cluster.trace cluster in
+  let injector = Cluster.injector cluster in
+  if
+    Injector.enabled injector
+    && Injector.fire injector Injector.Node_death ~site:dst.Node.name
+  then Cluster.kill_node cluster dst;
+  if not (Cluster.node_alive cluster dst) then
+    raise
+      (Cluster.Node_dead
+         (Printf.sprintf "%s: destination %s is dead" (Vm.name vm) dst.Node.name));
   Semaphore.with_permit (Vm.migration_lock vm) @@ fun () ->
   let src = Vm.host vm in
   let started = Sim.now sim in

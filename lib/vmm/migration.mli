@@ -13,12 +13,23 @@
     for the no-quiesce ablation and for plain (non-MPI) VMs.
 
     A migration with a VMM-bypass device attached is refused — the
-    invariant the paper's whole coordination dance exists to satisfy. *)
+    invariant the paper's whole coordination dance exists to satisfy.
+
+    Fault injection: the cluster's {!Ninja_faults.Injector} is consulted
+    at each precopy round boundary ([Precopy_stall] burns
+    {!precopy_stall_duration}; [Precopy_abort] raises {!Aborted} after
+    tearing the attempt down — the VM keeps its source host and run
+    state) and at migration start ([Node_death] of the destination, which
+    raises [Cluster.Node_dead]). *)
 
 open Ninja_engine
 open Ninja_hardware
 
 exception Bypass_device_attached of string
+
+exception Aborted of string
+(** An injected mid-flight failure. The VM is left exactly as before the
+    attempt: on its source host, with its pre-migration run state. *)
 
 type transport = Tcp | Rdma
 
@@ -47,6 +58,8 @@ val migrate : Vm.t -> dst:Node.t -> ?transport:transport -> ?mode:mode -> unit -
     the loopback path, as in the paper's Table II experiment. *)
 
 val sender_rate : transport -> float
+
+val precopy_stall_duration : Ninja_engine.Time.span
 
 val postcopy_hot_set_bytes : float
 

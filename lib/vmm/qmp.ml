@@ -17,7 +17,38 @@ type response =
   | Status of Vm.state
   | Error of string
 
+let command_to_string = function
+  | Device_del { tag; _ } -> Printf.sprintf "device_del %s" tag
+  | Device_add { device; _ } ->
+    Printf.sprintf "device_add %s %s %s" device.Device.tag device.Device.pci_addr
+      (match device.Device.kind with
+      | Device.Ib_hca -> "ib"
+      | Device.Virtio_net -> "virtio"
+      | Device.Eth_10g -> "eth"
+      | Device.Emulated_nic -> "emulated")
+  | Migrate { dst; transport = Migration.Tcp } -> Printf.sprintf "migrate %s" dst.Node.name
+  | Migrate { dst; transport = Migration.Rdma } -> Printf.sprintf "migrate_rdma %s" dst.Node.name
+  | Stop -> "stop"
+  | Cont -> "cont"
+  | Query_status -> "query-status"
+  | Query_migrate -> "query-migrate"
+
+(* How long the controller waits on a monitor command before declaring the
+   round-trip lost (the injected [Qmp_timeout] failure mode: the command is
+   dropped before execution, so re-issuing it is always safe). *)
+let command_timeout = Time.sec 2
+
 let execute vm command =
+  let injector = Cluster.injector (Vm.cluster vm) in
+  if
+    Ninja_faults.Injector.enabled injector
+    && Ninja_faults.Injector.fire injector Ninja_faults.Injector.Qmp_timeout
+         ~site:(Vm.name vm)
+  then begin
+    Sim.sleep command_timeout;
+    Error (Printf.sprintf "timed out: %s" (command_to_string command))
+  end
+  else begin
   Sim.sleep Calibration.qmp_command_overhead;
   match command with
   | Device_del { tag; noise } -> (
@@ -28,11 +59,14 @@ let execute vm command =
     match Hotplug.device_add vm ~device ~noise () with
     | elapsed -> Elapsed elapsed
     | exception Hotplug.No_backing_port msg -> Error msg
+    | exception Hotplug.Attach_failed msg -> Error msg
     | exception Invalid_argument msg -> Error msg)
   | Migrate { dst; transport } -> (
     match Migration.migrate vm ~dst ~transport () with
     | stats -> Migrated stats
     | exception Migration.Bypass_device_attached msg -> Error msg
+    | exception Migration.Aborted msg -> Error msg
+    | exception Cluster.Node_dead msg -> Error msg
     | exception Cluster.Unreachable msg -> Error msg)
   | Stop ->
     Vm.pause vm;
@@ -42,6 +76,7 @@ let execute vm command =
     Ok_empty
   | Query_status -> Status (Vm.state vm)
   | Query_migrate -> Ok_empty
+  end
 
 let parse cluster line =
   match String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "") with
@@ -65,22 +100,6 @@ let parse cluster line =
   | [ "query-status" ] -> Result.Ok Query_status
   | [ "query-migrate" ] -> Result.Ok Query_migrate
   | _ -> Result.Error (Printf.sprintf "unparsable command: %s" line)
-
-let command_to_string = function
-  | Device_del { tag; _ } -> Printf.sprintf "device_del %s" tag
-  | Device_add { device; _ } ->
-    Printf.sprintf "device_add %s %s %s" device.Device.tag device.Device.pci_addr
-      (match device.Device.kind with
-      | Device.Ib_hca -> "ib"
-      | Device.Virtio_net -> "virtio"
-      | Device.Eth_10g -> "eth"
-      | Device.Emulated_nic -> "emulated")
-  | Migrate { dst; transport = Migration.Tcp } -> Printf.sprintf "migrate %s" dst.Node.name
-  | Migrate { dst; transport = Migration.Rdma } -> Printf.sprintf "migrate_rdma %s" dst.Node.name
-  | Stop -> "stop"
-  | Cont -> "cont"
-  | Query_status -> "query-status"
-  | Query_migrate -> "query-migrate"
 
 let response_to_string = function
   | Ok_empty -> "ok"

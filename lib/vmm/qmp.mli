@@ -26,9 +26,16 @@ type response =
   | Status of Vm.state
   | Error of string
 
+val command_timeout : Time.span
+(** How long an injected [Qmp_timeout] fault stalls before the command is
+    declared lost (it is dropped without executing, so a re-issue is
+    always safe). *)
+
 val execute : Vm.t -> command -> response
 (** Blocking; includes the per-command controller/QMP overhead. Monitor
-    commands never raise — failures surface as [Error]. *)
+    commands never raise — failures (including injected timeouts, aborted
+    precopies, hotplug attach failures and dead destinations) surface as
+    [Error]. *)
 
 val parse : Cluster.t -> string -> (command, string) result
 (** Textual command, e.g. ["device_del vf0"], ["device_add vf0 04:00.0 ib"],

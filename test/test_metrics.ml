@@ -12,6 +12,7 @@ let breakdown =
     migration = Time.of_sec_f 28.5;
     attach = Time.of_sec_f 1.13;
     linkup = Time.of_sec_f 29.85;
+    retry = Time.zero;
     total = Time.of_sec_f 70.0;
   }
 
@@ -34,6 +35,23 @@ let test_breakdown_row () =
     [ "coordination"; "hotplug"; "migration"; "linkup"; "total" ]
     (List.map fst row);
   check_float "hotplug cell" 3.88 (List.assoc "hotplug" row)
+
+let test_breakdown_retry_row () =
+  let b = { breakdown with Breakdown.retry = Time.of_sec_f 1.5 } in
+  let row = Breakdown.to_row b in
+  Alcotest.(check (list string)) "labels gain retry when nonzero"
+    [ "coordination"; "hotplug"; "migration"; "linkup"; "retry"; "total" ]
+    (List.map fst row);
+  check_float "retry cell" 1.5 (List.assoc "retry" row);
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let with_retry = Format.asprintf "%a" Breakdown.pp b in
+  let without = Format.asprintf "%a" Breakdown.pp breakdown in
+  Alcotest.(check bool) "pp mentions retry when nonzero" true (contains with_retry "retry=");
+  Alcotest.(check bool) "pp omits retry when zero" false (contains without "retry=")
 
 let test_table_render () =
   let t = Table.create ~title:"T" ~columns:[ "a"; "bb" ] in
@@ -94,6 +112,7 @@ let () =
           Alcotest.test_case "overhead sum" `Quick test_breakdown_overhead_sum;
           Alcotest.test_case "add" `Quick test_breakdown_add;
           Alcotest.test_case "to_row" `Quick test_breakdown_row;
+          Alcotest.test_case "retry row only when nonzero" `Quick test_breakdown_retry_row;
         ] );
       ( "table",
         [

@@ -116,6 +116,11 @@ let test_swap_cycle_no_staging_falls_back () =
   Alcotest.(check bool) "still acyclic" true (Plan.is_acyclic plan);
   Alcotest.(check bool) "at most one edge survives" true (Plan.dep_count plan <= 1)
 
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
 let test_add_dep_validation () =
   let plan = Plan.create () in
   let _, cluster = setup () in
@@ -321,6 +326,84 @@ let test_grouped_beats_sequential () =
   Alcotest.(check bool) "grouped at most 60%% of sequential" true
     (grp <= 0.6 *. seq)
 
+let test_overcommit_fallback_executes () =
+  (* Two swap cycles but only one free staging node: one cycle gets the
+     staging node, the other falls back to overcommitting a destination
+     (trace notes it) — and the overcommitted plan still executes to the
+     right final placement. *)
+  let sim, cluster = setup () in
+  let a = mk_vm cluster ~name:"a" ~host:"ib00" in
+  let b = mk_vm cluster ~name:"b" ~host:"ib01" in
+  let c = mk_vm cluster ~name:"c" ~host:"ib02" in
+  let d = mk_vm cluster ~name:"d" ~host:"ib03" in
+  let dst_of vm =
+    node cluster
+      (match Vm.name vm with
+      | "a" -> "ib01"
+      | "b" -> "ib00"
+      | "c" -> "ib03"
+      | _ -> "ib02")
+  in
+  let plan =
+    Plan.of_assignment cluster ~vms:[ a; b; c; d ] ~dst_of
+      ~staging:[ node cluster "ib04" ] ()
+  in
+  let kinds =
+    Plan.steps plan
+    |> List.map (fun (s : Plan.step) -> Plan.kind_name s.Plan.kind)
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "one cycle staged, the other overcommitted"
+    [ "direct"; "direct"; "direct"; "stage-in"; "stage-out" ]
+    kinds;
+  Alcotest.(check bool) "acyclic" true (Plan.is_acyclic plan);
+  Alcotest.(check bool) "overcommit fallback recorded" true
+    (List.exists
+       (fun r -> contains r.Trace.message "overcommit")
+       (Trace.by_category (Cluster.trace cluster) "planner"));
+  let report = run_plan sim cluster plan in
+  Alcotest.(check int) "five steps executed" 5
+    (List.length report.Executor.step_results);
+  List.iter
+    (fun (vm, host) ->
+      Alcotest.(check string) (Vm.name vm ^ " final host") host (Vm.host vm).Node.name)
+    [ (a, "ib01"); (b, "ib00"); (c, "ib03"); (d, "ib02") ];
+  Alcotest.(check int) "no permits leaked" 0 report.Executor.permits_leaked
+
+let test_step_failed_carries_identity () =
+  (* Regression: Step_failed used to swallow which step failed. The
+     payload must name the step, the VM and the destination. *)
+  let sim, cluster = setup () in
+  let a = mk_vm cluster ~name:"a" ~host:"ib00" in
+  let plan =
+    Plan.of_assignment cluster ~vms:[ a ] ~dst_of:(fun _ -> node cluster "eth00") ()
+  in
+  let expected_id = (List.hd (Plan.steps plan)).Plan.id in
+  let calls = ref 0 in
+  let failing (_ : Plan.step) =
+    incr calls;
+    failwith "synthetic monitor failure"
+  in
+  let seen = ref None in
+  Sim.spawn sim (fun () ->
+      try
+        ignore
+          (Executor.run cluster ~run_step:failing
+             ~retry:(Retry.policy ~max_attempts:2 ~base_delay:(Time.ms 10) ())
+             plan)
+      with Executor.Step_failed { step_id; vm; dst; reason } ->
+        seen := Some (step_id, vm, dst, reason));
+  Sim.run sim;
+  match !seen with
+  | None -> Alcotest.fail "expected Step_failed"
+  | Some (step_id, vm, dst, reason) ->
+    Alcotest.(check int) "step id" expected_id step_id;
+    Alcotest.(check string) "vm name" "a" vm;
+    Alcotest.(check string) "destination" "eth00" dst;
+    Alcotest.(check int) "retried per policy before failing" 2 !calls;
+    Alcotest.(check bool) "reason kept" true (contains reason "synthetic monitor failure");
+    Alcotest.(check bool) "attempt count reported" true (contains reason "2 attempts")
+
 let test_executor_rejects_cycle () =
   let sim, cluster = setup () in
   let a = mk_vm cluster ~name:"a" ~host:"ib00" in
@@ -375,6 +458,10 @@ let () =
             test_executor_swap_max_per_host_one;
           Alcotest.test_case "grouped beats sequential" `Quick
             test_grouped_beats_sequential;
+          Alcotest.test_case "overcommit fallback executes" `Quick
+            test_overcommit_fallback_executes;
+          Alcotest.test_case "Step_failed carries identity" `Quick
+            test_step_failed_carries_identity;
           Alcotest.test_case "cyclic plan rejected" `Quick test_executor_rejects_cycle;
         ] );
     ]
