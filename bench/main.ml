@@ -9,7 +9,12 @@
      dune exec bench/main.exe -- fig8         # one experiment (quick)
      dune exec bench/main.exe -- fig8 full    # one experiment, paper-scale
      dune exec bench/main.exe -- micro        # only the Bechamel suite
+     dune exec bench/main.exe -- quick -j 4   # experiments domain-parallel, 4 cores
 *)
+
+(* Aliased before the opens: Toolkit shadows [Monotonic_clock] with its
+   bechamel-instance wrapper, which has no [now]. *)
+module Mclock = Monotonic_clock
 
 open Bechamel
 open Toolkit
@@ -18,17 +23,27 @@ open Ninja_experiments
 (* ------------------------------------------------------------------ *)
 (* Experiment tables *)
 
-let run_experiments mode names =
+(* Monotonic wall seconds: under [-j N] an experiment's simulations run on
+   several domains at once, so CPU time overstates (and [Sys.time] used to
+   misreport) what the user actually waits. *)
+let wall () = Int64.to_float (Mclock.now ()) /. 1e9
+
+let run_experiments ctx names =
+  let w0 = wall () and c0 = Sys.time () in
   List.iter
     (fun name ->
       match Registry.find name with
       | None -> Printf.printf "unknown experiment: %s\n%!" name
       | Some e ->
         Printf.printf "== %s: %s ==\n%!" e.Registry.name e.Registry.description;
-        let t0 = Sys.time () in
-        List.iter Ninja_metrics.Table.print (e.Registry.run mode);
-        Printf.printf "(generated in %.1fs of CPU time)\n\n%!" (Sys.time () -. t0))
-    names
+        let w = wall () and c = Sys.time () in
+        List.iter Ninja_metrics.Table.print (Registry.run_entry ctx e);
+        Printf.printf "(generated in %.1fs wall, %.1fs CPU)\n\n%!" (wall () -. w)
+          (Sys.time () -. c))
+    names;
+  Printf.printf "== total: %.1fs wall, %.1fs CPU (%d job%s) ==\n%!" (wall () -. w0)
+    (Sys.time () -. c0) (Ninja_engine.Run_ctx.jobs ctx)
+    (if Ninja_engine.Run_ctx.jobs ctx = 1 then "" else "s")
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test per reproduced table/figure (a
@@ -103,19 +118,19 @@ let bench_table2 =
   Test.make ~name:"experiment/table2 one combo (IB->IB, 8 VMs)"
     (Staged.stage @@ fun () ->
     let hotplug = ref 0.0 and linkup = ref 0.0 in
-    Exp_table2.measure Paper_data.Ib_to_ib ~hotplug ~linkup)
+    Exp_table2.measure Run_ctx.default Paper_data.Ib_to_ib ~hotplug ~linkup)
 
 let bench_fig6 =
   Test.make ~name:"experiment/fig6 one point (2GB memtest, 8 VMs)"
-    (Staged.stage @@ fun () -> ignore (Exp_fig6.measure ~size_gb:2.0))
+    (Staged.stage @@ fun () -> ignore (Exp_fig6.measure Run_ctx.default ~size_gb:2.0))
 
 let bench_fig7 =
   Test.make ~name:"experiment/fig7 one kernel (CG, quick)"
-    (Staged.stage @@ fun () -> ignore (Exp_fig7.measure Exp_common.Quick Ninja_workloads.Npb.CG))
+    (Staged.stage @@ fun () -> ignore (Exp_fig7.measure Run_ctx.default Ninja_workloads.Npb.CG))
 
 let bench_fig8 =
   Test.make ~name:"experiment/fig8 series (1 proc/VM, quick)"
-    (Staged.stage @@ fun () -> ignore (Exp_fig8.measure Exp_common.Quick ~procs_per_vm:1))
+    (Staged.stage @@ fun () -> ignore (Exp_fig8.measure Run_ctx.default ~procs_per_vm:1))
 
 let micro_tests =
   Test.make_grouped ~name:"ninja" ~fmt:"%s %s"
@@ -166,18 +181,37 @@ let run_micro () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Pull "-j N" / "--jobs N" out of the argument list. *)
+let rec extract_jobs = function
+  | [] -> (1, [])
+  | ("-j" | "--jobs") :: n :: rest ->
+    let jobs, rest = extract_jobs rest in
+    ignore jobs;
+    ((try max 1 (int_of_string n) with Failure _ -> 1), rest)
+  | arg :: rest ->
+    let jobs, rest = extract_jobs rest in
+    (jobs, arg :: rest)
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let jobs, args = extract_jobs (List.tl (Array.to_list Sys.argv)) in
+  let with_ctx mode k =
+    if jobs > 1 then
+      Pool.with_pool ~size:jobs (fun pool -> k (Run_ctx.make ~mode ~pool ()))
+    else k (Run_ctx.make ~mode ())
+  in
   match args with
   | [ "micro" ] -> run_micro ()
   | [ "quick" ] ->
-    run_experiments Exp_common.Quick Registry.names;
+    with_ctx Run_ctx.Quick (fun ctx -> run_experiments ctx Registry.names);
     run_micro ()
   | [ "full" ] | [] ->
-    run_experiments Exp_common.Full Registry.names;
+    with_ctx Run_ctx.Full (fun ctx -> run_experiments ctx Registry.names);
     run_micro ()
-  | [ name ] when Registry.find name <> None -> run_experiments Exp_common.Quick [ name ]
-  | [ name; "full" ] | [ "full"; name ] -> run_experiments Exp_common.Full [ name ]
+  | [ name ] when Registry.find name <> None ->
+    with_ctx Run_ctx.Quick (fun ctx -> run_experiments ctx [ name ])
+  | [ name; "full" ] | [ "full"; name ] ->
+    with_ctx Run_ctx.Full (fun ctx -> run_experiments ctx [ name ])
   | _ ->
-    Printf.printf "usage: main.exe [quick | full | micro | <experiment> [full]]\nexperiments: %s\n"
+    Printf.printf
+      "usage: main.exe [quick | full | micro | <experiment> [full]] [-j N]\nexperiments: %s\n"
       (String.concat ", " Registry.names)

@@ -37,8 +37,6 @@ let fault_args =
   in
   Arg.(value & opt_all fault_conv [] & info [ "fault" ] ~docv:"SPEC" ~doc)
 
-let apply_seed = Option.iter Exp_common.set_default_seed
-
 let print_tables ~csv_dir name tables =
   List.iter Ninja_metrics.Table.print tables;
   match csv_dir with
@@ -77,10 +75,31 @@ let run_cmd =
     let doc = "Also write each table as CSV into $(docv)." in
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
   in
-  let run name full csv_dir seed faults =
-    apply_seed seed;
-    Exp_common.set_default_faults faults;
-    let mode = if full then Exp_common.Full else Exp_common.Quick in
+  let jobs =
+    let doc =
+      "Run up to $(docv) simulations domain-parallel: experiments of 'run all' and each \
+       experiment's internal point grid (fig6 sizes, fig7 kernels, the evacuation matrix, \
+       ...). Output is byte-identical to a serial run."
+    in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let trace_file =
+    let doc =
+      "Write the simulation trace timelines to $(docv) (one block per simulation; block \
+       order across simulations is unspecified under --jobs > 1)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_file =
+    let doc = "Also write every produced table to $(docv) as CSV, in experiment order." in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  let run name full csv_dir seed faults jobs trace_file metrics_file =
+    if jobs < 1 then begin
+      prerr_endline "run: --jobs must be at least 1";
+      exit 1
+    end;
+    let mode = if full then Ninja_engine.Run_ctx.Full else Ninja_engine.Run_ctx.Quick in
     let entries =
       if String.equal name "all" then Ok Registry.all
       else
@@ -96,14 +115,63 @@ let run_cmd =
       prerr_endline msg;
       exit 1
     | Ok entries ->
-      List.iter
-        (fun e ->
-          Printf.printf "== %s: %s ==\n%!" e.Registry.name e.Registry.description;
-          print_tables ~csv_dir e.Registry.name (e.Registry.run mode))
+      let open Ninja_engine in
+      let faults = List.map Ninja_faults.Injector.spec_to_string faults in
+      (* Pooled tasks write their sinks into per-experiment buffers; the
+         main domain drains each buffer in submission order, so the files
+         come out deterministically even under --jobs > 1. *)
+      let locked_sink buf =
+        let m = Mutex.create () in
+        fun chunk ->
+          Mutex.lock m;
+          Buffer.add_string buf chunk;
+          if chunk = "" || chunk.[String.length chunk - 1] <> '\n' then Buffer.add_char buf '\n';
+          Mutex.unlock m
+      in
+      let with_out path k =
+        match path with
+        | None -> k None
+        | Some path ->
+          let oc = open_out path in
+          Fun.protect ~finally:(fun () -> close_out oc) (fun () -> k (Some oc))
+      in
+      let with_pool k =
+        if jobs > 1 then Pool.with_pool ~size:jobs (fun p -> k (Some p)) else k None
+      in
+      with_out trace_file @@ fun trace_oc ->
+      with_out metrics_file @@ fun metrics_oc ->
+      with_pool @@ fun pool ->
+      let ctx = Run_ctx.make ?seed ~mode ~faults ?pool () in
+      let run_one e =
+        let tbuf = Buffer.create 256 and mbuf = Buffer.create 256 in
+        let ctx =
+          Run_ctx.with_sinks
+            ?trace:(Option.map (fun _ -> locked_sink tbuf) trace_oc)
+            ?metrics:(Option.map (fun _ -> locked_sink mbuf) metrics_oc)
+            ctx
+        in
+        let tables = Registry.run_entry ctx e in
+        (tables, Buffer.contents tbuf, Buffer.contents mbuf)
+      in
+      let print_result e (tables, tchunk, mchunk) =
+        Printf.printf "== %s: %s ==\n%!" e.Registry.name e.Registry.description;
+        print_tables ~csv_dir e.Registry.name tables;
+        Option.iter (fun oc -> output_string oc tchunk) trace_oc;
+        Option.iter (fun oc -> output_string oc mchunk) metrics_oc
+      in
+      (* Submit everything up front, then print in submission order as
+         results arrive: parallel output is byte-identical to serial. *)
+      (match pool with
+      | Some p ->
         entries
+        |> List.map (fun e -> (e, Pool.submit p (fun () -> run_one e)))
+        |> List.iter (fun (e, fut) -> print_result e (Pool.await p fut))
+      | None -> List.iter (fun e -> print_result e (run_one e)) entries)
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ name_arg $ full $ csv_dir $ seed_arg $ fault_args)
+    Term.(
+      const run $ name_arg $ full $ csv_dir $ seed_arg $ fault_args $ jobs $ trace_file
+      $ metrics_file)
 
 (* `ninja_sim script [FILE]`: execute a Fig. 5-style migration script
    against a canned demo scenario (2 VMs on the IB cluster running a

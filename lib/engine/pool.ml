@@ -1,0 +1,120 @@
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+      (* signalled on task submission, future resolution and shutdown *)
+  tasks : (unit -> unit) Queue.t;
+  mutable stopped : bool;
+  mutable workers : unit Domain.t list;
+  size : int;
+}
+
+type 'a state =
+  | Pending
+  | Resolved of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = { mutable state : 'a state }
+
+(* Pop one task, or block until one arrives / the pool stops. *)
+let rec worker_next pool =
+  if pool.stopped && Queue.is_empty pool.tasks then None
+  else
+    match Queue.take_opt pool.tasks with
+    | Some _ as task -> task
+    | None ->
+      Condition.wait pool.cond pool.mutex;
+      worker_next pool
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  let task = worker_next pool in
+  Mutex.unlock pool.mutex;
+  match task with
+  | None -> ()
+  | Some task ->
+    task ();
+    worker_loop pool
+
+let create ?size () =
+  let size =
+    max 1 (match size with Some n -> n | None -> Domain.recommended_domain_count ())
+  in
+  let pool =
+    {
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      tasks = Queue.create ();
+      stopped = false;
+      workers = [];
+      size;
+    }
+  in
+  pool.workers <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size pool = pool.size
+
+let submit pool f =
+  let fut = { state = Pending } in
+  let task () =
+    let outcome =
+      match f () with
+      | v -> Resolved v
+      | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock pool.mutex;
+    fut.state <- outcome;
+    Condition.broadcast pool.cond;
+    Mutex.unlock pool.mutex
+  in
+  Mutex.lock pool.mutex;
+  if pool.stopped then begin
+    Mutex.unlock pool.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.add task pool.tasks;
+  Condition.broadcast pool.cond;
+  Mutex.unlock pool.mutex;
+  fut
+
+let await pool fut =
+  Mutex.lock pool.mutex;
+  let rec loop () =
+    match fut.state with
+    | Resolved v ->
+      Mutex.unlock pool.mutex;
+      v
+    | Failed (e, bt) ->
+      Mutex.unlock pool.mutex;
+      Printexc.raise_with_backtrace e bt
+    | Pending -> (
+      (* Help: run queued work instead of sleeping, so nested submissions
+         from inside pooled tasks always make progress. *)
+      match Queue.take_opt pool.tasks with
+      | Some task ->
+        Mutex.unlock pool.mutex;
+        task ();
+        Mutex.lock pool.mutex;
+        loop ()
+      | None ->
+        Condition.wait pool.cond pool.mutex;
+        loop ())
+  in
+  loop ()
+
+let map pool ~f xs =
+  let futures = List.map (fun x -> submit pool (fun () -> f x)) xs in
+  List.map (await pool) futures
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let workers = pool.workers in
+  pool.stopped <- true;
+  pool.workers <- [];
+  Condition.broadcast pool.cond;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join workers
+
+let with_pool ?size f =
+  let pool = create ?size () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

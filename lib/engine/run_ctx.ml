@@ -1,0 +1,38 @@
+type mode = Quick | Full
+
+type sink = string -> unit
+
+type t = {
+  seed : int64;
+  mode : mode;
+  faults : string list;
+  trace : sink option;
+  metrics : sink option;
+  pool : Pool.t option;
+}
+
+let make ?(seed = 42L) ?(mode = Quick) ?(faults = []) ?trace ?metrics ?pool () =
+  { seed; mode; faults; trace; metrics; pool }
+
+let default = make ()
+
+let quick = default
+
+let full = make ~mode:Full ()
+
+let with_seed seed t = { t with seed }
+
+let with_mode mode t = { t with mode }
+
+let with_pool pool t = { t with pool }
+
+let with_sinks ?trace ?metrics t = { t with trace; metrics }
+
+let jobs t = match t.pool with None -> 1 | Some p -> Pool.size p
+
+let map t ~f xs =
+  match t.pool with None -> List.map f xs | Some pool -> Pool.map pool ~f xs
+
+let trace_line t line = Option.iter (fun sink -> sink line) t.trace
+
+let emit_metrics t chunk = Option.iter (fun sink -> sink chunk) t.metrics

@@ -1,0 +1,75 @@
+(** Explicit per-run context.
+
+    Everything that configures one experiment run — PRNG seed, quick vs
+    full-scale parameters, armed fault specs, output sinks, and the
+    optional domain pool for point-grid sweeps — travels in a single
+    immutable value, created once at the entry point (CLI, bench, test)
+    and threaded through every layer. Nothing here is global: two
+    contexts can drive two simulations concurrently on different domains
+    without sharing any mutable state.
+
+    Determinism: a context fixes a run completely. Two runs under equal
+    contexts produce identical tables, and {!map} preserves submission
+    order, so sweeping a grid through a pool is byte-identical to the
+    serial sweep. *)
+
+type mode = Quick | Full
+(** [Quick] shrinks sizes/iterations so the whole suite stays
+    test-speed; [Full] reproduces the paper's parameters. *)
+
+type sink = string -> unit
+(** Receives self-contained chunks (a rendered trace timeline, a CSV
+    table). Chunks arriving from pooled tasks may interleave across
+    concurrent runs; each single chunk is delivered in one call. *)
+
+type t = {
+  seed : int64;  (** seeds every simulation the run creates *)
+  mode : mode;
+  faults : string list;
+      (** textual fault specs in the [Ninja_faults.Injector] grammar,
+          armed on every cluster the run creates; validated upstream *)
+  trace : sink option;  (** rendered trace timelines, one per simulation *)
+  metrics : sink option;  (** result tables as CSV, one chunk per table *)
+  pool : Pool.t option;  (** grid points run domain-parallel when set *)
+}
+
+val make :
+  ?seed:int64 ->
+  ?mode:mode ->
+  ?faults:string list ->
+  ?trace:sink ->
+  ?metrics:sink ->
+  ?pool:Pool.t ->
+  unit ->
+  t
+(** Defaults: seed 42, [Quick], no faults, no sinks, serial. *)
+
+val default : t
+(** [make ()]. *)
+
+val quick : t
+
+val full : t
+
+val with_seed : int64 -> t -> t
+
+val with_mode : mode -> t -> t
+
+val with_pool : Pool.t option -> t -> t
+
+val with_sinks : ?trace:sink -> ?metrics:sink -> t -> t
+(** Replaces both sinks (absent arguments clear the sink — deriving a
+    silent context from a noisy one is the common case). *)
+
+val jobs : t -> int
+(** Pool size, or 1 when serial. *)
+
+val map : t -> f:('a -> 'b) -> 'a list -> 'b list
+(** The sweep primitive: [List.map f] when serial, {!Pool.map} when a
+    pool is present. Results are in input order either way. *)
+
+val trace_line : t -> string -> unit
+(** Send a chunk to the trace sink, if any. *)
+
+val emit_metrics : t -> string -> unit
+(** Send a chunk to the metrics sink, if any. *)

@@ -96,16 +96,20 @@ let suspend_on t register = Effect.perform (Suspend (t, register))
 
 (* Fibers always run under a handler whose simulation is the one that
    spawned them, so we can recover [t] from the effect payload; the public
-   API threads it implicitly via these wrappers. *)
-let current_sim : t option ref = ref None
+   API threads it implicitly via these wrappers. The ambient simulation
+   lives in domain-local storage, not a global ref, so independent
+   simulations can run concurrently on different domains (one simulation
+   per domain) without observing each other. *)
+let current_sim : t option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
 let with_current t f =
-  let saved = !current_sim in
-  current_sim := Some t;
-  Fun.protect ~finally:(fun () -> current_sim := saved) f
+  let saved = Domain.DLS.get current_sim in
+  Domain.DLS.set current_sim (Some t);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current_sim saved) f
 
 let get_current () =
-  match !current_sim with
+  match Domain.DLS.get current_sim with
   | Some t -> t
   | None -> failwith "Sim: blocking call outside of a running simulation"
 
@@ -117,30 +121,12 @@ let step t ev =
   t.n_events <- t.n_events + 1;
   with_current t ev.run
 
-let run t =
-  let rec loop () =
-    if not (Pheap.is_empty t.queue) then begin
-      let key =
-        match Pheap.peek_key t.queue with Some (k, _) -> k | None -> assert false
-      in
-      let ev = Pheap.pop t.queue in
-      if not ev.h.cancelled then begin
-        t.now <- Time.of_ns key;
-        step t ev
-      end;
-      loop ()
-    end
-  in
-  loop ();
-  if Hashtbl.length t.fibers > 0 then begin
-    let stuck = Hashtbl.fold (fun _ name acc -> name :: acc) t.fibers [] in
-    raise (Deadlock (List.sort String.compare stuck))
-  end
-
-let run_until t limit =
+(* The one event loop both entry points share: pop and execute events
+   while the head timestamp passes [keep_going]. *)
+let drain t ~keep_going =
   let rec loop () =
     match Pheap.peek_key t.queue with
-    | Some (k, _) when Time.(Time.of_ns k <= limit) ->
+    | Some (k, _) when keep_going (Time.of_ns k) ->
       let ev = Pheap.pop t.queue in
       if not ev.h.cancelled then begin
         t.now <- Time.of_ns k;
@@ -149,7 +135,17 @@ let run_until t limit =
       loop ()
     | Some _ | None -> ()
   in
-  loop ();
+  loop ()
+
+let run t =
+  drain t ~keep_going:(fun _ -> true);
+  if Hashtbl.length t.fibers > 0 then begin
+    let stuck = Hashtbl.fold (fun _ name acc -> name :: acc) t.fibers [] in
+    raise (Deadlock (List.sort String.compare stuck))
+  end
+
+let run_until t limit =
+  drain t ~keep_going:(fun at -> Time.(at <= limit));
   t.now <- Time.max t.now limit
 
 let run_for t span = run_until t (Time.add t.now span)

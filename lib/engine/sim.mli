@@ -8,7 +8,12 @@
 
     Determinism: events scheduled for the same instant fire in the order
     they were scheduled; a fiber wakeup is itself an event, so wakeup order
-    is deterministic too. No wall-clock time is consulted anywhere. *)
+    is deterministic too. No wall-clock time is consulted anywhere.
+
+    Domain-safety: the ambient simulation that {!sleep} and {!suspend}
+    consult is domain-local, so independent simulations may run
+    concurrently, one per domain (see {!Pool}). A single [t] must still
+    only ever be driven from one domain at a time. *)
 
 type t
 

@@ -32,8 +32,9 @@ let make_pair cluster setup =
         Vm.attach_device vm (Device.make ~tag:"e1000" ~pci_addr:"00:03.0" Device.Emulated_nic));
       (vm, Guest.boot vm))
 
-let p2p_throughput setup =
-  let sim, cluster = fresh ~spec:Spec.agc_ib16 () in
+let p2p_throughput rc setup =
+  let env = fresh ~spec:Spec.agc_ib16 rc in
+  let sim = env.sim and cluster = env.cluster in
   let members = make_pair cluster setup in
   let bytes = 2.0e9 in
   let elapsed = ref 0.0 in
@@ -47,12 +48,13 @@ let p2p_throughput setup =
         end)
   in
   Sim.spawn sim (fun () -> Runtime.wait job);
-  run_to_completion sim;
+  run_to_completion env;
   bytes /. !elapsed /. 1e9
 
-let p2p_latency setup =
+let p2p_latency rc setup =
   (* Mean one-way latency of 100 pingpongs of an 8-byte payload. *)
-  let sim, cluster = fresh ~spec:Spec.agc_ib16 () in
+  let env = fresh ~spec:Spec.agc_ib16 rc in
+  let sim = env.sim and cluster = env.cluster in
   let members = make_pair cluster setup in
   let n = 100 in
   let elapsed = ref 0.0 in
@@ -72,13 +74,14 @@ let p2p_latency setup =
         if Mpi.rank ctx = 0 then elapsed := Mpi.wtime ctx -. t0)
   in
   Sim.spawn sim (fun () -> Runtime.wait job);
-  run_to_completion sim;
+  run_to_completion env;
   !elapsed /. float_of_int (2 * n) *. 1e6
 
-let ft_runtime setup =
+let ft_runtime rc setup =
   (* FT class C (all-to-all heavy) on 2 VMs x 2 ranks: communication-bound
      enough that the guest NIC class shows in the total. *)
-  let sim, cluster = fresh ~spec:Spec.agc_ib16 () in
+  let env = fresh ~spec:Spec.agc_ib16 rc in
+  let sim = env.sim and cluster = env.cluster in
   let members = make_pair cluster setup in
   let finished = ref 0.0 in
   let job =
@@ -87,36 +90,35 @@ let ft_runtime setup =
         if Mpi.rank ctx = 0 then finished := Mpi.wtime ctx)
   in
   Sim.spawn sim (fun () -> Runtime.wait job);
-  Sim.run_until sim (Time.minutes 120);
+  run_until env (Time.minutes 120);
   !finished
 
-let bypass _mode =
+let bypass rc =
   let table =
     Table.create
       ~title:"Ablation: VMM-bypass vs para-virtual vs emulated I/O (2 VMs, ib00/ib01)"
       ~columns:
         [ "Guest NIC"; "p2p throughput [GB/s]"; "p2p latency [us]"; "FT.C time [s]" ]
   in
-  List.iter
-    (fun setup ->
-      let tp = p2p_throughput setup in
-      let lat = p2p_latency setup in
-      let ft = ft_runtime setup in
-      Table.add_row table
-        [
-          nic_name setup;
-          Printf.sprintf "%.2f" tp;
-          Printf.sprintf "%.1f" lat;
-          Printf.sprintf "%.1f" ft;
-        ])
-    [ Bypass_ib; Virtio; Emulated ];
+  sweep rc
+    ~f:(fun setup -> (setup, p2p_throughput rc setup, p2p_latency rc setup, ft_runtime rc setup))
+    [ Bypass_ib; Virtio; Emulated ]
+  |> List.iter (fun (setup, tp, lat, ft) ->
+         Table.add_row table
+           [
+             nic_name setup;
+             Printf.sprintf "%.2f" tp;
+             Printf.sprintf "%.1f" lat;
+             Printf.sprintf "%.1f" ft;
+           ]);
   [ table ]
 
 (* ------------------------------------------------------------------ *)
 (* TCP vs RDMA migration sender (§V) *)
 
-let migrate_once ~transport ~size_gb =
-  let sim, cluster = fresh ~spec:Spec.agc_ib16 () in
+let migrate_once rc ~transport ~size_gb =
+  let env = fresh ~spec:Spec.agc_ib16 rc in
+  let sim = env.sim and cluster = env.cluster in
   let src = Cluster.find_node cluster "ib00" in
   let dst = Cluster.find_node cluster "ib01" in
   let vm = Vm.create cluster ~name:"vm0" ~host:src ~vcpus:8 ~mem_bytes:(Units.gb 20.0) () in
@@ -126,28 +128,31 @@ let migrate_once ~transport ~size_gb =
       Vm.guest_write vm region ~offset:0.0 ~bytes:(Units.gb size_gb) ~bandwidth:3.0e9;
       Vm.pause vm;
       stats := Some (Migration.migrate vm ~dst ~transport ()));
-  run_to_completion sim;
+  run_to_completion env;
   Option.get !stats
 
-let rdma_migration mode =
-  let sizes = match mode with Quick -> [ 16.0 ] | Full -> [ 2.0; 8.0; 16.0 ] in
+let rdma_migration rc =
+  let sizes = match rc.Run_ctx.mode with Quick -> [ 16.0 ] | Full -> [ 2.0; 8.0; 16.0 ] in
   let table =
     Table.create ~title:"Ablation: migration sender transport (frozen 20 GB VM)"
       ~columns:[ "Footprint"; "TCP sender [s]"; "RDMA sender [s]"; "speedup" ]
   in
-  List.iter
-    (fun size_gb ->
-      let tcp = sec (migrate_once ~transport:Migration.Tcp ~size_gb).Migration.duration in
-      let rdma = sec (migrate_once ~transport:Migration.Rdma ~size_gb).Migration.duration in
-      Table.add_float_row table (Printf.sprintf "%.0fGB" size_gb) [ tcp; rdma; tcp /. rdma ])
-    sizes;
+  sweep rc
+    ~f:(fun size_gb ->
+      let tcp = sec (migrate_once rc ~transport:Migration.Tcp ~size_gb).Migration.duration in
+      let rdma = sec (migrate_once rc ~transport:Migration.Rdma ~size_gb).Migration.duration in
+      (size_gb, tcp, rdma))
+    sizes
+  |> List.iter (fun (size_gb, tcp, rdma) ->
+         Table.add_float_row table (Printf.sprintf "%.0fGB" size_gb) [ tcp; rdma; tcp /. rdma ]);
   [ table ]
 
 (* ------------------------------------------------------------------ *)
 (* Precopy vs postcopy of a live, dirtying guest *)
 
-let copy_mode_run ~mode =
-  let sim, cluster = fresh ~spec:Spec.agc_ib16 () in
+let copy_mode_run rc ~mode =
+  let env = fresh ~spec:Spec.agc_ib16 rc in
+  let sim = env.sim and cluster = env.cluster in
   let src = Cluster.find_node cluster "ib00" in
   let dst = Cluster.find_node cluster "ib01" in
   let vm = Vm.create cluster ~name:"vm0" ~host:src ~vcpus:8 ~mem_bytes:(Units.gb 20.0) () in
@@ -166,13 +171,17 @@ let copy_mode_run ~mode =
           work_done_at := Time.to_sec_f (Sim.now sim));
       Sim.sleep (Time.ms 100);
       stats := Some (Migration.migrate vm ~dst ~mode ()));
-  Sim.run_until sim (Time.minutes 60);
+  run_until env (Time.minutes 60);
   (Option.get !stats, !work_done_at)
 
-let postcopy mode' =
-  ignore mode';
-  let pre, pre_work = copy_mode_run ~mode:Migration.Precopy in
-  let post, post_work = copy_mode_run ~mode:Migration.Postcopy in
+let postcopy rc =
+  let (pre, pre_work), (post, post_work) =
+    match
+      sweep rc ~f:(fun mode -> copy_mode_run rc ~mode) [ Migration.Precopy; Migration.Postcopy ]
+    with
+    | [ pre; post ] -> (pre, post)
+    | _ -> assert false
+  in
   let table =
     Table.create
       ~title:"Ablation: precopy vs postcopy migration of a live, dirtying guest (4 GB writer)"
@@ -196,8 +205,9 @@ let postcopy mode' =
 (* ------------------------------------------------------------------ *)
 (* Quiesced vs live migration *)
 
-let quiesce_run ~frozen =
-  let sim, cluster = fresh ~spec:Spec.agc_ib16 () in
+let quiesce_run rc ~frozen =
+  let env = fresh ~spec:Spec.agc_ib16 rc in
+  let sim = env.sim and cluster = env.cluster in
   let src = Cluster.find_node cluster "ib00" in
   let dst = Cluster.find_node cluster "ib01" in
   let vm = Vm.create cluster ~name:"vm0" ~host:src ~vcpus:8 ~mem_bytes:(Units.gb 20.0) () in
@@ -215,12 +225,15 @@ let quiesce_run ~frozen =
       if frozen then Vm.pause vm;
       stats := Some (Migration.migrate vm ~dst ());
       Vm.resume vm);
-  Sim.run_until sim (Time.minutes 60);
+  run_until env (Time.minutes 60);
   Option.get !stats
 
-let quiesce _mode =
-  let frozen = quiesce_run ~frozen:true in
-  let live = quiesce_run ~frozen:false in
+let quiesce rc =
+  let frozen, live =
+    match sweep rc ~f:(fun frozen -> quiesce_run rc ~frozen) [ true; false ] with
+    | [ frozen; live ] -> (frozen, live)
+    | _ -> assert false
+  in
   let table =
     Table.create
       ~title:"Ablation: SymVirt-fenced (frozen) vs live migration of a dirtying guest (4 GB writer)"

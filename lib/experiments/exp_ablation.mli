@@ -10,14 +10,14 @@
       dirtying guest costs extra rounds, bytes and downtime (and with a
       bypass device attached it is impossible outright). *)
 
-val bypass : Exp_common.mode -> Ninja_metrics.Table.t list
+val bypass : Ninja_engine.Run_ctx.t -> Ninja_metrics.Table.t list
 
-val rdma_migration : Exp_common.mode -> Ninja_metrics.Table.t list
+val rdma_migration : Ninja_engine.Run_ctx.t -> Ninja_metrics.Table.t list
 
-val postcopy : Exp_common.mode -> Ninja_metrics.Table.t list
+val postcopy : Ninja_engine.Run_ctx.t -> Ninja_metrics.Table.t list
 (** Precopy vs postcopy of a live, dirtying guest: postcopy bounds both
     the bytes on the wire (each page moves once) and the downtime, at the
     price of remote-fault slowdown while the pull runs — the trade-off the
     authors' later work (Yabusame) explores. *)
 
-val quiesce : Exp_common.mode -> Ninja_metrics.Table.t list
+val quiesce : Ninja_engine.Run_ctx.t -> Ninja_metrics.Table.t list

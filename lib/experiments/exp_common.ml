@@ -1,28 +1,44 @@
 open Ninja_engine
 open Ninja_hardware
 
-type mode = Quick | Full
+type mode = Run_ctx.mode = Quick | Full
 
-let default_seed = ref 42L
+type env = { ctx : Run_ctx.t; sim : Sim.t; cluster : Cluster.t }
 
-let set_default_seed s = default_seed := s
-
-let default_faults : Ninja_faults.Injector.spec list ref = ref []
-
-let set_default_faults specs = default_faults := specs
-
-let fresh ?seed ?(spec = Spec.agc) () =
-  let sim = Sim.create ~seed:(Option.value seed ~default:!default_seed) () in
+let fresh ?(spec = Spec.agc) ctx =
+  let sim = Sim.create ~seed:ctx.Run_ctx.seed () in
   let cluster = Cluster.create sim ~spec () in
   List.iter
-    (fun s -> Ninja_faults.Injector.arm_spec (Cluster.injector cluster) s)
-    !default_faults;
-  (sim, cluster)
+    (fun text ->
+      match Ninja_faults.Injector.parse_spec text with
+      | Ok spec -> Ninja_faults.Injector.arm_spec (Cluster.injector cluster) spec
+      | Error msg -> failwith (Printf.sprintf "Exp_common.fresh: bad fault spec %S: %s" text msg))
+    ctx.Run_ctx.faults;
+  { ctx; sim; cluster }
 
 let hosts cluster ~prefix ~first ~count =
   List.init count (fun i ->
       Cluster.find_node cluster (Printf.sprintf "%s%02d" prefix (first + i)))
 
-let run_to_completion sim = Sim.run sim
+let flush_trace env =
+  match env.ctx.Run_ctx.trace with
+  | None -> ()
+  | Some _ ->
+    let timeline =
+      Format.asprintf "%a" Trace.pp_timeline (Cluster.trace env.cluster)
+    in
+    if String.trim timeline <> "" then
+      Run_ctx.trace_line env.ctx
+        (Printf.sprintf "-- trace (seed %Ld) --\n%s" env.ctx.Run_ctx.seed timeline)
+
+let run_to_completion env =
+  Sim.run env.sim;
+  flush_trace env
+
+let run_until env limit =
+  Sim.run_until env.sim limit;
+  flush_trace env
+
+let sweep ctx ~f xs = Run_ctx.map ctx ~f xs
 
 let sec = Time.to_sec_f

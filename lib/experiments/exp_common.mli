@@ -1,30 +1,39 @@
-(** Shared experiment plumbing. *)
+(** Shared experiment plumbing.
+
+    All per-run configuration arrives in an explicit {!Run_ctx.t} —
+    there are no module-level defaults to mutate. An experiment receives
+    the context, calls {!fresh} once per simulated point and {!sweep}
+    for its point grid, and returns tables; the same context therefore
+    makes a run reproducible and lets independent points execute on
+    separate domains. *)
 
 open Ninja_engine
 open Ninja_hardware
 
-type mode = Quick | Full
-(** [Quick] shrinks sizes/iterations so the whole suite stays test-speed;
-    [Full] reproduces the paper's parameters. *)
+type mode = Run_ctx.mode = Quick | Full
+(** Re-exported so experiments can match on [ctx.mode] unqualified. *)
 
-val set_default_seed : int64 -> unit
-(** Seed used by {!fresh} when none is passed (initially 42). The CLI's
-    [--seed] flag threads through here so whole experiment runs are
-    reproducibly variable. *)
+type env = { ctx : Run_ctx.t; sim : Sim.t; cluster : Cluster.t }
+(** One simulated point: a deterministic simulation (seeded from the
+    context) plus its cluster, with the context's fault specs armed on
+    the cluster's injector. *)
 
-val set_default_faults : Ninja_faults.Injector.spec list -> unit
-(** Fault specs armed on every cluster {!fresh} creates (initially none).
-    The CLI's repeatable [--fault] flag threads through here, so an
-    experiment run can be re-executed under injected failures without the
-    experiment knowing. *)
-
-val fresh : ?seed:int64 -> ?spec:Spec.t -> unit -> Sim.t * Cluster.t
-(** A deterministic simulation (fixed seed) plus its cluster, with any
-    default fault specs armed on the cluster's injector. *)
+val fresh : ?spec:Spec.t -> Run_ctx.t -> env
+(** Raises [Failure] on a malformed fault spec in the context (the CLI
+    validates them upstream, so this indicates a programming error). *)
 
 val hosts : Cluster.t -> prefix:string -> first:int -> count:int -> Node.t list
 (** e.g. [hosts c ~prefix:"ib" ~first:8 ~count:8] = ib08..ib15. *)
 
-val run_to_completion : Sim.t -> unit
+val run_to_completion : env -> unit
+(** [Sim.run], then flush the cluster's trace to the context's trace
+    sink (one chunk per simulation, nothing when the sink is absent). *)
+
+val run_until : env -> Time.t -> unit
+(** [Sim.run_until] plus the same trace flush. *)
+
+val sweep : Run_ctx.t -> f:('a -> 'b) -> 'a list -> 'b list
+(** {!Run_ctx.map}: an experiment's point grid, one simulation per
+    domain when the context carries a pool, in deterministic order. *)
 
 val sec : Time.span -> float

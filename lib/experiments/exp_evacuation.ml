@@ -17,8 +17,9 @@ type row = {
   total : float;
 }
 
-let measure ~n_vms ~strategy ?(uplink_gbps = 10.0) () =
-  let sim, cluster = fresh ~spec:Spec.agc () in
+let measure rc ~n_vms ~strategy ?(uplink_gbps = 10.0) () =
+  let env = fresh ~spec:Spec.agc rc in
+  let sim = env.sim and cluster = env.cluster in
   (* The racks share one constrained uplink — the contended bottleneck
      every evacuation step must cross. *)
   Cluster.set_inter_rack cluster ~rack_a:0 ~rack_b:1 ~capacity:(Units.gbps uplink_gbps)
@@ -33,7 +34,7 @@ let measure ~n_vms ~strategy ?(uplink_gbps = 10.0) () =
       Sim.sleep (Time.sec 10);
       ignore (Cloud_scheduler.execute sched (Cloud_scheduler.Disaster { rack = 0 }));
       Ninja.wait_job ninja);
-  run_to_completion sim;
+  run_to_completion env;
   match Cloud_scheduler.history sched with
   | [ r ] ->
     let report = Option.get r.Cloud_scheduler.report in
@@ -58,8 +59,8 @@ let measure ~n_vms ~strategy ?(uplink_gbps = 10.0) () =
     }
   | l -> failwith (Printf.sprintf "exp_evacuation: expected 1 record, got %d" (List.length l))
 
-let run mode =
-  let counts = match mode with Quick -> [ 2; 4 ] | Full -> [ 2; 4; 8 ] in
+let run rc =
+  let counts = match rc.Run_ctx.mode with Quick -> [ 2; 4 ] | Full -> [ 2; 4; 8 ] in
   let uplink_gbps = 10.0 in
   let table =
     Table.create
@@ -74,21 +75,19 @@ let run mode =
           "total [s]";
         ]
   in
-  List.iter
-    (fun n_vms ->
-      List.iter
-        (fun strategy ->
-          let r = measure ~n_vms ~strategy ~uplink_gbps () in
-          Table.add_row table
-            [
-              string_of_int r.n_vms;
-              Solver.name r.strategy;
-              string_of_int r.steps;
-              Printf.sprintf "%.1f" r.makespan;
-              Printf.sprintf "%.1f" r.mean_step;
-              Printf.sprintf "%.2f" r.downtime;
-              Printf.sprintf "%.1f" r.total;
-            ])
-        Solver.all)
-    counts;
+  let grid =
+    List.concat_map (fun n_vms -> List.map (fun s -> (n_vms, s)) Solver.all) counts
+  in
+  sweep rc ~f:(fun (n_vms, strategy) -> measure rc ~n_vms ~strategy ~uplink_gbps ()) grid
+  |> List.iter (fun r ->
+         Table.add_row table
+           [
+             string_of_int r.n_vms;
+             Solver.name r.strategy;
+             string_of_int r.steps;
+             Printf.sprintf "%.1f" r.makespan;
+             Printf.sprintf "%.1f" r.mean_step;
+             Printf.sprintf "%.2f" r.downtime;
+             Printf.sprintf "%.1f" r.total;
+           ]);
   [ table ]

@@ -19,6 +19,13 @@ type row = {
 }
 
 val measure :
-  n_vms:int -> strategy:Ninja_planner.Solver.strategy -> ?uplink_gbps:float -> unit -> row
+  Ninja_engine.Run_ctx.t ->
+  n_vms:int ->
+  strategy:Ninja_planner.Solver.strategy ->
+  ?uplink_gbps:float ->
+  unit ->
+  row
 
-val run : Exp_common.mode -> Ninja_metrics.Table.t list
+val run : Ninja_engine.Run_ctx.t -> Ninja_metrics.Table.t list
+(** VM-count x strategy matrix, domain-parallel when the context carries
+    a pool. *)

@@ -14,8 +14,9 @@ type row = {
   total : float;
 }
 
-let measure ~size_gb =
-  let sim, cluster = fresh ~spec:Spec.agc_ib16 () in
+let measure rc ~size_gb =
+  let env = fresh ~spec:Spec.agc_ib16 rc in
+  let sim = env.sim and cluster = env.cluster in
   let srcs = hosts cluster ~prefix:"ib" ~first:0 ~count:8 in
   let dsts = hosts cluster ~prefix:"ib" ~first:8 ~count:8 in
   let ninja = Ninja.setup cluster ~hosts:srcs () in
@@ -29,7 +30,7 @@ let measure ~size_gb =
       let b = Ninja.fallback ninja ~dsts in
       result := Some b;
       Ninja.wait_job ninja);
-  run_to_completion sim;
+  run_to_completion env;
   let b = Option.get !result in
   {
     size_gb;
@@ -40,9 +41,11 @@ let measure ~size_gb =
     total = sec (Breakdown.overhead_sum b);
   }
 
-let run mode =
-  let sizes = match mode with Quick -> [ 2.0; 16.0 ] | Full -> Paper_data.fig6_sizes_gb in
-  let rows = List.map (fun size_gb -> measure ~size_gb) sizes in
+let run rc =
+  let sizes =
+    match rc.Run_ctx.mode with Quick -> [ 2.0; 16.0 ] | Full -> Paper_data.fig6_sizes_gb
+  in
+  let rows = sweep rc ~f:(fun size_gb -> measure rc ~size_gb) sizes in
   (* The retry column appears only when some run actually lost time to
      recovery, so fault-free output stays byte-identical. *)
   let with_retry = List.exists (fun r -> r.retry > 0.0) rows in

@@ -16,6 +16,7 @@ type row = {
   total : float;
 }
 
-val measure : size_gb:float -> row
+val measure : Ninja_engine.Run_ctx.t -> size_gb:float -> row
 
-val run : Exp_common.mode -> Ninja_metrics.Table.t list
+val run : Ninja_engine.Run_ctx.t -> Ninja_metrics.Table.t list
+(** Sizes sweep domain-parallel when the context carries a pool. *)

@@ -24,8 +24,10 @@ let procs_per_vm = function Quick -> 2 | Full -> 8
    down in quick mode). *)
 let trigger_at = function Quick -> Time.sec 30 | Full -> Time.minutes 3
 
-let one_run mode kernel ~migrate_once =
-  let sim, cluster = fresh ~spec:Spec.agc_ib16 () in
+let one_run rc kernel ~migrate_once =
+  let mode = rc.Run_ctx.mode in
+  let env = fresh ~spec:Spec.agc_ib16 rc in
+  let sim = env.sim and cluster = env.cluster in
   let n = vm_count mode in
   let srcs = hosts cluster ~prefix:"ib" ~first:0 ~count:n in
   let dsts = hosts cluster ~prefix:"ib" ~first:n ~count:n in
@@ -41,12 +43,12 @@ let one_run mode kernel ~migrate_once =
         Sim.sleep (trigger_at mode);
         breakdown := Ninja.fallback ninja ~dsts);
   Sim.spawn sim (fun () -> Ninja.wait_job ninja);
-  run_to_completion sim;
+  run_to_completion env;
   (!finished_at, !breakdown)
 
-let measure mode kernel =
-  let baseline, _ = one_run mode kernel ~migrate_once:false in
-  let proposed, b = one_run mode kernel ~migrate_once:true in
+let measure rc kernel =
+  let baseline, _ = one_run rc kernel ~migrate_once:false in
+  let proposed, b = one_run rc kernel ~migrate_once:true in
   {
     kernel = Npb.kernel_name kernel;
     baseline;
@@ -56,21 +58,21 @@ let measure mode kernel =
     linkup = sec b.Breakdown.linkup;
   }
 
-let run mode =
+let run rc =
   let table =
     Table.create
       ~title:
-        (match mode with
+        (match rc.Run_ctx.mode with
         | Full ->
           "Fig. 7: Ninja migration overhead on NPB class D, 64 procs [seconds] (paper approx in parens)"
         | Quick -> "Fig. 7 (quick: class C, 4 procs): Ninja migration overhead on NPB [seconds]")
       ~columns:[ "Kernel"; "baseline"; "proposed"; "migration"; "hotplug"; "link-up" ]
   in
+  let rows = sweep rc ~f:(fun kernel -> measure rc kernel) Npb.all in
   List.iter
-    (fun kernel ->
-      let r = measure mode kernel in
+    (fun r ->
       let paper_base, paper_over =
-        match mode with
+        match rc.Run_ctx.mode with
         | Full ->
           ( Printf.sprintf " (%.0f)" (Paper_data.fig7_baseline r.kernel),
             Printf.sprintf " (+%.0f)" (Paper_data.fig7_overhead r.kernel) )
@@ -85,5 +87,5 @@ let run mode =
           Printf.sprintf "%.1f" r.hotplug;
           Printf.sprintf "%.1f" r.linkup;
         ])
-    Npb.all;
+    rows;
   [ table ]

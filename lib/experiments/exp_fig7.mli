@@ -16,6 +16,7 @@ type row = {
   linkup : float;
 }
 
-val measure : Exp_common.mode -> Ninja_workloads.Npb.kernel -> row
+val measure : Ninja_engine.Run_ctx.t -> Ninja_workloads.Npb.kernel -> row
 
-val run : Exp_common.mode -> Ninja_metrics.Table.t list
+val run : Ninja_engine.Run_ctx.t -> Ninja_metrics.Table.t list
+(** Kernel sweep, domain-parallel when the context carries a pool. *)

@@ -18,8 +18,10 @@ let data_per_node = function Quick -> 1.0e9 | Full -> 8.0e9
 
 let steps = 40
 
-let measure mode ~procs_per_vm =
-  let sim, cluster = fresh ~spec:Spec.agc () in
+let measure rc ~procs_per_vm =
+  let mode = rc.Run_ctx.mode in
+  let env = fresh ~spec:Spec.agc rc in
+  let sim = env.sim and cluster = env.cluster in
   let ib = hosts cluster ~prefix:"ib" ~first:0 ~count:4 in
   let eth = hosts cluster ~prefix:"eth" ~first:0 ~count:4 in
   let ninja = Ninja.setup cluster ~hosts:ib () in
@@ -49,7 +51,7 @@ let measure mode ~procs_per_vm =
            ~on_step ()));
   sched := Some (Cloud_scheduler.create ninja);
   Sim.spawn sim (fun () -> Ninja.wait_job ninja);
-  run_to_completion sim;
+  run_to_completion env;
   let overheads =
     List.map
       (fun r -> sec (Breakdown.overhead_sum r.Cloud_scheduler.breakdown))
@@ -85,9 +87,8 @@ let summarize rows =
       (phase, Stats.mean xs))
     phases
 
-let run mode =
-  let make_table ~procs_per_vm label =
-    let rows = measure mode ~procs_per_vm in
+let run rc =
+  let make_table (rows, procs_per_vm, label) =
     let table =
       Table.create
         ~title:
@@ -118,4 +119,7 @@ let run mode =
       (summarize rows);
     [ table; summary ]
   in
-  make_table ~procs_per_vm:1 "a" @ make_table ~procs_per_vm:8 "b"
+  sweep rc
+    ~f:(fun (procs_per_vm, label) -> (measure rc ~procs_per_vm, procs_per_vm, label))
+    [ (1, "a"); (8, "b") ]
+  |> List.concat_map make_table

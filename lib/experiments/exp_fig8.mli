@@ -12,6 +12,8 @@
 
 type step_row = { step : int; phase : string; elapsed : float; overhead : float }
 
-val measure : Exp_common.mode -> procs_per_vm:int -> step_row list
+val measure : Ninja_engine.Run_ctx.t -> procs_per_vm:int -> step_row list
 
-val run : Exp_common.mode -> Ninja_metrics.Table.t list
+val run : Ninja_engine.Run_ctx.t -> Ninja_metrics.Table.t list
+(** Both series (1 and 8 procs/VM), domain-parallel when the context
+    carries a pool. *)

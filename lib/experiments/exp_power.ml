@@ -9,10 +9,10 @@ type row = { label : string; duration : float; energy_kj : float }
 
 (* Long enough that consolidation's migration cost amortises for the
    under-utilised job; quick mode shrinks everything. *)
-let scale = ref 1.0
+let scale = function Quick -> 0.3 | Full -> 1.0
 
-let iterations ~busy =
-  int_of_float (float_of_int (if busy then 40 else 200) *. !scale)
+let iterations ~mode ~busy =
+  int_of_float (float_of_int (if busy then 40 else 200) *. scale mode)
 
 (* [busy]: a CPU-saturating kernel. Otherwise an LHC-style job that uses
    ~15% of a core (paper §II-A quotes 70% of grid jobs below 14%). *)
@@ -27,15 +27,16 @@ let step ~busy ctx _i =
 
 (* One deterministic run; with [meter_until = Some t] a power meter
    integrates every node's draw up to t. *)
-let one_run ~consolidated ~busy ~meter_until =
-  let sim, cluster = fresh ~spec:Spec.agc () in
+let one_run rc ~consolidated ~busy ~meter_until =
+  let env = fresh ~spec:Spec.agc rc in
+  let sim = env.sim and cluster = env.cluster in
   let ib = hosts cluster ~prefix:"ib" ~first:0 ~count:4 in
   let eth = hosts cluster ~prefix:"eth" ~first:0 ~count:2 in
   let ninja = Ninja.setup cluster ~hosts:ib () in
   let finished_at = ref 0.0 in
   ignore
     (Ninja.launch ninja ~procs_per_vm:8 (fun ctx ->
-         for i = 1 to iterations ~busy do
+         for i = 1 to iterations ~mode:rc.Run_ctx.mode ~busy do
            step ~busy ctx i
          done;
          if Mpi.rank ctx = 0 then finished_at := Mpi.wtime ctx));
@@ -57,14 +58,14 @@ let one_run ~consolidated ~busy ~meter_until =
       meter_until
   in
   Sim.spawn sim (fun () -> Ninja.wait_job ninja);
-  run_to_completion sim;
+  run_to_completion env;
   (!finished_at, Option.map Power.energy_joules meter)
 
-let measure ~consolidated ~busy =
+let measure rc ~consolidated ~busy =
   (* Pass 1 finds the run length; pass 2 replays it with the meter so the
      integration stops exactly at job completion. *)
-  let duration, _ = one_run ~consolidated ~busy ~meter_until:None in
-  let _, energy = one_run ~consolidated ~busy ~meter_until:(Some (Time.of_sec_f duration)) in
+  let duration, _ = one_run rc ~consolidated ~busy ~meter_until:None in
+  let _, energy = one_run rc ~consolidated ~busy ~meter_until:(Some (Time.of_sec_f duration)) in
   {
     label =
       Printf.sprintf "%s, %s"
@@ -74,18 +75,17 @@ let measure ~consolidated ~busy =
     energy_kj = Option.get energy /. 1e3;
   }
 
-let run mode =
-  scale := (match mode with Quick -> 0.3 | Full -> 1.0);
+let run rc =
   let table =
     Table.create
       ~title:
         "Power-aware consolidation (section VII future work): 4 VMs, 32 ranks; idle hosts sleep"
       ~columns:[ "Case"; "job time [s]"; "energy [kJ]" ]
   in
-  List.iter
-    (fun (busy, consolidated) ->
-      let r = measure ~consolidated ~busy in
-      Table.add_row table
-        [ r.label; Printf.sprintf "%.1f" r.duration; Printf.sprintf "%.1f" r.energy_kj ])
-    [ (false, false); (false, true); (true, false); (true, true) ];
+  sweep rc
+    ~f:(fun (busy, consolidated) -> measure rc ~consolidated ~busy)
+    [ (false, false); (false, true); (true, false); (true, true) ]
+  |> List.iter (fun r ->
+         Table.add_row table
+           [ r.label; Printf.sprintf "%.1f" r.duration; Printf.sprintf "%.1f" r.energy_kj ]);
   [ table ]

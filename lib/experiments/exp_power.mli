@@ -13,6 +13,9 @@
 
 type row = { label : string; duration : float; energy_kj : float }
 
-val measure : consolidated:bool -> busy:bool -> row
+val measure : Ninja_engine.Run_ctx.t -> consolidated:bool -> busy:bool -> row
+(** Iteration counts scale with the context's mode. *)
 
-val run : Exp_common.mode -> Ninja_metrics.Table.t list
+val run : Ninja_engine.Run_ctx.t -> Ninja_metrics.Table.t list
+(** Workload x placement matrix, domain-parallel when the context
+    carries a pool. *)

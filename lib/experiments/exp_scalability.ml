@@ -13,8 +13,9 @@ type row = {
   coordination : float;
 }
 
-let measure ~n_vms ~uplink_gbps =
-  let sim, cluster = fresh ~spec:Spec.agc () in
+let measure rc ~n_vms ~uplink_gbps =
+  let env = fresh ~spec:Spec.agc rc in
+  let sim = env.sim and cluster = env.cluster in
   (* The two racks share one constrained uplink — the congestion source. *)
   Cluster.set_inter_rack cluster ~rack_a:0 ~rack_b:1 ~capacity:(Units.gbps uplink_gbps)
     ~latency:(Time.us 50);
@@ -29,7 +30,7 @@ let measure ~n_vms ~uplink_gbps =
       Sim.sleep (Time.sec 10);
       result := Some (Ninja.fallback ninja ~dsts);
       Ninja.wait_job ninja);
-  run_to_completion sim;
+  run_to_completion env;
   let b = Option.get !result in
   let image_per_vm =
     (* Every VM ships the same image: OS resident + the 2 GiB array. *)
@@ -43,8 +44,8 @@ let measure ~n_vms ~uplink_gbps =
     coordination = sec b.Breakdown.coordination;
   }
 
-let run mode =
-  let counts = match mode with Quick -> [ 1; 8 ] | Full -> [ 1; 2; 4; 8 ] in
+let run rc =
+  let counts = match rc.Run_ctx.mode with Quick -> [ 1; 8 ] | Full -> [ 1; 2; 4; 8 ] in
   let uplink_gbps = 10.0 in
   let table =
     Table.create
@@ -56,9 +57,8 @@ let run mode =
       ~columns:
         [ "VMs"; "migration [s]"; "per-VM rate [GB/s]"; "hotplug [s]"; "coordination [s]" ]
   in
-  List.iter
-    (fun n_vms ->
-      let r = measure ~n_vms ~uplink_gbps in
+  sweep rc ~f:(fun n_vms -> measure rc ~n_vms ~uplink_gbps) counts
+  |> List.iter (fun r ->
       Table.add_row table
         [
           string_of_int r.n_vms;
@@ -66,6 +66,5 @@ let run mode =
           Printf.sprintf "%.3f" r.per_vm_rate;
           Printf.sprintf "%.1f" r.hotplug;
           Printf.sprintf "%.2f" r.coordination;
-        ])
-    counts;
+        ]);
   [ table ]

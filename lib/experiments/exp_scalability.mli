@@ -18,6 +18,7 @@ type row = {
   coordination : float;
 }
 
-val measure : n_vms:int -> uplink_gbps:float -> row
+val measure : Ninja_engine.Run_ctx.t -> n_vms:int -> uplink_gbps:float -> row
 
-val run : Exp_common.mode -> Ninja_metrics.Table.t list
+val run : Ninja_engine.Run_ctx.t -> Ninja_metrics.Table.t list
+(** VM-count sweep, domain-parallel when the context carries a pool. *)

@@ -14,7 +14,7 @@ let hca_of _vm = [ Device.make ~tag:"vf0" ~pci_addr:"04:00.0" Device.Ib_hca ]
    device (the source one is the device under test and was unplugged). *)
 let virtio_of _vm = [ Device.make ~tag:"vnic1" ~pci_addr:"00:04.0" Device.Virtio_net ]
 
-let measure combo ~hotplug ~linkup =
+let measure rc combo ~hotplug ~linkup =
   let src_ib, dst_ib =
     match combo with
     | Paper_data.Ib_to_ib -> (true, true)
@@ -22,7 +22,8 @@ let measure combo ~hotplug ~linkup =
     | Paper_data.Eth_to_ib -> (false, true)
     | Paper_data.Eth_to_eth -> (false, false)
   in
-  let sim, cluster = fresh ~spec:Spec.agc_ib16 () in
+  let env = fresh ~spec:Spec.agc_ib16 rc in
+  let sim = env.sim and cluster = env.cluster in
   let hs = hosts cluster ~prefix:"ib" ~first:0 ~count:8 in
   let ninja = Ninja.setup cluster ~hosts:hs ~attach_hca:src_ib () in
   ignore
@@ -45,27 +46,31 @@ let measure combo ~hotplug ~linkup =
       hotplug := sec (Breakdown.hotplug b);
       linkup := sec b.Breakdown.linkup;
       Ninja.wait_job ninja);
-  run_to_completion sim
+  run_to_completion env
 
-let run mode =
-  let repeats = match mode with Quick -> 1 | Full -> 3 in
+let run rc =
+  let repeats = match rc.Run_ctx.mode with Quick -> 1 | Full -> 3 in
   let table =
     Table.create ~title:"Table II: elapsed time of hotplug and link-up [seconds]"
       ~columns:
         [ "Combination"; "hotplug (paper)"; "hotplug (ours)"; "link-up (paper)"; "link-up (ours)" ]
   in
+  let rows =
+    sweep rc
+      ~f:(fun combo ->
+        let one () =
+          let hotplug = ref 0.0 and linkup = ref 0.0 in
+          measure rc combo ~hotplug ~linkup;
+          (!hotplug, !linkup)
+        in
+        (* Deterministic simulation: repeats exist to mirror the paper's
+           best-of-three protocol, not to tame noise. *)
+        let samples = List.init repeats (fun _ -> one ()) in
+        (combo, Stats.minimum (List.map fst samples), Stats.minimum (List.map snd samples)))
+      Paper_data.combos
+  in
   List.iter
-    (fun combo ->
-      let one () =
-        let hotplug = ref 0.0 and linkup = ref 0.0 in
-        measure combo ~hotplug ~linkup;
-        (!hotplug, !linkup)
-      in
-      (* Deterministic simulation: repeats exist to mirror the paper's
-         best-of-three protocol, not to tame noise. *)
-      let samples = List.init repeats (fun _ -> one ()) in
-      let hotplug = Stats.minimum (List.map fst samples) in
-      let linkup = Stats.minimum (List.map snd samples) in
+    (fun (combo, hotplug, linkup) ->
       Table.add_row table
         [
           Paper_data.combo_name combo;
@@ -74,5 +79,5 @@ let run mode =
           Printf.sprintf "%.2f" (Paper_data.table2_linkup combo);
           Printf.sprintf "%.2f" linkup;
         ])
-    Paper_data.combos;
+    rows;
   [ table ]

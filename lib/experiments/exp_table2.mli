@@ -1,12 +1,15 @@
-(** Table II: hotplug and link-up time of self-migration, for the four
-    source→destination interconnect combinations.
+(** Table II: hotplug and link-up elapsed times of the four
+    interconnect-combination self-migrations (IB/Eth x IB/Eth). *)
 
-    Reproduces §IV-B1: 8 VMs running memtest self-migrate (to their own
-    node) with the interconnect device of each side hot-unplugged /
-    re-plugged — a VMM-bypass HCA on InfiniBand sides, the virtio NIC on
-    Ethernet sides. Best of three runs, like the paper. *)
+val measure :
+  Ninja_engine.Run_ctx.t ->
+  Paper_data.combo ->
+  hotplug:float ref ->
+  linkup:float ref ->
+  unit
+(** One self-migration of 8 VMs under the given combination; fills in
+    the measured hotplug and link-up seconds. *)
 
-val run : Exp_common.mode -> Ninja_metrics.Table.t list
-
-val measure : Paper_data.combo -> hotplug:float ref -> linkup:float ref -> unit
-(** One combo measurement (used by tests to probe single rows). *)
+val run : Ninja_engine.Run_ctx.t -> Ninja_metrics.Table.t list
+(** Combination sweep, domain-parallel when the context carries a
+    pool. *)

@@ -1,7 +1,7 @@
 type entry = {
   name : string;
   description : string;
-  run : Exp_common.mode -> Ninja_metrics.Table.t list;
+  run : Ninja_engine.Run_ctx.t -> Ninja_metrics.Table.t list;
 }
 
 let all =
@@ -72,3 +72,12 @@ let all =
 let find name = List.find_opt (fun e -> String.equal e.name name) all
 
 let names = List.map (fun e -> e.name) all
+
+let run_entry ctx e =
+  let tables = e.run ctx in
+  List.iteri
+    (fun i table ->
+      Ninja_engine.Run_ctx.emit_metrics ctx
+        (Printf.sprintf "# %s table %d\n%s" e.name i (Ninja_metrics.Table.to_csv table)))
+    tables;
+  tables

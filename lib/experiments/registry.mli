@@ -4,7 +4,9 @@
 type entry = {
   name : string;  (** e.g. ["table2"] *)
   description : string;
-  run : Exp_common.mode -> Ninja_metrics.Table.t list;
+  run : Ninja_engine.Run_ctx.t -> Ninja_metrics.Table.t list;
+      (** All per-run configuration (seed, mode, faults, sinks, pool)
+          comes from the context — runners keep no state between calls. *)
 }
 
 val all : entry list
@@ -12,3 +14,8 @@ val all : entry list
 val find : string -> entry option
 
 val names : string list
+
+val run_entry : Ninja_engine.Run_ctx.t -> entry -> Ninja_metrics.Table.t list
+(** Run an entry and, when the context has a metrics sink, emit each
+    produced table to it as one CSV chunk (prefixed with a
+    [# <name> table <i>] comment line), in table order. *)

@@ -483,6 +483,100 @@ let test_trace_records_and_filter () =
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
+
+(* ------------------------------------------------------------------ *)
+(* Pool: domain-parallel task execution with deterministic collection *)
+
+let test_pool_map_order () =
+  Pool.with_pool ~size:4 (fun pool ->
+      (* Uneven work so completion order differs from submission order. *)
+      let f i =
+        let acc = ref 0 in
+        for _ = 1 to (17 - i) * 10_000 do
+          incr acc
+        done;
+        ignore !acc;
+        i * i
+      in
+      let xs = List.init 16 Fun.id in
+      Alcotest.(check (list int)) "results line up with inputs" (List.map f xs)
+        (Pool.map pool ~f xs))
+
+let test_pool_size_one_serial () =
+  Pool.with_pool ~size:1 (fun pool ->
+      Alcotest.(check int) "size" 1 (Pool.size pool);
+      Alcotest.(check (list int)) "runs in caller" [ 2; 4; 6 ]
+        (Pool.map pool ~f:(fun x -> 2 * x) [ 1; 2; 3 ]))
+
+exception Boom of int
+
+let test_pool_exception_propagates () =
+  Pool.with_pool ~size:2 (fun pool ->
+      Alcotest.check_raises "first submitted failure wins" (Boom 1) (fun () ->
+          ignore (Pool.map pool ~f:(fun i -> if i land 1 = 1 then raise (Boom i) else i) [ 0; 1; 2; 3 ]));
+      (* The pool survives a failed batch. *)
+      Alcotest.(check (list int)) "still usable" [ 1; 2 ] (Pool.map pool ~f:Fun.id [ 1; 2 ]))
+
+let test_pool_nested_map () =
+  (* A pooled task fans out again on the same pool: the helping await must
+     keep everything moving even when tasks outnumber domains. *)
+  Pool.with_pool ~size:2 (fun pool ->
+      let grids =
+        Pool.map pool
+          ~f:(fun i -> Pool.map pool ~f:(fun j -> (10 * i) + j) [ 1; 2; 3 ])
+          [ 1; 2; 3; 4 ]
+      in
+      Alcotest.(check (list (list int))) "nested results"
+        [ [ 11; 12; 13 ]; [ 21; 22; 23 ]; [ 31; 32; 33 ]; [ 41; 42; 43 ] ]
+        grids)
+
+let test_pool_shutdown_rejects () =
+  let pool = Pool.create ~size:2 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      ignore (Pool.submit pool (fun () -> ())))
+
+(* Concurrent simulations on separate domains: the ambient-simulation
+   reference is domain-local, so blocking calls inside one simulation's
+   fibers must not observe another domain's simulation. *)
+let test_pool_concurrent_sims () =
+  Pool.with_pool ~size:4 (fun pool ->
+      let run_sim seed =
+        let sim = Sim.create ~seed:(Int64.of_int seed) () in
+        let log = ref [] in
+        for i = 1 to 5 do
+          Sim.spawn sim (fun () ->
+              Sim.sleep (Time.ms (i * seed));
+              log := i :: !log)
+        done;
+        Sim.run sim;
+        (Time.to_sec_f (Sim.now sim), List.rev !log)
+      in
+      let results = Pool.map pool ~f:run_sim [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+      List.iteri
+        (fun idx (finished, log) ->
+          let seed = idx + 1 in
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "sim %d clock" seed)
+            (float_of_int (5 * seed) /. 1000.0)
+            finished;
+          Alcotest.(check (list int)) "wakeup order" [ 1; 2; 3; 4; 5 ] log)
+        results)
+
+(* Run_ctx.map must preserve order both serial and pooled. *)
+let test_run_ctx_map () =
+  let xs = List.init 10 Fun.id in
+  let serial = Run_ctx.map Run_ctx.default ~f:(fun x -> x + 1) xs in
+  let pooled =
+    Pool.with_pool ~size:3 (fun pool ->
+        Run_ctx.map (Run_ctx.make ~pool ()) ~f:(fun x -> x + 1) xs)
+  in
+  Alcotest.(check (list int)) "serial" (List.map succ xs) serial;
+  Alcotest.(check (list int)) "pooled equals serial" serial pooled;
+  Alcotest.(check int) "jobs serial" 1 (Run_ctx.jobs Run_ctx.default)
+
 let () =
   Alcotest.run "ninja_engine"
     [
@@ -544,4 +638,14 @@ let () =
         :: Alcotest.test_case "zero work" `Quick test_ps_zero_work
         :: qsuite [ ps_work_conservation_prop ] );
       ("trace", [ Alcotest.test_case "records and filter" `Quick test_trace_records_and_filter ]);
+      ( "pool",
+        [
+          Alcotest.test_case "map order" `Quick test_pool_map_order;
+          Alcotest.test_case "size one serial" `Quick test_pool_size_one_serial;
+          Alcotest.test_case "exception propagates" `Quick test_pool_exception_propagates;
+          Alcotest.test_case "nested map" `Quick test_pool_nested_map;
+          Alcotest.test_case "shutdown" `Quick test_pool_shutdown_rejects;
+          Alcotest.test_case "concurrent sims (DLS)" `Quick test_pool_concurrent_sims;
+          Alcotest.test_case "run_ctx map" `Quick test_run_ctx_map;
+        ] );
     ]

@@ -1,8 +1,14 @@
 (* Tests for the experiment harness: every reproduced table/figure runs in
    quick mode, produces well-formed tables, and matches the paper's shape
-   claims (who wins, what is constant, what scales). *)
+   claims (who wins, what is constant, what scales). All runs go through
+   an explicit Run_ctx; the registry tests pin the determinism guarantee
+   the parallel sweep runner relies on. *)
 
+open Ninja_engine
 open Ninja_experiments
+
+(* A fresh default context per use keeps tests independent. *)
+let rc = Run_ctx.default
 
 let cell table r c = List.nth (List.nth (Ninja_metrics.Table.rows table) r) c
 
@@ -30,7 +36,7 @@ let test_table1_static () =
   | _ -> Alcotest.fail "expected two tables"
 
 let test_table2_matches_paper () =
-  match Exp_table2.run Exp_common.Quick with
+  match Exp_table2.run rc with
   | [ table ] ->
     let rows = Ninja_metrics.Table.rows table in
     Alcotest.(check int) "four combos" 4 (List.length rows);
@@ -50,8 +56,8 @@ let test_table2_matches_paper () =
   | _ -> Alcotest.fail "expected one table"
 
 let test_fig6_shape () =
-  let r2 = Exp_fig6.measure ~size_gb:2.0 in
-  let r16 = Exp_fig6.measure ~size_gb:16.0 in
+  let r2 = Exp_fig6.measure rc ~size_gb:2.0 in
+  let r16 = Exp_fig6.measure rc ~size_gb:16.0 in
   (* Migration depends on the footprint... *)
   Alcotest.(check bool) "migration grows with footprint" true
     (r16.Exp_fig6.migration > r2.Exp_fig6.migration);
@@ -70,7 +76,7 @@ let test_fig6_shape () =
 
 let test_fig7_claims () =
   (* Quick mode: class C at 4 ranks; the structural claims must hold. *)
-  let rows = List.map (Exp_fig7.measure Exp_common.Quick) Ninja_workloads.Npb.all in
+  let rows = List.map (Exp_fig7.measure rc) Ninja_workloads.Npb.all in
   List.iter
     (fun r ->
       (* Proposed = baseline + overhead; overhead within sane bounds. *)
@@ -84,7 +90,7 @@ let test_fig7_claims () =
   Alcotest.(check bool) "FT largest" true (m "FT" > m "BT" && m "BT" > m "LU" && m "LU" > m "CG")
 
 let test_fig8_phases () =
-  let rows = Exp_fig8.measure Exp_common.Quick ~procs_per_vm:1 in
+  let rows = Exp_fig8.measure rc ~procs_per_vm:1 in
   Alcotest.(check int) "40 steps" 40 (List.length rows);
   let mean phase exclude =
     let xs =
@@ -110,8 +116,8 @@ let test_fig8_phases () =
 
 let test_fig8_more_procs_faster_on_ib () =
   (* Paper: 8 procs/VM beats 1 proc/VM except under consolidation. *)
-  let r1 = Exp_fig8.measure Exp_common.Quick ~procs_per_vm:1 in
-  let r8 = Exp_fig8.measure Exp_common.Quick ~procs_per_vm:8 in
+  let r1 = Exp_fig8.measure rc ~procs_per_vm:1 in
+  let r8 = Exp_fig8.measure rc ~procs_per_vm:8 in
   let mean rows phase exclude =
     rows
     |> List.filter (fun r -> r.Exp_fig8.phase = phase && not (List.mem r.Exp_fig8.step exclude))
@@ -125,7 +131,7 @@ let test_fig8_more_procs_faster_on_ib () =
     (mean r8 "2 hosts (TCP)" [ 11 ] > 1.5 *. mean r8 "4 hosts (TCP)" [ 31 ])
 
 let test_ablation_bypass_ordering () =
-  match Exp_ablation.bypass Exp_common.Quick with
+  match Exp_ablation.bypass rc with
   | [ table ] ->
     let tp r = float_cell table r 1 in
     let ft r = float_cell table r 3 in
@@ -135,14 +141,14 @@ let test_ablation_bypass_ordering () =
   | _ -> Alcotest.fail "expected one table"
 
 let test_ablation_rdma_speedup () =
-  match Exp_ablation.rdma_migration Exp_common.Quick with
+  match Exp_ablation.rdma_migration rc with
   | [ table ] ->
     let speedup = float_cell table 0 3 in
     Alcotest.(check bool) "rdma sender 2-3x" true (speedup > 1.5 && speedup < 4.0)
   | _ -> Alcotest.fail "expected one table"
 
 let test_ablation_postcopy_tradeoff () =
-  match Exp_ablation.postcopy Exp_common.Quick with
+  match Exp_ablation.postcopy rc with
   | [ table ] ->
     let pre_bytes = float_cell table 0 3 and post_bytes = float_cell table 1 3 in
     let pre_dur = float_cell table 0 1 and post_dur = float_cell table 1 1 in
@@ -156,8 +162,8 @@ let test_evacuation_grouped_beats_sequential () =
   (* The acceptance scenario: multi-VM evacuation over one shared uplink.
      Grouped waves must finish strictly sooner than the serial chain, with
      the same number of steps and no extra downtime blowup. *)
-  let seq = Exp_evacuation.measure ~n_vms:4 ~strategy:Ninja_planner.Solver.Sequential () in
-  let grp = Exp_evacuation.measure ~n_vms:4 ~strategy:Ninja_planner.Solver.Grouped () in
+  let seq = Exp_evacuation.measure rc ~n_vms:4 ~strategy:Ninja_planner.Solver.Sequential () in
+  let grp = Exp_evacuation.measure rc ~n_vms:4 ~strategy:Ninja_planner.Solver.Grouped () in
   Alcotest.(check int) "same steps" seq.Exp_evacuation.steps grp.Exp_evacuation.steps;
   Alcotest.(check int) "one step per VM" 4 grp.Exp_evacuation.steps;
   Alcotest.(check bool) "grouped strictly faster" true
@@ -172,8 +178,8 @@ let test_evacuation_grouped_beats_sequential () =
 let test_scalability_congestion () =
   (* Below the uplink's capacity migrations run at the sender rate; well
      above it they stretch while hotplug stays constant. *)
-  let r1 = Exp_scalability.measure ~n_vms:1 ~uplink_gbps:10.0 in
-  let r8 = Exp_scalability.measure ~n_vms:8 ~uplink_gbps:10.0 in
+  let r1 = Exp_scalability.measure rc ~n_vms:1 ~uplink_gbps:10.0 in
+  let r8 = Exp_scalability.measure rc ~n_vms:8 ~uplink_gbps:10.0 in
   Alcotest.(check bool) "8 VMs congested" true
     (r8.Exp_scalability.migration > 1.3 *. r1.Exp_scalability.migration);
   Alcotest.(check bool) "per-VM rate drops" true
@@ -184,10 +190,12 @@ let test_scalability_congestion () =
 let test_power_consolidation () =
   (* Consolidation saves energy for the under-utilised job and costs
      energy for the CPU-bound one (you cannot power-save a busy host). *)
-  let spread_idle = Exp_power.measure ~consolidated:false ~busy:false in
-  let cons_idle = Exp_power.measure ~consolidated:true ~busy:false in
-  let spread_busy = Exp_power.measure ~consolidated:false ~busy:true in
-  let cons_busy = Exp_power.measure ~consolidated:true ~busy:true in
+  (* Full mode: the iteration counts the claims were calibrated against. *)
+  let rc = Run_ctx.full in
+  let spread_idle = Exp_power.measure rc ~consolidated:false ~busy:false in
+  let cons_idle = Exp_power.measure rc ~consolidated:true ~busy:false in
+  let spread_busy = Exp_power.measure rc ~consolidated:false ~busy:true in
+  let cons_busy = Exp_power.measure rc ~consolidated:true ~busy:true in
   Alcotest.(check bool) "under-utilised: consolidation saves energy" true
     (cons_idle.Exp_power.energy_kj < spread_idle.Exp_power.energy_kj);
   Alcotest.(check bool) "CPU-bound: consolidation wastes energy" true
@@ -196,13 +204,74 @@ let test_power_consolidation () =
     (cons_busy.Exp_power.duration > 1.7 *. spread_busy.Exp_power.duration)
 
 let test_ablation_quiesce_contrast () =
-  match Exp_ablation.quiesce Exp_common.Quick with
+  match Exp_ablation.quiesce rc with
   | [ table ] ->
     let frozen_bytes = float_cell table 0 3 and live_bytes = float_cell table 1 3 in
     let frozen_passes = float_cell table 0 2 and live_passes = float_cell table 1 2 in
     Alcotest.(check bool) "live sends more" true (live_bytes > 1.5 *. frozen_bytes);
     Alcotest.(check bool) "live needs more passes" true (live_passes > frozen_passes)
   | _ -> Alcotest.fail "expected one table"
+
+(* --- Registry under the explicit run-context (refactor regressions) --- *)
+
+let render tables =
+  String.concat "\n--\n" (List.map Ninja_metrics.Table.to_csv tables)
+
+let test_registry_names_unique () =
+  let sorted = List.sort_uniq String.compare Registry.names in
+  Alcotest.(check int) "names unique" (List.length Registry.names) (List.length sorted)
+
+(* Every registered experiment completes in Quick mode under a fresh
+   context and yields at least one table with rows; the metrics sink sees
+   one CSV chunk per table. *)
+let test_registry_all_complete () =
+  List.iter
+    (fun e ->
+      let chunks = ref 0 in
+      let ctx = Run_ctx.(with_sinks ~metrics:(fun _ -> incr chunks) default) in
+      let tables = Registry.run_entry ctx e in
+      if tables = [] then Alcotest.failf "%s produced no tables" e.Registry.name;
+      List.iter
+        (fun t ->
+          if Ninja_metrics.Table.rows t = [] then
+            Alcotest.failf "%s produced an empty table" e.Registry.name)
+        tables;
+      Alcotest.(check int)
+        (e.Registry.name ^ " metrics chunks")
+        (List.length tables) !chunks)
+    Registry.all
+
+(* Two runs under equal contexts are byte-identical — the determinism the
+   parallel sweep runner's output guarantee rests on. *)
+let test_registry_deterministic () =
+  List.iter
+    (fun name ->
+      let e = Option.get (Registry.find name) in
+      let once () = render (e.Registry.run (Run_ctx.make ~seed:7L ())) in
+      Alcotest.(check string) (name ^ " deterministic") (once ()) (once ()))
+    [ "table2"; "evacuation" ]
+
+(* A pooled context must produce byte-identical tables to a serial one,
+   whatever the completion order of the grid points. *)
+let test_registry_parallel_identical () =
+  let e = Option.get (Registry.find "fig6") in
+  let serial = render (e.Registry.run rc) in
+  let parallel =
+    Pool.with_pool ~size:4 (fun pool -> render (e.Registry.run (Run_ctx.make ~pool ())))
+  in
+  Alcotest.(check string) "fig6 -j4 == -j1" serial parallel
+
+(* A seed change must actually reach the simulations: the context's seed
+   initialises the PRNG of every simulation [fresh] creates. (Fault-free
+   experiment tables are deliberately seed-insensitive — nothing on those
+   paths draws — so this is asserted at the PRNG stream level.) *)
+let test_registry_seed_threads () =
+  let draw seed =
+    let env = Exp_common.fresh (Run_ctx.make ~seed ()) in
+    Prng.next_int64 (Sim.prng env.Exp_common.sim)
+  in
+  Alcotest.(check bool) "same seed, same stream" true (draw 42L = draw 42L);
+  Alcotest.(check bool) "seed 42 vs 43 differ" true (draw 42L <> draw 43L)
 
 let () =
   Alcotest.run "ninja_experiments"
@@ -223,5 +292,13 @@ let () =
           Alcotest.test_case "evacuation planner" `Quick test_evacuation_grouped_beats_sequential;
           Alcotest.test_case "scalability congestion" `Quick test_scalability_congestion;
           Alcotest.test_case "power consolidation" `Slow test_power_consolidation;
+        ] );
+      ( "registry-context",
+        [
+          Alcotest.test_case "names unique" `Quick test_registry_names_unique;
+          Alcotest.test_case "all complete under fresh ctx" `Slow test_registry_all_complete;
+          Alcotest.test_case "same seed, same tables" `Quick test_registry_deterministic;
+          Alcotest.test_case "pooled == serial" `Quick test_registry_parallel_identical;
+          Alcotest.test_case "seed threads through" `Quick test_registry_seed_threads;
         ] );
     ]
