@@ -285,7 +285,94 @@ let plan_cmd =
   in
   Cmd.v (Cmd.info "plan" ~doc) Term.(const run $ vms $ strategy $ uplink $ seed_arg)
 
+(* `ninja_sim check`: fuzz the migration protocol with the invariant
+   checker, writing a replayable repro file for every failure; or replay
+   one such file deterministically. *)
+let check_cmd =
+  let doc =
+    "Fuzz random migration scenarios under the protocol invariant checker \
+     (lib/check), or replay a repro file."
+  in
+  let n =
+    let doc = "Number of random scenarios to run." in
+    Arg.(value & opt int 100 & info [ "n"; "count" ] ~docv:"N" ~doc)
+  in
+  let jobs =
+    let doc = "Fan the scenarios out over $(docv) domains (results are identical to -j 1)." in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let out_dir =
+    let doc = "Directory for repro files of failing scenarios." in
+    Arg.(value & opt string "repros" & info [ "out" ] ~docv:"DIR" ~doc)
+  in
+  let plant =
+    let doc =
+      "Plant a known protocol bug into every scenario (self-test of the checker): \
+       $(b,skip-rollback) or $(b,skip-fence). The campaign then $(i,fails) unless the \
+       checker catches it."
+    in
+    Arg.(
+      value
+      & opt (some (enum (List.map (fun p -> (p, p)) Ninja_check.Runner.plants))) None
+      & info [ "plant" ] ~docv:"BUG" ~doc)
+  in
+  let no_shrink =
+    let doc = "Skip counterexample minimisation." in
+    Arg.(value & flag & info [ "no-shrink" ] ~doc)
+  in
+  let replay =
+    let doc = "Re-run the exact scenario serialised in $(docv) instead of fuzzing." in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let run n jobs out_dir plant no_shrink replay seed =
+    let open Ninja_check in
+    match replay with
+    | Some path ->
+      let text =
+        let ic = open_in path in
+        let len = in_channel_length ic in
+        let s = really_input_string ic len in
+        close_in ic;
+        s
+      in
+      (match Scenario.of_string text with
+      | Error msg ->
+        prerr_endline ("check --replay: " ^ msg);
+        exit 1
+      | Ok scenario ->
+        let r = Runner.run scenario in
+        Format.printf "%a@." Runner.pp_result r;
+        if Runner.failed r then exit 1)
+    | None ->
+      if n < 1 || jobs < 1 then begin
+        prerr_endline "check: -n and -j must be at least 1";
+        exit 1
+      end;
+      let open Ninja_engine in
+      let with_pool k =
+        if jobs > 1 then Pool.with_pool ~size:jobs (fun p -> k (Some p)) else k None
+      in
+      with_pool @@ fun pool ->
+      let ctx = Run_ctx.make ?seed ?pool () in
+      let summary = Fuzz.campaign ctx ~n ?plant ~shrink:(not no_shrink) () in
+      Format.printf "%a@." Fuzz.pp_summary summary;
+      if summary.Fuzz.failures <> [] then begin
+        if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+        List.iter
+          (fun (f : Fuzz.failure) ->
+            let path = Filename.concat out_dir (Printf.sprintf "repro-%d.txt" f.Fuzz.index) in
+            let oc = open_out path in
+            output_string oc (Fuzz.repro_of f);
+            close_out oc;
+            Printf.printf "wrote %s (replay with: ninja_sim check --replay %s)\n%!" path path)
+          summary.Fuzz.failures;
+        exit 1
+      end
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run $ n $ jobs $ out_dir $ plant $ no_shrink $ replay $ seed_arg)
+
 let () =
   let doc = "Ninja migration reproduction: run the paper's experiments on the simulator." in
   let info = Cmd.info "ninja_sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; script_cmd; plan_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; script_cmd; plan_cmd; check_cmd ]))

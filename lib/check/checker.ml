@@ -1,0 +1,207 @@
+open Ninja_engine
+open Ninja_flownet
+open Ninja_hardware
+open Ninja_vmm
+
+type violation = { invariant : string; at : Time.t; detail : string }
+
+type t = {
+  cluster : Cluster.t;
+  vms : (string, Vm.t) Hashtbl.t;
+  mutable rev_violations : violation list;
+  mutable last_at : Time.t;
+  fenced : (string, unit) Hashtbl.t;
+  attached : (string, string list ref) Hashtbl.t;  (* vm -> attached tags *)
+  gave_up : (string, unit) Hashtbl.t;
+  mutable origins : (string * string) list;  (* vm -> host at migrate start *)
+  mutable events : int;
+}
+
+let watched t name = Hashtbl.mem t.vms name
+
+let record_at t ~at ~invariant ~detail =
+  t.rev_violations <- { invariant; at; detail } :: t.rev_violations
+
+let record t ~invariant ~detail =
+  record_at t ~at:(Sim.now (Cluster.sim t.cluster)) ~invariant ~detail
+
+let excused t name = Hashtbl.mem t.gave_up name
+
+let violations t = List.rev t.rev_violations
+
+let events_seen t = t.events
+
+let pp_violation fmt v =
+  Format.fprintf fmt "[%a] %s: %s" Time.pp v.at v.invariant v.detail
+
+(* Allow float round-off plus a byte of slack per link: progressive
+   filling distributes exact shares, so anything beyond that is a real
+   oversubscription. *)
+let conserved ~capacity ~utilization =
+  utilization <= (capacity *. (1.0 +. 1e-6)) +. 1.0
+
+let check_flow_conservation t at =
+  let fabric = Cluster.fabric t.cluster in
+  List.iter
+    (fun link ->
+      let cap = Fabric.link_capacity link in
+      let util = Fabric.link_utilization fabric link in
+      if not (conserved ~capacity:cap ~utilization:util) then
+        record_at t ~at ~invariant:"flow-conservation"
+          ~detail:
+            (Printf.sprintf "link %s carries %.3g B/s over capacity %.3g B/s"
+               (Fabric.link_name link) util cap))
+    (Fabric.links fabric)
+
+let tags_of t name =
+  match Hashtbl.find_opt t.attached name with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.add t.attached name r;
+    r
+
+let split_csv s = if s = "" then [] else String.split_on_char ',' s
+
+let on_event t (e : Probe.event) =
+  t.events <- t.events + 1;
+  if Time.( < ) e.Probe.at t.last_at then
+    record_at t ~at:e.Probe.at ~invariant:"clock-monotone"
+      ~detail:
+        (Format.asprintf "%s/%s at %a precedes an earlier event at %a" e.Probe.topic
+           e.Probe.action Time.pp e.Probe.at Time.pp t.last_at);
+  t.last_at <- Time.max t.last_at e.Probe.at;
+  check_flow_conservation t e.Probe.at;
+  let info key = Option.value (Probe.info_of e key) ~default:"" in
+  match (e.Probe.topic, e.Probe.action) with
+  | "fence", "enter" ->
+    if Hashtbl.length t.fenced > 0 then
+      record_at t ~at:e.Probe.at ~invariant:"fence-pairing"
+        ~detail:"fence entered while a fence was already held";
+    List.iter (fun vm -> Hashtbl.replace t.fenced vm ()) (split_csv (info "vms"))
+  | "fence", "release" ->
+    if Hashtbl.length t.fenced = 0 then
+      record_at t ~at:e.Probe.at ~invariant:"fence-pairing"
+        ~detail:"fence released without a matching enter";
+    Hashtbl.reset t.fenced
+  | "vm", "migrated" when watched t e.Probe.subject ->
+    if not (Hashtbl.mem t.fenced e.Probe.subject) then
+      record_at t ~at:e.Probe.at ~invariant:"fence-before-migrate"
+        ~detail:
+          (Printf.sprintf "%s moved %s -> %s outside a SymVirt fence" e.Probe.subject
+             (info "src") (info "dst"));
+    if info "bypass" = "true" then
+      record_at t ~at:e.Probe.at ~invariant:"bypass-migrate"
+        ~detail:
+          (Printf.sprintf "%s migrated to %s with a VMM-bypass device attached"
+             e.Probe.subject (info "dst"))
+  | "vm", "device-add" when watched t e.Probe.subject ->
+    let tags = tags_of t e.Probe.subject in
+    let tag = info "tag" in
+    if List.mem tag !tags then
+      record_at t ~at:e.Probe.at ~invariant:"attach-balance"
+        ~detail:(Printf.sprintf "%s: duplicate attach of %s" e.Probe.subject tag)
+    else tags := tag :: !tags
+  | "vm", "device-del" when watched t e.Probe.subject ->
+    let tags = tags_of t e.Probe.subject in
+    let tag = info "tag" in
+    if not (List.mem tag !tags) then
+      record_at t ~at:e.Probe.at ~invariant:"attach-balance"
+        ~detail:(Printf.sprintf "%s: detach of absent device %s" e.Probe.subject tag)
+    else tags := List.filter (fun x -> x <> tag) !tags
+  | "plan", "built" ->
+    if info "acyclic" <> "true" then
+      record_at t ~at:e.Probe.at ~invariant:"plan-acyclic"
+        ~detail:(Printf.sprintf "plan of %s steps has a dependency cycle" (info "steps"))
+  | "executor", "report" ->
+    if info "permits-leaked" <> "0" then
+      record_at t ~at:e.Probe.at ~invariant:"permit-leak"
+        ~detail:(Printf.sprintf "executor leaked %s per-host permit(s)" (info "permits-leaked"))
+  | "migrate", "start" ->
+    (* A fresh transaction: origins reset, prior giveups no longer apply. *)
+    Hashtbl.reset t.gave_up;
+    t.origins <- List.filter (fun (vm, _) -> watched t vm) e.Probe.info
+  | "migrate", "giveup" -> Hashtbl.replace t.gave_up e.Probe.subject ()
+  | "migrate", "rollback" ->
+    List.iter
+      (fun (name, origin) ->
+        if not (excused t name) then
+          let vm = Hashtbl.find t.vms name in
+          let here = (Vm.host vm).Node.name in
+          if here <> origin then
+            record_at t ~at:e.Probe.at ~invariant:"rollback-restore"
+              ~detail:
+                (Printf.sprintf "%s rolled back to %s but its origin is %s" name here
+                   origin))
+      t.origins
+  | _ -> ()
+
+let install cluster ~vms =
+  let t =
+    {
+      cluster;
+      vms = Hashtbl.create 8;
+      rev_violations = [];
+      last_at = Sim.now (Cluster.sim cluster);
+      fenced = Hashtbl.create 8;
+      attached = Hashtbl.create 8;
+      gave_up = Hashtbl.create 8;
+      origins = [];
+      events = 0;
+    }
+  in
+  List.iter
+    (fun vm ->
+      Hashtbl.replace t.vms (Vm.name vm) vm;
+      Hashtbl.replace t.attached (Vm.name vm)
+        (ref (List.map (fun (d : Device.t) -> d.Device.tag) (Vm.devices vm))))
+    vms;
+  Probe.subscribe (Cluster.probes cluster) (on_event t);
+  t
+
+let check_finish t =
+  if Hashtbl.length t.fenced > 0 then
+    record t ~invariant:"fence-pairing"
+      ~detail:"a SymVirt fence is still held at the end of the run";
+  Hashtbl.iter
+    (fun name vm ->
+      let host = Vm.host vm in
+      if Vm.state vm <> Vm.Running then
+        record t ~invariant:"vm-running"
+          ~detail:(Printf.sprintf "%s is still paused at the end of the run" name);
+      if not (Cluster.node_alive t.cluster host) then begin
+        if not (excused t name) then
+          record t ~invariant:"vm-on-live-host"
+            ~detail:(Printf.sprintf "%s ends on dead node %s" name host.Node.name)
+      end
+      else if not (excused t name) then begin
+        if Node.has_ib host && Vm.find_device vm ~tag:"vf0" = None then
+          record t ~invariant:"device-consistency"
+            ~detail:(Printf.sprintf "%s on IB node %s without its HCA" name host.Node.name);
+        if (not (Node.has_ib host)) && Vm.has_bypass_device vm then
+          record t ~invariant:"device-consistency"
+            ~detail:
+              (Printf.sprintf "%s on Ethernet node %s with a bypass device attached" name
+                 host.Node.name)
+      end)
+    t.vms;
+  (* Destination overcommit: the watched VMs resident on any one node must
+     fit in its memory — the planner's swap-cycle staging exists precisely
+     to never leave a host oversubscribed. *)
+  let resident = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ vm ->
+      let host = Vm.host vm in
+      let prev = Option.value (Hashtbl.find_opt resident host.Node.name) ~default:0.0 in
+      Hashtbl.replace resident host.Node.name
+        (prev +. Memory.total_bytes (Vm.memory vm)))
+    t.vms;
+  Hashtbl.iter
+    (fun node_name bytes ->
+      let node = Cluster.find_node t.cluster node_name in
+      if bytes > node.Node.mem_bytes *. (1.0 +. 1e-9) then
+        record t ~invariant:"host-overcommit"
+          ~detail:
+            (Printf.sprintf "%s holds %.1f GB of VMs but has %.1f GB" node_name
+               (bytes /. 1e9) (node.Node.mem_bytes /. 1e9)))
+    resident

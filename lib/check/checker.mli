@@ -1,0 +1,66 @@
+(** Protocol invariant checker.
+
+    Subscribes to a cluster's {!Ninja_engine.Probe} bus and asserts,
+    synchronously on every announced transition, the protocol invariants
+    the paper's correctness argument rests on:
+
+    - {b clock-monotone} — probe timestamps never go backwards;
+    - {b fence-before-migrate} — a managed VM only ever changes host
+      while it is inside a SymVirt fence (all ranks paused);
+    - {b bypass-migrate} — no VM migrates with a VMM-bypass device
+      still attached;
+    - {b attach-balance} — device adds and removes stay balanced per VM
+      (no duplicate attach, no detach of an absent device);
+    - {b plan-acyclic} — every constructed plan DAG is acyclic;
+    - {b permit-leak} — the plan executor returns every per-host permit
+      it acquired;
+    - {b flow-conservation} — at every transition, the sum of flow
+      rates on each fabric link stays within its capacity;
+    - {b fence-pairing} — fence enter/release strictly alternate, and
+      no fence is left held at the end of the run;
+    - {b rollback-restore} — after a rolled-back migration, every VM
+      the rollback did not explicitly give up on is back on its origin
+      host.
+
+    Violations are collected, not raised: a single run reports every
+    invariant it breaks. VMs the transactional rollback abandoned (a
+    ["migrate"/"giveup"] probe) are excused from placement and device
+    restoration checks — giving up under a persistent fault is the
+    documented best-effort behaviour, not a bug. *)
+
+open Ninja_hardware
+open Ninja_vmm
+
+type violation = {
+  invariant : string;  (** short kebab-case name, e.g. ["fence-before-migrate"] *)
+  at : Ninja_engine.Time.t;  (** sim time of the offending transition *)
+  detail : string;
+}
+
+type t
+
+val install : Cluster.t -> vms:Vm.t list -> t
+(** Attach a checker to the cluster's probe bus, watching [vms] (their
+    current devices become the attach-balance baseline). Install after
+    the fleet is created and before any migration activity. *)
+
+val record : t -> invariant:string -> detail:string -> unit
+(** Report a violation found outside the probe stream (used by
+    {!Runner}'s end-of-run checks). *)
+
+val excused : t -> string -> bool
+(** Whether a VM (by name) was abandoned by a best-effort rollback
+    phase since the last migration started. *)
+
+val check_finish : t -> unit
+(** End-of-run invariants: no fence held, every watched VM running on a
+    live host, and device state consistent with the host's hardware
+    (IB host ⇒ HCA attached; Ethernet host ⇒ no bypass device). Call
+    after [Sim.run] returns. *)
+
+val events_seen : t -> int
+
+val violations : t -> violation list
+(** In detection order. *)
+
+val pp_violation : Format.formatter -> violation -> unit

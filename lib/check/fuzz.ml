@@ -1,0 +1,103 @@
+open Ninja_engine
+
+type failure = {
+  index : int;
+  result : Runner.result;
+  shrunk : Runner.result option;
+}
+
+type summary = {
+  total : int;
+  passed : int;
+  crashed : int;
+  events : int;
+  failures : failure list;
+}
+
+let generate ~seed ~n =
+  let prng = Prng.create ~seed in
+  (* Explicit recursion: the draw order must be deterministic, and
+     [List.init]'s evaluation order is unspecified. *)
+  let rec go i acc = if i = n then List.rev acc else go (i + 1) (Scenario.gen prng :: acc) in
+  go 0 []
+
+let default_shrink_budget = 60
+
+let shrink_result ?(budget = default_shrink_budget) (r : Runner.result) =
+  if not (Runner.failed r) then None
+  else begin
+    let budget = ref budget in
+    let best = ref None in
+    let rec descend (current : Runner.result) =
+      let rec try_candidates = function
+        | [] -> ()
+        | candidate :: rest ->
+          if !budget <= 0 then ()
+          else begin
+            decr budget;
+            let cr = Runner.run candidate in
+            if Runner.failed cr then begin
+              best := Some cr;
+              descend cr
+            end
+            else try_candidates rest
+          end
+      in
+      try_candidates (Scenario.shrink current.Runner.scenario)
+    in
+    descend r;
+    !best
+  end
+
+let campaign ctx ~n ?plant ?(shrink = true) () =
+  let scenarios =
+    generate ~seed:ctx.Run_ctx.seed ~n
+    |> List.map (fun sc -> { sc with Scenario.plant })
+  in
+  let results = Run_ctx.map ctx ~f:Runner.run scenarios in
+  let failures =
+    List.mapi (fun i r -> (i, r)) results
+    |> List.filter_map (fun (i, r) ->
+           if Runner.failed r then
+             Some { index = i; result = r; shrunk = (if shrink then shrink_result r else None) }
+           else None)
+  in
+  {
+    total = n;
+    passed = List.length (List.filter (fun r -> not (Runner.failed r)) results);
+    crashed =
+      List.length
+        (List.filter
+           (fun (r : Runner.result) ->
+             match r.Runner.outcome with Runner.Crashed _ -> true | _ -> false)
+           results);
+    events = List.fold_left (fun acc (r : Runner.result) -> acc + r.Runner.events) 0 results;
+    failures;
+  }
+
+let repro_of failure =
+  let r = Option.value failure.shrunk ~default:failure.result in
+  let b = Buffer.create 512 in
+  Buffer.add_string b (Scenario.to_string r.Runner.scenario);
+  Buffer.add_string b (Printf.sprintf "# scenario %d of the campaign\n" failure.index);
+  (match r.Runner.outcome with
+  | Runner.Passed -> ()
+  | Runner.Crashed msg -> Buffer.add_string b (Printf.sprintf "# crashed: %s\n" msg)
+  | Runner.Violated vs ->
+    List.iter
+      (fun v ->
+        Buffer.add_string b (Format.asprintf "# violation: %a\n" Checker.pp_violation v))
+      vs);
+  Buffer.contents b
+
+let pp_summary fmt s =
+  Format.fprintf fmt "@[<v>%d scenario(s): %d passed, %d failed (%d crashed), %d probe events"
+    s.total s.passed
+    (s.total - s.passed)
+    s.crashed s.events;
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "@,#%d %a" f.index Runner.pp_result
+        (Option.value f.shrunk ~default:f.result))
+    s.failures;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,197 @@
+open Ninja_engine
+open Ninja_faults
+open Ninja_hardware
+open Ninja_vmm
+open Ninja_mpi
+open Ninja_core
+open Ninja_scheduler
+
+type outcome = Passed | Violated of Checker.violation list | Crashed of string
+
+type result = {
+  scenario : Scenario.t;
+  outcome : outcome;
+  events : int;
+  sim_end : float;
+}
+
+let plants = [ "skip-rollback"; "skip-fence" ]
+
+let failed r = match r.outcome with Passed -> false | Violated _ | Crashed _ -> true
+
+(* The persistent fault that guarantees the skip-rollback plant actually
+   reaches its rollback path. *)
+let abort_forever = "precopy-abort:count=inf"
+
+let effective_faults (sc : Scenario.t) =
+  match sc.Scenario.plant with
+  | Some "skip-rollback" when not (List.mem abort_forever sc.Scenario.faults) ->
+    sc.Scenario.faults @ [ abort_forever ]
+  | _ -> sc.Scenario.faults
+
+let trigger_of cluster (sc : Scenario.t) =
+  let eth = Cluster.eth_only_nodes cluster in
+  match sc.Scenario.trigger with
+  | Scenario.Drain ->
+    Cloud_scheduler.Maintenance { avoid = (fun n -> n.Node.name = "ib00") }
+  | Scenario.Disaster -> Cloud_scheduler.Disaster { rack = 0 }
+  | Scenario.Consolidate k ->
+    Cloud_scheduler.Consolidate { vms_per_host = k; targets = eth }
+  | Scenario.Rebalance -> Cloud_scheduler.Rebalance { targets = eth }
+
+let trigger_satisfied (sc : Scenario.t) host =
+  match sc.Scenario.trigger with
+  | Scenario.Drain -> host.Node.name <> "ib00"
+  | Scenario.Disaster -> host.Node.rack <> 0
+  | Scenario.Consolidate _ | Scenario.Rebalance -> not (Node.has_ib host)
+
+(* Time-bounded loop with a collectively agreed exit: rank 0 evaluates the
+   deadline and its verdict rides a broadcast, so every rank executes the
+   same number of collectives. Exiting on local clocks strands laggards
+   inside a collective once rank skew builds up — e.g. CPU contention
+   after a consolidation doubles VMs up on a host. *)
+let workload (sc : Scenario.t) stop ctx =
+  while not !stop do
+    Mpi.compute ctx ~seconds:sc.Scenario.compute;
+    Mpi.allreduce ctx ~bytes:sc.Scenario.msg_bytes;
+    if Mpi.rank ctx = 0 && Mpi.wtime ctx >= sc.Scenario.until then stop := true;
+    (* Non-root ranks cannot complete the broadcast before rank 0 enters
+       it, so by the time any rank re-reads [stop], rank 0 has written
+       this iteration's verdict. *)
+    Mpi.bcast ctx ~root:0 ~bytes:8.0;
+    Mpi.checkpoint_point ctx
+  done
+
+(* The planted bug: a direct VMM-layer migration behind the protocol's
+   back — no fence, no rollback bookkeeping. Fault injection is cleared
+   first so the buggy path itself executes cleanly; the point is that
+   the checker, not a crash, flags it. *)
+let sneak_migrate cluster vm =
+  Injector.clear (Cluster.injector cluster);
+  let dst =
+    Cluster.eth_only_nodes cluster
+    |> List.find_opt (fun n ->
+           Cluster.node_alive cluster n && n.Node.id <> (Vm.host vm).Node.id)
+  in
+  match dst with
+  | None -> ()
+  | Some dst ->
+    (match Vm.find_device vm ~tag:"vf0" with
+    | Some _ -> ignore (Vm.detach_device vm ~tag:"vf0")
+    | None -> ());
+    ignore (Migration.migrate vm ~dst ~transport:Migration.Tcp ())
+
+let apply_plant (sc : Scenario.t) cluster ninja =
+  match sc.Scenario.plant with
+  | None -> ()
+  | Some "skip-fence" -> sneak_migrate cluster (List.hd (Ninja.vms ninja))
+  | Some "skip-rollback" -> (
+    match Ninja.last_outcome ninja with
+    | Some (Ninja.Rolled_back _) -> sneak_migrate cluster (List.hd (Ninja.vms ninja))
+    | Some Ninja.Completed | None -> ())
+  | Some other -> invalid_arg (Printf.sprintf "unknown plant %S" other)
+
+let final_checks (sc : Scenario.t) ninja checker =
+  match Ninja.last_outcome ninja with
+  | None ->
+    Checker.record checker ~invariant:"migration-ran"
+      ~detail:"the scheduler trigger never performed a migration"
+  | Some Ninja.Completed ->
+    List.iter
+      (fun vm ->
+        let host = Vm.host vm in
+        if not (trigger_satisfied sc host) then
+          Checker.record checker ~invariant:"trigger-satisfied"
+            ~detail:
+              (Printf.sprintf "%s ended on %s, which violates trigger %s" (Vm.name vm)
+                 host.Node.name
+                 (Scenario.trigger_to_string sc.Scenario.trigger)))
+      (Ninja.vms ninja)
+  | Some (Ninja.Rolled_back _) ->
+    List.iteri
+      (fun i vm ->
+        let origin = Printf.sprintf "ib%02d" i in
+        if
+          (not (Checker.excused checker (Vm.name vm)))
+          && (Vm.host vm).Node.name <> origin
+        then
+          Checker.record checker ~invariant:"rollback-restore"
+            ~detail:
+              (Printf.sprintf "%s ends on %s after a rollback; its origin is %s"
+                 (Vm.name vm) (Vm.host vm).Node.name origin))
+      (Ninja.vms ninja)
+
+let run scenario =
+  let checker_ref = ref None in
+  let sim_ref = ref None in
+  let outcome =
+    match Scenario.validate scenario with
+    | Error e -> Crashed ("invalid scenario: " ^ e)
+    | Ok () -> (
+      try
+        let sim = Sim.create ~seed:scenario.Scenario.seed () in
+        sim_ref := Some sim;
+        let spec =
+          Spec.make ~ib_nodes:scenario.Scenario.ib ~eth_nodes:scenario.Scenario.eth ()
+        in
+        let cluster = Cluster.create sim ~spec () in
+        (match scenario.Scenario.uplink_gbps with
+        | Some g ->
+          Cluster.set_inter_rack cluster ~rack_a:0 ~rack_b:1 ~capacity:(Units.gbps g)
+            ~latency:(Time.ms 5)
+        | None -> ());
+        List.iter
+          (fun text ->
+            match Injector.parse_spec text with
+            | Ok spec -> Injector.arm_spec (Cluster.injector cluster) spec
+            | Error e -> failwith (Printf.sprintf "bad fault spec %S: %s" text e))
+          (effective_faults scenario);
+        let hosts =
+          List.init scenario.Scenario.vms (fun i ->
+              Cluster.find_node cluster (Printf.sprintf "ib%02d" i))
+        in
+        let ninja =
+          Ninja.setup cluster ~hosts ~mem_gb:scenario.Scenario.mem_gb ()
+        in
+        let checker = Checker.install cluster ~vms:(Ninja.vms ninja) in
+        checker_ref := Some checker;
+        let stop = ref false in
+        ignore
+          (Ninja.launch ninja ~procs_per_vm:scenario.Scenario.procs
+             (workload scenario stop));
+        let sched = Cloud_scheduler.create ~strategy:scenario.Scenario.strategy ninja in
+        Cloud_scheduler.schedule sched
+          ~after:(Time.of_sec_f scenario.Scenario.trigger_at)
+          (trigger_of cluster scenario);
+        if scenario.Scenario.plant <> None then
+          Sim.spawn sim ~name:"plant" (fun () ->
+              Ninja.wait_job ninja;
+              apply_plant scenario cluster ninja);
+        Sim.run sim;
+        Checker.check_finish checker;
+        final_checks scenario ninja checker;
+        match Checker.violations checker with [] -> Passed | vs -> Violated vs
+      with
+      | Sim.Deadlock stuck ->
+        Crashed (Printf.sprintf "deadlock; stuck fibers: %s" (String.concat ", " stuck))
+      | exn -> Crashed (Printexc.to_string exn))
+  in
+  {
+    scenario;
+    outcome;
+    events = (match !checker_ref with Some c -> Checker.events_seen c | None -> 0);
+    sim_end =
+      (match !sim_ref with Some s -> Time.to_sec_f (Sim.now s) | None -> 0.0);
+  }
+
+let pp_result fmt r =
+  match r.outcome with
+  | Passed ->
+    Format.fprintf fmt "PASS (%d events, sim ended at %.1fs): %a" r.events r.sim_end
+      Scenario.pp r.scenario
+  | Crashed msg -> Format.fprintf fmt "CRASH %s: %a" msg Scenario.pp r.scenario
+  | Violated vs ->
+    Format.fprintf fmt "@[<v>FAIL (%d violation(s)): %a" (List.length vs) Scenario.pp
+      r.scenario;
+    List.iter (fun v -> Format.fprintf fmt "@,  %a" Checker.pp_violation v) vs;
+    Format.fprintf fmt "@]"

@@ -1,0 +1,279 @@
+open Ninja_engine
+open Ninja_planner
+
+type trigger = Drain | Disaster | Consolidate of int | Rebalance
+
+type t = {
+  seed : int64;
+  ib : int;
+  eth : int;
+  vms : int;
+  procs : int;
+  mem_gb : float;
+  compute : float;
+  msg_bytes : float;
+  until : float;
+  uplink_gbps : float option;
+  strategy : Solver.strategy;
+  trigger : trigger;
+  trigger_at : float;
+  faults : string list;
+  plant : string option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Generation *)
+
+let frange prng lo hi = lo +. Prng.float prng (hi -. lo)
+
+(* One random fault spec, constrained so an un-planted scenario is
+   expected to pass: sources never die (node-death only targets Ethernet
+   destinations), probabilities stay moderate, budgets stay finite. *)
+let gen_fault prng ~vms ~eth =
+  let vm_site = Printf.sprintf "vm%d" (Prng.int prng vms) in
+  match Prng.int prng 6 with
+  | 0 -> Printf.sprintf "precopy-stall@%s:count=%d" vm_site (1 + Prng.int prng 2)
+  | 1 ->
+    Printf.sprintf "precopy-abort@%s:p=%.2f,count=%d" vm_site
+      (frange prng 0.3 0.8)
+      (1 + Prng.int prng 2)
+  | 2 ->
+    Printf.sprintf "qmp-timeout:p=%.2f,count=%d" (frange prng 0.05 0.3)
+      (1 + Prng.int prng 3)
+  | 3 -> Printf.sprintf "attach-fail@%s:n=%d" vm_site (1 + Prng.int prng 2)
+  | 4 -> Printf.sprintf "agent-crash@%s" vm_site
+  | _ -> Printf.sprintf "node-death@eth%02d:n=1" (Prng.int prng eth)
+
+let gen prng =
+  let seed = Prng.next_int64 prng in
+  let vms = 1 + Prng.int prng 4 in
+  let procs = 1 + Prng.int prng 2 in
+  let ib = vms + Prng.int prng 3 in
+  (* Every trigger needs room on the Ethernet side: [eth >= vms] makes
+     rebalance/disaster/consolidate(1) feasible. *)
+  let eth = vms + Prng.int prng 4 in
+  let mem_gb = frange prng 4.0 16.0 in
+  let compute = frange prng 0.1 0.4 in
+  let msg_bytes = frange prng 1e6 2e8 in
+  let until = frange prng 40.0 90.0 in
+  let uplink_gbps = if Prng.int prng 4 = 0 then Some (frange prng 5.0 25.0) else None in
+  let strategy = if Prng.bool prng then Solver.Grouped else Solver.Sequential in
+  let trigger =
+    match Prng.int prng 4 with
+    | 0 -> Drain
+    | 1 -> Disaster
+    | 2 -> Consolidate (1 + Prng.int prng 2)
+    | _ -> Rebalance
+  in
+  let trigger_at = frange prng 3.0 10.0 in
+  let faults = List.init (Prng.int prng 3) (fun _ -> gen_fault prng ~vms ~eth) in
+  {
+    seed;
+    ib;
+    eth;
+    vms;
+    procs;
+    mem_gb;
+    compute;
+    msg_bytes;
+    until;
+    uplink_gbps;
+    strategy;
+    trigger;
+    trigger_at;
+    faults;
+    plant = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Validation *)
+
+let validate t =
+  let ( let* ) = Result.bind in
+  let check cond msg = if cond then Ok () else Error msg in
+  let* () = check (t.ib >= 1 && t.eth >= 1) "need at least one node per rack" in
+  let* () = check (t.vms >= 1 && t.vms <= t.ib) "vms must be in [1, ib]" in
+  let* () = check (t.procs >= 1) "procs must be >= 1" in
+  let* () = check (t.mem_gb > 0.0 && Float.is_finite t.mem_gb) "mem_gb must be positive" in
+  let* () = check (t.compute > 0.0) "compute must be positive" in
+  let* () = check (t.msg_bytes >= 0.0) "msg_bytes must be non-negative" in
+  let* () = check (t.until > t.trigger_at) "until must be after trigger_at" in
+  let* () = check (t.trigger_at > 0.0) "trigger_at must be positive" in
+  let* () =
+    check
+      (match t.uplink_gbps with None -> true | Some g -> g > 0.0)
+      "uplink_gbps must be positive"
+  in
+  let* () =
+    match t.trigger with
+    | Drain -> Ok ()
+    | Disaster | Rebalance -> check (t.eth >= t.vms) "trigger needs eth >= vms"
+    | Consolidate k ->
+      let* () = check (k >= 1) "consolidate factor must be >= 1" in
+      check (((t.vms + k - 1) / k) <= t.eth) "consolidate needs enough eth targets"
+  in
+  List.fold_left
+    (fun acc f ->
+      let* () = acc in
+      match Ninja_faults.Injector.parse_spec f with
+      | Ok _ -> Ok ()
+      | Error e -> Error (Printf.sprintf "fault %S: %s" f e))
+    (Ok ()) t.faults
+
+(* ------------------------------------------------------------------ *)
+(* Textual form *)
+
+let trigger_to_string = function
+  | Drain -> "drain"
+  | Disaster -> "disaster"
+  | Consolidate k -> Printf.sprintf "consolidate:%d" k
+  | Rebalance -> "rebalance"
+
+let trigger_of_string s =
+  match String.split_on_char ':' s with
+  | [ "drain" ] -> Ok Drain
+  | [ "disaster" ] -> Ok Disaster
+  | [ "rebalance" ] -> Ok Rebalance
+  | [ "consolidate"; k ] -> (
+    match int_of_string_opt k with
+    | Some k when k >= 1 -> Ok (Consolidate k)
+    | _ -> Error (Printf.sprintf "bad consolidate factor %S" k))
+  | _ -> Error (Printf.sprintf "unknown trigger %S" s)
+
+(* %.17g round-trips any finite double exactly. *)
+let fstr = Printf.sprintf "%.17g"
+
+let to_string t =
+  let b = Buffer.create 256 in
+  let line k v = Buffer.add_string b (k ^ "=" ^ v ^ "\n") in
+  Buffer.add_string b "# ninja_sim check scenario\n";
+  line "seed" (Int64.to_string t.seed);
+  line "ib" (string_of_int t.ib);
+  line "eth" (string_of_int t.eth);
+  line "vms" (string_of_int t.vms);
+  line "procs" (string_of_int t.procs);
+  line "mem_gb" (fstr t.mem_gb);
+  line "compute" (fstr t.compute);
+  line "msg_bytes" (fstr t.msg_bytes);
+  line "until" (fstr t.until);
+  (match t.uplink_gbps with Some g -> line "uplink_gbps" (fstr g) | None -> ());
+  line "strategy" (String.lowercase_ascii (Solver.name t.strategy));
+  line "trigger" (trigger_to_string t.trigger);
+  line "trigger_at" (fstr t.trigger_at);
+  List.iter (fun f -> line "fault" f) t.faults;
+  (match t.plant with Some p -> line "plant" p | None -> ());
+  Buffer.contents b
+
+let default =
+  {
+    seed = 1L;
+    ib = 2;
+    eth = 2;
+    vms = 1;
+    procs = 1;
+    mem_gb = 4.0;
+    compute = 0.2;
+    msg_bytes = 1e7;
+    until = 40.0;
+    uplink_gbps = None;
+    strategy = Solver.Sequential;
+    trigger = Drain;
+    trigger_at = 5.0;
+    faults = [];
+    plant = None;
+  }
+
+let of_string text =
+  let ( let* ) = Result.bind in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  let parse_int k v =
+    match int_of_string_opt v with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "bad integer %S for %s" v k)
+  in
+  let parse_float k v =
+    match float_of_string_opt v with
+    | Some f when Float.is_finite f -> Ok f
+    | _ -> Error (Printf.sprintf "bad number %S for %s" v k)
+  in
+  let apply acc line =
+    let* t = acc in
+    match String.index_opt line '=' with
+    | None -> Error (Printf.sprintf "malformed line %S (expected key=value)" line)
+    | Some i ->
+      let k = String.trim (String.sub line 0 i) in
+      let v = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+      (match k with
+      | "seed" -> (
+        match Int64.of_string_opt v with
+        | Some s -> Ok { t with seed = s }
+        | None -> Error (Printf.sprintf "bad seed %S" v))
+      | "ib" -> Result.map (fun n -> { t with ib = n }) (parse_int k v)
+      | "eth" -> Result.map (fun n -> { t with eth = n }) (parse_int k v)
+      | "vms" -> Result.map (fun n -> { t with vms = n }) (parse_int k v)
+      | "procs" -> Result.map (fun n -> { t with procs = n }) (parse_int k v)
+      | "mem_gb" -> Result.map (fun f -> { t with mem_gb = f }) (parse_float k v)
+      | "compute" -> Result.map (fun f -> { t with compute = f }) (parse_float k v)
+      | "msg_bytes" -> Result.map (fun f -> { t with msg_bytes = f }) (parse_float k v)
+      | "until" -> Result.map (fun f -> { t with until = f }) (parse_float k v)
+      | "uplink_gbps" ->
+        Result.map (fun f -> { t with uplink_gbps = Some f }) (parse_float k v)
+      | "strategy" ->
+        Result.map (fun s -> { t with strategy = s }) (Solver.of_string v)
+      | "trigger" -> Result.map (fun tr -> { t with trigger = tr }) (trigger_of_string v)
+      | "trigger_at" -> Result.map (fun f -> { t with trigger_at = f }) (parse_float k v)
+      | "fault" -> Ok { t with faults = t.faults @ [ v ] }
+      | "plant" -> Ok { t with plant = Some v }
+      | _ -> Error (Printf.sprintf "unknown scenario key %S" k))
+  in
+  let* t = List.fold_left apply (Ok default) lines in
+  let* () = validate t in
+  Ok t
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking *)
+
+let drop_nth n xs = List.filteri (fun i _ -> i <> n) xs
+
+let shrink t =
+  let candidates = ref [] in
+  let add c = candidates := c :: !candidates in
+  (* A smaller VM fleet may invalidate @vmN fault sites; keep only the
+     faults whose sites still exist. *)
+  let prune_vm_faults vms faults =
+    List.filter
+      (fun f ->
+        match Ninja_faults.Injector.parse_spec f with
+        | Ok { Ninja_faults.Injector.site = Some s; _ } ->
+          (try Scanf.sscanf s "vm%d" (fun i -> i < vms) with _ -> true)
+        | _ -> true)
+      faults
+  in
+  if t.trigger <> Drain then add { t with trigger = Drain };
+  if t.strategy <> Ninja_planner.Solver.Sequential then
+    add { t with strategy = Ninja_planner.Solver.Sequential };
+  if t.uplink_gbps <> None then add { t with uplink_gbps = None };
+  if t.until > 40.0 then add { t with until = Float.max 40.0 (t.until /. 2.0) };
+  if t.msg_bytes > 1e6 then add { t with msg_bytes = 1e6 };
+  if t.compute > 0.1 then add { t with compute = 0.1 };
+  if t.mem_gb > 4.0 then add { t with mem_gb = Float.max 4.0 (t.mem_gb /. 2.0) };
+  if t.procs > 1 then add { t with procs = 1 };
+  if t.vms > 1 then
+    add { t with vms = t.vms - 1; faults = prune_vm_faults (t.vms - 1) t.faults };
+  List.iteri (fun i _ -> add { t with faults = drop_nth i t.faults }) t.faults;
+  List.rev !candidates
+
+let pp fmt t =
+  Format.fprintf fmt "seed=%Ld %d+%d nodes, %d vm(s) x%d, %s/%s @%.1fs%s%s" t.seed t.ib
+    t.eth t.vms t.procs
+    (trigger_to_string t.trigger)
+    (String.lowercase_ascii (Solver.name t.strategy))
+    t.trigger_at
+    (match t.faults with
+    | [] -> ""
+    | fs -> " faults=[" ^ String.concat "; " fs ^ "]")
+    (match t.plant with None -> "" | Some p -> " plant=" ^ p)

@@ -1,0 +1,65 @@
+(** Randomised migration scenarios.
+
+    A scenario is a complete, self-contained description of one fuzz
+    case: cluster shape, VM fleet, workload intensity, the scheduler
+    trigger that sets migrations in motion, the armed fault specs, and
+    (for harness self-tests) an optional planted protocol bug. A
+    scenario fixes a run completely — {!Runner.run} on equal scenarios
+    is byte-identical — which is what makes counterexamples replayable.
+
+    The textual form is a line-oriented [key=value] file ([#] starts a
+    comment; [fault=] may repeat). {!to_string} and {!of_string}
+    round-trip exactly, including float parameters. *)
+
+type trigger =
+  | Drain  (** maintenance: evacuate node [ib00] *)
+  | Disaster  (** evacuate the whole IB rack (rack 0) *)
+  | Consolidate of int  (** pack [k] VMs per Ethernet host *)
+  | Rebalance  (** spread one VM per Ethernet host *)
+
+type t = {
+  seed : int64;  (** seeds the simulation (and nothing else) *)
+  ib : int;  (** IB-equipped node count (rack 0) *)
+  eth : int;  (** Ethernet-only node count (rack 1) *)
+  vms : int;  (** VM fleet size; VM [i] starts on node [ib<i>] *)
+  procs : int;  (** MPI processes per VM *)
+  mem_gb : float;  (** VM memory size *)
+  compute : float;  (** per-iteration compute seconds *)
+  msg_bytes : float;  (** per-iteration allreduce payload *)
+  until : float;  (** workload iterates until this MPI wtime *)
+  uplink_gbps : float option;  (** inter-rack WAN constraint, if any *)
+  strategy : Ninja_planner.Solver.strategy;
+  trigger : trigger;
+  trigger_at : float;  (** sim seconds before the trigger fires *)
+  faults : string list;  (** {!Ninja_faults.Injector} textual specs *)
+  plant : string option;  (** planted bug name, for self-tests *)
+}
+
+val gen : Ninja_engine.Prng.t -> t
+(** Draw a random well-formed scenario: destination capacity always
+    suffices for the trigger, fault sites reference existing VMs/nodes,
+    and node-death is only ever aimed at Ethernet (destination) nodes so
+    migration sources never die. No plant is ever generated. *)
+
+val validate : t -> (unit, string) result
+(** Structural sanity (positive counts, parsable fault specs, trigger
+    feasibility). Generated scenarios always validate; hand-written
+    replay files may not. *)
+
+val trigger_to_string : trigger -> string
+
+val to_string : t -> string
+(** Render as a replay file (with a leading comment header). *)
+
+val of_string : string -> (t, string) result
+(** Parse a replay file. Unknown keys and malformed values are errors;
+    missing keys fall back to the documented defaults. *)
+
+val shrink : t -> t list
+(** Single-step simplification candidates, most aggressive first: drop a
+    fault, remove a VM, drop to one process, halve the memory, shorten
+    the workload, lift the WAN cap, serialise the plan, simplify the
+    trigger. The plant (if any) is preserved. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary (not the replay form). *)

@@ -183,7 +183,12 @@ let migrate t ~plan ?(transport = Migration.Tcp) ?hotplug_noise
       r := d :: !r
   in
   let retry_lost = ref Time.zero in
+  let probes = Cluster.probes t.cluster in
   Trace.record t.trace ~category:"ninja" "migration triggered";
+  if Probe.active probes then
+    Probe.emit probes ~topic:"migrate" ~action:"start"
+      ~info:(List.map (fun (vm, origin) -> (Vm.name vm, origin.Node.name)) origins)
+      ();
   (* 1. Trigger: the runtime tells every process to reach a safe point and
      call into the coordinator; the controller waits for the fence. *)
   t.operation_active <- multi;
@@ -228,10 +233,17 @@ let migrate t ~plan ?(transport = Migration.Tcp) ?hotplug_noise
             Trace.recordf t.trace ~category:"faults" "%s: %s unrecoverable: %s" name
               (Vm.name vm) msg)
           fatals;
-        (match fatals with
-        | (vm, msg) :: _ when not best_effort ->
-            raise (Phase_failed (Printf.sprintf "%s: %s: %s" name (Vm.name vm) msg))
-        | _ -> ());
+        if best_effort then
+          List.iter
+            (fun (vm, _msg) ->
+              Probe.emit probes ~topic:"migrate" ~action:"giveup" ~subject:(Vm.name vm)
+                ~info:[ ("phase", name) ] ())
+            fatals
+        else (
+          match fatals with
+          | (vm, msg) :: _ ->
+              raise (Phase_failed (Printf.sprintf "%s: %s: %s" name (Vm.name vm) msg))
+          | [] -> ());
         if transients <> [] then begin
           let delay = Retry.backoff retry ~attempt in
           let within_deadline =
@@ -242,9 +254,15 @@ let migrate t ~plan ?(transport = Migration.Tcp) ?hotplug_noise
           in
           if attempt >= retry.Retry.max_attempts || not within_deadline then begin
             let vm, msg = List.hd transients in
-            if best_effort then
+            if best_effort then begin
               Trace.recordf t.trace ~category:"faults" "%s: giving up on %s after %d attempts"
-                name (Vm.name vm) attempt
+                name (Vm.name vm) attempt;
+              List.iter
+                (fun (vm, _msg) ->
+                  Probe.emit probes ~topic:"migrate" ~action:"giveup" ~subject:(Vm.name vm)
+                    ~info:[ ("phase", name) ] ())
+                transients
+            end
             else
               raise
                 (Phase_failed
@@ -307,6 +325,7 @@ let migrate t ~plan ?(transport = Migration.Tcp) ?hotplug_noise
   (match result with
   | Ok () ->
       t.last_outcome <- Some Completed;
+      Probe.emit probes ~topic:"migrate" ~action:"complete" ();
       (* 5. Final signal; guests confirm link-up and rebuild transports. *)
       fence_boundary ~last:true
   | Error reason ->
@@ -347,6 +366,7 @@ let migrate t ~plan ?(transport = Migration.Tcp) ?hotplug_noise
       retry_lost := Time.add !retry_lost (span_since sim rb0);
       t.last_outcome <- Some (Rolled_back reason);
       Trace.record t.trace ~category:"ninja" "rollback complete: VMs restored at source";
+      Probe.emit probes ~topic:"migrate" ~action:"rollback" ~info:[ ("reason", reason) ] ();
       (* Release the fence exactly like a completed operation would. *)
       t.operation_active <- false;
       Controller.signal ctl);

@@ -1,0 +1,35 @@
+type event = {
+  at : Time.t;
+  topic : string;
+  action : string;
+  subject : string;
+  info : (string * string) list;
+}
+
+type t = {
+  sim : Sim.t;
+  mutable subscribers : (event -> unit) list;
+  mutable emitted : int;
+}
+
+let create sim = { sim; subscribers = []; emitted = 0 }
+
+let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
+
+let active t = t.subscribers <> []
+
+let emitted t = t.emitted
+
+let emit t ~topic ~action ?(subject = "") ?(info = []) () =
+  match t.subscribers with
+  | [] -> ()
+  | subscribers ->
+    t.emitted <- t.emitted + 1;
+    let e = { at = Sim.now t.sim; topic; action; subject; info } in
+    List.iter (fun f -> f e) subscribers
+
+let info_of e key = List.assoc_opt key e.info
+
+let pp fmt e =
+  Format.fprintf fmt "[%a] %s/%s %s" Time.pp e.at e.topic e.action e.subject;
+  List.iter (fun (k, v) -> Format.fprintf fmt " %s=%s" k v) e.info

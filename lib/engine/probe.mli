@@ -1,0 +1,45 @@
+(** Protocol probe bus.
+
+    A lightweight publish/subscribe channel over which model layers
+    announce protocol-relevant transitions — fence entry/release, VM
+    migrations, device hotplug, plan construction, fault firings — as
+    plain (topic, action, subject, info) records stamped with the current
+    simulation time. Unlike {!Trace}, events are structured (no string
+    parsing needed to consume them) and delivery is synchronous: a
+    subscriber observes the simulation exactly at the instant of the
+    transition, which is what an invariant checker needs.
+
+    When nothing is subscribed, {!emit} returns immediately without
+    allocating — an idle bus costs one branch per probe site, so
+    production runs pay nothing for the instrumentation. *)
+
+type event = {
+  at : Time.t;  (** simulation time at emission *)
+  topic : string;  (** layer, e.g. ["fence"], ["vm"], ["qmp"], ["plan"] *)
+  action : string;  (** transition, e.g. ["enter"], ["migrated"] *)
+  subject : string;  (** VM or node name; [""] when not applicable *)
+  info : (string * string) list;  (** further key/value detail *)
+}
+
+type t
+
+val create : Sim.t -> t
+
+val subscribe : t -> (event -> unit) -> unit
+(** Subscribers are called synchronously, in subscription order, from the
+    emitting fiber. They must not block. *)
+
+val active : t -> bool
+(** Whether any subscriber is attached (probe sites may use this to skip
+    expensive payload construction). *)
+
+val emitted : t -> int
+(** Events delivered so far (0 while no subscriber is attached). *)
+
+val emit :
+  t -> topic:string -> action:string -> ?subject:string -> ?info:(string * string) list ->
+  unit -> unit
+
+val info_of : event -> string -> string option
+
+val pp : Format.formatter -> event -> unit

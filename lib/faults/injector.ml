@@ -32,6 +32,7 @@ type t = {
   sim : Sim.t;
   prng : Prng.t;
   mutable trace : Trace.t option;
+  mutable probes : Probe.t option;
   mutable armed : armed list;
   fired_counts : (point, int ref) Hashtbl.t;
   hit_counts : (point, int ref) Hashtbl.t;
@@ -46,12 +47,15 @@ let create ?(seed = default_seed) sim =
     sim;
     prng = Prng.create ~seed;
     trace = None;
+    probes = None;
     armed = [];
     fired_counts = Hashtbl.create 8;
     hit_counts = Hashtbl.create 8;
   }
 
 let set_trace t trace = t.trace <- Some trace
+
+let set_probes t probes = t.probes <- Some probes
 
 let validate spec =
   (match spec.trigger with
@@ -117,6 +121,12 @@ let fire t point ~site =
           Trace.recordf trace ~category:"faults" "injected %s at %s (firing %d)"
             (point_name point) site (fired t point))
         t.trace;
+      Option.iter
+        (fun probes ->
+          Probe.emit probes ~topic:"fault" ~action:(point_name point) ~subject:site
+            ~info:[ ("firing", string_of_int (fired t point)) ]
+            ())
+        t.probes;
       true
   end
 

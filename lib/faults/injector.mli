@@ -55,6 +55,10 @@ val create : ?seed:int64 -> Sim.t -> t
 val set_trace : t -> Trace.t -> unit
 (** Firings are recorded under category ["faults"]. *)
 
+val set_probes : t -> Probe.t -> unit
+(** Firings are announced on the bus as topic ["fault"], action the point
+    name, subject the site, with a ["firing"] ordinal in the info. *)
+
 val arm : t -> ?site:string -> ?count:int -> trigger -> point -> unit
 (** Arm a fault ([count] defaults to 1). Several faults may be armed on
     the same point. *)

@@ -11,7 +11,7 @@ type link = {
 
 type info = { route : link list }
 
-type t = { set : info Rated.t; mutable next_link : int }
+type t = { set : info Rated.t; mutable next_link : int; mutable all_links : link list }
 
 type flow = info Rated.task
 
@@ -76,14 +76,18 @@ let rerate set =
     done
   end
 
-let create sim = { set = Rated.create sim ~name:"fabric" ~rerate; next_link = 0 }
+let create sim = { set = Rated.create sim ~name:"fabric" ~rerate; next_link = 0; all_links = [] }
 
 let add_link t ~name ~capacity =
   if not (capacity > 0.0 && Float.is_finite capacity) then
     invalid_arg "Fabric.add_link: capacity must be positive and finite";
   let id = t.next_link in
   t.next_link <- id + 1;
-  { id; name; capacity; residual = 0.0; unfrozen = 0 }
+  let l = { id; name; capacity; residual = 0.0; unfrozen = 0 } in
+  t.all_links <- l :: t.all_links;
+  l
+
+let links t = List.rev t.all_links
 
 let link_name l = l.name
 

@@ -25,6 +25,10 @@ val create : Ninja_engine.Sim.t -> t
 val add_link : t -> name:string -> capacity:float -> link
 (** [capacity] in bytes per second; must be positive. *)
 
+val links : t -> link list
+(** Every link ever added, in creation order — lets an observer sweep the
+    whole fabric (e.g. to check flow conservation on each link). *)
+
 val link_name : link -> string
 
 val link_id : link -> int

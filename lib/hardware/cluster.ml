@@ -11,6 +11,7 @@ type t = {
   spec : Spec.t;
   nodes : Node.t array;
   trace : Trace.t;
+  probes : Probe.t;
   inter_racks : (int * int, inter_rack) Hashtbl.t;
   injector : Ninja_faults.Injector.t;
   dead_nodes : (int, unit) Hashtbl.t;
@@ -43,14 +44,17 @@ let create sim ?(spec = Spec.agc) () =
     |> Array.of_list
   in
   let trace = Trace.create sim in
+  let probes = Probe.create sim in
   let injector = Ninja_faults.Injector.create sim in
   Ninja_faults.Injector.set_trace injector trace;
+  Ninja_faults.Injector.set_probes injector probes;
   {
     sim;
     fabric;
     spec;
     nodes;
     trace;
+    probes;
     inter_racks = Hashtbl.create 4;
     injector;
     dead_nodes = Hashtbl.create 4;
@@ -58,10 +62,13 @@ let create sim ?(spec = Spec.agc) () =
 
 let injector t = t.injector
 
+let probes t = t.probes
+
 let kill_node t (n : Node.t) =
   if not (Hashtbl.mem t.dead_nodes n.Node.id) then begin
     Hashtbl.replace t.dead_nodes n.Node.id ();
-    Trace.recordf t.trace ~category:"faults" "node %s died" n.Node.name
+    Trace.recordf t.trace ~category:"faults" "node %s died" n.Node.name;
+    Probe.emit t.probes ~topic:"node" ~action:"death" ~subject:n.Node.name ()
   end
 
 let node_alive t (n : Node.t) = not (Hashtbl.mem t.dead_nodes n.Node.id)

@@ -24,6 +24,12 @@ val spec : t -> Spec.t
 
 val trace : t -> Trace.t
 
+val probes : t -> Probe.t
+(** The cluster's probe bus: every protocol layer (hotplug, migration,
+    SymVirt fence, planner, faults) announces its transitions here, and
+    {!Ninja_check.Checker}-style observers subscribe to it. Idle unless
+    subscribed. *)
+
 val node : t -> int -> Node.t
 
 val nodes : t -> Node.t list

@@ -177,12 +177,23 @@ let run cluster ?(transport = Migration.Tcp) ?(max_per_host = default_max_per_ho
     steps;
   let finished = Sim.now sim in
   let step_results = List.rev !completed in
-  (match List.rev !failures with
-  | [] -> ()
-  | (step, reason) :: _ -> raise (fail_of step reason));
   let permits_leaked =
     Hashtbl.fold (fun _ s acc -> acc + (max_per_host - Semaphore.available s)) sems 0
   in
+  (* The probe fires before any [Step_failed] is raised so an observer sees
+     the permit balance even when the run fails. *)
+  Probe.emit (Cluster.probes cluster) ~topic:"executor" ~action:"report"
+    ~info:
+      [
+        ("steps", string_of_int (List.length step_results));
+        ("failures", string_of_int (List.length !failures));
+        ("retries", string_of_int !retries);
+        ("permits-leaked", string_of_int permits_leaked);
+      ]
+    ();
+  (match List.rev !failures with
+  | [] -> ()
+  | (step, reason) :: _ -> raise (fail_of step reason));
   {
     started;
     finished;

@@ -279,4 +279,12 @@ let of_assignment cluster ~vms ~dst_of ?(staging = []) ?bytes_of () =
             ~after:(Option.get arriving_step.(i)))
         waits_for)
     edges;
+  Probe.emit (Cluster.probes cluster) ~topic:"plan" ~action:"built"
+    ~info:
+      [
+        ("steps", string_of_int (length plan));
+        ("deps", string_of_int (dep_count plan));
+        ("acyclic", string_of_bool (is_acyclic plan));
+      ]
+    ();
   plan

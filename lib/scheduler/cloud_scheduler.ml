@@ -1,5 +1,6 @@
 open Ninja_engine
 open Ninja_hardware
+open Ninja_vmm
 open Ninja_metrics
 open Ninja_core
 open Ninja_planner
@@ -84,18 +85,77 @@ let acceptable trigger n =
   | Consolidate { targets; _ } | Rebalance { targets } ->
     List.exists (fun m -> m.Node.id = n.Node.id) targets
 
-(* When a destination dies mid-plan, send the step to the first live free
-   node the trigger's policy accepts — the scheduler replans around the
-   loss rather than aborting the whole trigger. *)
-let reroute_for t trigger (step : Plan.step) =
+(* When a destination dies mid-plan, send the step to the first live node
+   the trigger's policy accepts that still has room. "Room" counts VMs
+   currently resident, every other step's intended destination, and the
+   reroutes this closure already granted — reroute decisions are taken
+   while migrations are in flight, so current placement alone undercounts
+   and concurrent reroutes would pile every displaced VM onto the first
+   node that merely looks empty, overcommitting its memory. Candidates
+   are further pinned to the planned destination's interconnect class:
+   [Ninja.migrate] computed its detach/re-attach device plan for that
+   class, so sending the VM across fabrics would land it without (or
+   with a stale) bypass device. *)
+let make_reroute t trigger plan =
   let cluster = Ninja.cluster t.ninja in
-  Placement.nodes_free cluster ~vms:(Ninja.vms t.ninja)
-  |> List.find_opt (fun n ->
-         Cluster.node_alive cluster n
-         && n.Node.id <> step.Plan.dst.Node.id
-         && acceptable trigger n)
+  let granted : (int, Vm.t list ref) Hashtbl.t = Hashtbl.create 4 in
+  fun (step : Plan.step) ->
+    let vms = Ninja.vms t.ninja in
+    let headed_to n =
+      let residents =
+        List.filter (fun vm -> (Vm.host vm).Node.id = n.Node.id) vms
+      in
+      let planned =
+        Plan.steps plan
+        |> List.filter (fun (s : Plan.step) -> s.Plan.dst.Node.id = n.Node.id)
+        |> List.map (fun (s : Plan.step) -> s.Plan.vm)
+      in
+      let rerouted =
+        match Hashtbl.find_opt granted n.Node.id with Some l -> !l | None -> []
+      in
+      step.Plan.vm :: (residents @ planned @ rerouted)
+      |> List.sort_uniq (fun a b -> compare (Vm.name a) (Vm.name b))
+    in
+    let fits n =
+      let load = headed_to n in
+      let bytes =
+        List.fold_left (fun acc vm -> acc +. Memory.total_bytes (Vm.memory vm)) 0.0 load
+      in
+      let count_ok =
+        match trigger with
+        | Consolidate { vms_per_host; _ } -> List.length load <= vms_per_host
+        | Maintenance _ | Disaster _ | Rebalance _ -> true
+      in
+      count_ok && bytes <= n.Node.mem_bytes
+    in
+    let choice =
+      Cluster.nodes cluster
+      |> List.sort (fun (a : Node.t) b -> compare a.Node.id b.Node.id)
+      |> List.find_opt (fun n ->
+             Cluster.node_alive cluster n
+             && n.Node.id <> step.Plan.dst.Node.id
+             && n.Node.id <> (Vm.host step.Plan.vm).Node.id
+             && Node.has_ib n = Node.has_ib step.Plan.dst
+             && acceptable trigger n && fits n)
+    in
+    (match choice with
+    | Some n ->
+      let l =
+        match Hashtbl.find_opt granted n.Node.id with
+        | Some l -> l
+        | None ->
+          let l = ref [] in
+          Hashtbl.replace granted n.Node.id l;
+          l
+      in
+      l := step.Plan.vm :: !l
+    | None -> ());
+    choice
 
 let execute t trigger =
+  Probe.emit
+    (Cluster.probes (Ninja.cluster t.ninja))
+    ~topic:"scheduler" ~action:"trigger" ~subject:(trigger_name trigger) ();
   let dst_of = plan_for t trigger in
   let plan = build_plan t trigger dst_of in
   let report = ref None in
@@ -105,7 +165,7 @@ let execute t trigger =
         report :=
           Some
             (Executor.run (Ninja.cluster t.ninja) ~max_per_host:t.max_per_host
-               ~retry:t.retry ~reroute:(reroute_for t trigger) plan))
+               ~retry:t.retry ~reroute:(make_reroute t trigger plan) plan))
       ()
   in
   t.records <- { at = Sim.now t.sim; trigger; breakdown; report = !report } :: t.records;

@@ -19,11 +19,23 @@ let members t = t.members
 
 let cluster t = t.cluster
 
+let probe_fence t action =
+  let probes = Cluster.probes t.cluster in
+  if Probe.active probes then
+    Probe.emit probes ~topic:"fence" ~action
+      ~info:
+        [
+          ("vms", String.concat "," (List.map (fun m -> Vm.name m.vm) t.members));
+          ("count", string_of_int (List.length t.members));
+        ]
+      ()
+
 let wait_all t =
   List.iter (fun m -> Hypercall.await_waiters m.endpoint m.procs) t.members;
   List.iter (fun m -> Vm.pause m.vm) t.members;
   Trace.recordf t.trace ~category:"symvirt" "fence reached: %d VMs paused"
-    (List.length t.members)
+    (List.length t.members);
+  probe_fence t "enter"
 
 let signal t =
   List.iter
@@ -31,7 +43,8 @@ let signal t =
       Vm.resume m.vm;
       Hypercall.host_signal m.endpoint)
     t.members;
-  Trace.recordf t.trace ~category:"symvirt" "signalled %d VMs" (List.length t.members)
+  Trace.recordf t.trace ~category:"symvirt" "signalled %d VMs" (List.length t.members);
+  probe_fence t "release"
 
 (* One agent fiber per VM, driving its monitor; the caller blocks on all of
    them (the paper's controller joins its agent threads). An armed

@@ -38,7 +38,24 @@ let command_to_string = function
    dropped before execution, so re-issuing it is always safe). *)
 let command_timeout = Time.sec 2
 
+let probe_command vm command =
+  let probes = Cluster.probes (Vm.cluster vm) in
+  if Probe.active probes then begin
+    let action, info =
+      match command with
+      | Device_del { tag; _ } -> ("device_del", [ ("tag", tag) ])
+      | Device_add { device; _ } -> ("device_add", [ ("tag", device.Device.tag) ])
+      | Migrate { dst; _ } -> ("migrate", [ ("dst", dst.Node.name) ])
+      | Stop -> ("stop", [])
+      | Cont -> ("cont", [])
+      | Query_status -> ("query-status", [])
+      | Query_migrate -> ("query-migrate", [])
+    in
+    Probe.emit probes ~topic:"qmp" ~action ~subject:(Vm.name vm) ~info ()
+  end
+
 let execute vm command =
+  probe_command vm command;
   let injector = Cluster.injector (Vm.cluster vm) in
   if
     Ninja_faults.Injector.enabled injector

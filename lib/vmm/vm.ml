@@ -51,6 +51,10 @@ let attach_device t (d : Device.t) =
   | None -> ());
   t.devices <- t.devices @ [ d ];
   Trace.recordf (Cluster.trace t.cluster) ~category:"vmm" "%s: device %s attached" t.name d.tag;
+  Probe.emit (Cluster.probes t.cluster) ~topic:"vm" ~action:"device-add" ~subject:t.name
+    ~info:
+      [ ("tag", d.tag); ("bypass", string_of_bool (Device.is_bypass d.kind)) ]
+    ();
   List.iter (fun f -> f d) (List.rev t.added_hooks)
 
 let detach_device t ~tag =
@@ -59,6 +63,8 @@ let detach_device t ~tag =
   | Some d ->
     t.devices <- List.filter (fun (d' : Device.t) -> not (String.equal d'.tag tag)) t.devices;
     Trace.recordf (Cluster.trace t.cluster) ~category:"vmm" "%s: device %s detached" t.name tag;
+    Probe.emit (Cluster.probes t.cluster) ~topic:"vm" ~action:"device-del" ~subject:t.name
+      ~info:[ ("tag", tag) ] ();
     List.iter (fun f -> f d) (List.rev t.removed_hooks);
     d
 
@@ -112,6 +118,14 @@ let set_host t dst =
   let src = t.host in
   t.host <- dst;
   Trace.recordf (Cluster.trace t.cluster) ~category:"vmm" "%s: now on %s" t.name dst.Node.name;
+  Probe.emit (Cluster.probes t.cluster) ~topic:"vm" ~action:"migrated" ~subject:t.name
+    ~info:
+      [
+        ("src", src.Node.name);
+        ("dst", dst.Node.name);
+        ("bypass", string_of_bool (has_bypass_device t));
+      ]
+    ();
   List.iter (fun f -> f ~src ~dst) (List.rev t.migrated_hooks)
 
 let await_running t =

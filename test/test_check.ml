@@ -1,0 +1,397 @@
+(* The scenario fuzzer and invariant checker, tested three ways: the
+   scenario grammar round-trips; the checker's individual invariants fire
+   on synthetic probe streams; and end-to-end, a small campaign is green
+   while each planted protocol bug is caught and its emitted repro file
+   reproduces the failure deterministically.
+
+   Seeded from NINJA_TEST_SEED (default 1) like the fault suite, so the
+   CI seed matrix covers this suite too. *)
+
+open Ninja_engine
+open Ninja_hardware
+open Ninja_vmm
+open Ninja_check
+
+let env_seed =
+  match Sys.getenv_opt "NINJA_TEST_SEED" with
+  | Some s -> ( try Int64.of_string s with Failure _ -> 1L)
+  | None -> 1L
+
+let salted salt = Int64.add env_seed (Int64.of_int salt)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario grammar *)
+
+let scenario_roundtrip_prop =
+  QCheck.Test.make ~name:"scenario text form round-trips" ~count:200 QCheck.small_int
+    (fun salt ->
+      let prng = Prng.create ~seed:(salted salt) in
+      let sc = Scenario.gen prng in
+      let sc = if salt mod 3 = 0 then { sc with Scenario.plant = Some "skip-fence" } else sc in
+      match Scenario.of_string (Scenario.to_string sc) with
+      | Ok sc' -> sc' = sc
+      | Error e -> QCheck.Test.fail_reportf "did not parse back: %s" e)
+
+let generated_scenarios_validate_prop =
+  QCheck.Test.make ~name:"generated scenarios validate; shrinks stay valid" ~count:200
+    QCheck.small_int (fun salt ->
+      let prng = Prng.create ~seed:(salted salt) in
+      let sc = Scenario.gen prng in
+      (match Scenario.validate sc with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_reportf "generated scenario invalid: %s" e);
+      List.for_all
+        (fun c ->
+          match Scenario.validate c with
+          | Ok () -> true
+          | Error e -> QCheck.Test.fail_reportf "shrink candidate invalid: %s" e)
+        (Scenario.shrink sc))
+
+let test_scenario_parse_errors () =
+  List.iter
+    (fun text ->
+      match Scenario.of_string text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected %S to be rejected" text)
+    [
+      "frobnicate=1";
+      "vms=banana";
+      "trigger=warp";
+      "trigger=consolidate:0";
+      "strategy=psychic";
+      "fault=frobnicate";
+      "vms=3\nib=2";
+      (* vms > ib *)
+      "until=3\ntrigger_at=5";
+      "uplink_gbps=-2";
+    ]
+
+let test_scenario_parse_comments_and_defaults () =
+  let text = "# a comment\n\nseed=9\n  vms=2  \nib=2\neth=3\nfault=agent-crash@vm0\n" in
+  match Scenario.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok sc ->
+    Alcotest.(check int64) "seed" 9L sc.Scenario.seed;
+    Alcotest.(check int) "vms" 2 sc.Scenario.vms;
+    Alcotest.(check (list string)) "faults" [ "agent-crash@vm0" ] sc.Scenario.faults;
+    Alcotest.(check int) "procs defaulted" 1 sc.Scenario.procs
+
+let test_generate_deterministic () =
+  let a = Fuzz.generate ~seed:env_seed ~n:5 in
+  let b = Fuzz.generate ~seed:env_seed ~n:5 in
+  Alcotest.(check bool) "same stream" true (a = b);
+  Alcotest.(check int) "count" 5 (List.length a);
+  let c = Fuzz.generate ~seed:(Int64.add env_seed 1L) ~n:5 in
+  Alcotest.(check bool) "different seed, different stream" true (a <> c)
+
+(* ------------------------------------------------------------------ *)
+(* Checker invariants on synthetic probe streams *)
+
+let fresh_cluster () =
+  let sim = Sim.create ~seed:env_seed () in
+  let cluster = Cluster.create sim ~spec:(Spec.make ~ib_nodes:2 ~eth_nodes:2 ()) () in
+  (sim, cluster)
+
+let violation_names checker =
+  List.map (fun v -> v.Checker.invariant) (Checker.violations checker)
+
+let test_checker_fence_pairing () =
+  let _sim, cluster = fresh_cluster () in
+  let checker = Checker.install cluster ~vms:[] in
+  let probes = Cluster.probes cluster in
+  Probe.emit probes ~topic:"fence" ~action:"release" ();
+  Probe.emit probes ~topic:"fence" ~action:"enter" ~info:[ ("vms", "vm0") ] ();
+  Probe.emit probes ~topic:"fence" ~action:"enter" ~info:[ ("vms", "vm0") ] ();
+  Checker.check_finish checker;
+  Alcotest.(check (list string)) "release w/o enter, double enter, held at end"
+    [ "fence-pairing"; "fence-pairing"; "fence-pairing" ]
+    (violation_names checker)
+
+let test_checker_plan_and_permits () =
+  let _sim, cluster = fresh_cluster () in
+  let checker = Checker.install cluster ~vms:[] in
+  let probes = Cluster.probes cluster in
+  Probe.emit probes ~topic:"plan" ~action:"built"
+    ~info:[ ("steps", "3"); ("deps", "3"); ("acyclic", "false") ]
+    ();
+  Probe.emit probes ~topic:"executor" ~action:"report"
+    ~info:[ ("steps", "3"); ("failures", "0"); ("retries", "0"); ("permits-leaked", "2") ]
+    ();
+  Alcotest.(check (list string)) "cyclic plan and leaked permits flagged"
+    [ "plan-acyclic"; "permit-leak" ]
+    (violation_names checker);
+  Alcotest.(check int) "events counted" 2 (Checker.events_seen checker)
+
+let test_checker_attach_balance_and_fence_gate () =
+  let _sim, cluster = fresh_cluster () in
+  let vm =
+    Vm.create cluster ~name:"vm0"
+      ~host:(Cluster.find_node cluster "ib00")
+      ~vcpus:2 ~mem_bytes:(Units.gb 4.0) ()
+  in
+  let checker = Checker.install cluster ~vms:[ vm ] in
+  let probes = Cluster.probes cluster in
+  (* Unwatched subjects are ignored entirely. *)
+  Probe.emit probes ~topic:"vm" ~action:"device-del" ~subject:"other"
+    ~info:[ ("tag", "x") ] ();
+  (* virtio0 was attached at create time, before install: it is part of
+     the baseline, so detaching it once is balanced... *)
+  Probe.emit probes ~topic:"vm" ~action:"device-del" ~subject:"vm0"
+    ~info:[ ("tag", "virtio0") ] ();
+  (* ...but a second detach is not, and neither is a duplicate attach. *)
+  Probe.emit probes ~topic:"vm" ~action:"device-del" ~subject:"vm0"
+    ~info:[ ("tag", "virtio0") ] ();
+  Probe.emit probes ~topic:"vm" ~action:"device-add" ~subject:"vm0"
+    ~info:[ ("tag", "vf0"); ("bypass", "true") ] ();
+  Probe.emit probes ~topic:"vm" ~action:"device-add" ~subject:"vm0"
+    ~info:[ ("tag", "vf0"); ("bypass", "true") ] ();
+  (* A migration outside any fence, with the bypass device attached. *)
+  Probe.emit probes ~topic:"vm" ~action:"migrated" ~subject:"vm0"
+    ~info:[ ("src", "ib00"); ("dst", "eth00"); ("bypass", "true") ]
+    ();
+  Alcotest.(check (list string)) "unbalanced hotplug and unfenced bypass migration"
+    [ "attach-balance"; "attach-balance"; "fence-before-migrate"; "bypass-migrate" ]
+    (violation_names checker)
+
+let test_checker_excuses_giveup () =
+  let _sim, cluster = fresh_cluster () in
+  let vm =
+    Vm.create cluster ~name:"vm0"
+      ~host:(Cluster.find_node cluster "ib00")
+      ~vcpus:2 ~mem_bytes:(Units.gb 4.0) ()
+  in
+  let checker = Checker.install cluster ~vms:[ vm ] in
+  let probes = Cluster.probes cluster in
+  Probe.emit probes ~topic:"migrate" ~action:"start" ~info:[ ("vm0", "eth01") ] ();
+  (* vm0 is on ib00, not its claimed origin eth01 — but the rollback gave
+     up on it, which excuses the mismatch. *)
+  Probe.emit probes ~topic:"migrate" ~action:"giveup" ~subject:"vm0"
+    ~info:[ ("phase", "rollback-return") ] ();
+  Probe.emit probes ~topic:"migrate" ~action:"rollback"
+    ~info:[ ("reason", "test") ] ();
+  Alcotest.(check (list string)) "giveup excuses the restore check" []
+    (violation_names checker);
+  Alcotest.(check bool) "vm0 is excused" true (Checker.excused checker "vm0");
+  (* A fresh migration clears the excuse; now the mismatch counts. *)
+  Probe.emit probes ~topic:"migrate" ~action:"start" ~info:[ ("vm0", "eth01") ] ();
+  Probe.emit probes ~topic:"migrate" ~action:"rollback"
+    ~info:[ ("reason", "test") ] ();
+  Alcotest.(check (list string)) "fresh transaction re-arms the check"
+    [ "rollback-restore" ] (violation_names checker)
+
+(* ------------------------------------------------------------------ *)
+(* Probe bus basics (the engine hook everything above rides on) *)
+
+let test_probe_idle_is_free () =
+  let sim = Sim.create ~seed:env_seed () in
+  let probes = Probe.create sim in
+  Probe.emit probes ~topic:"x" ~action:"y" ();
+  Alcotest.(check bool) "inactive" false (Probe.active probes);
+  Alcotest.(check int) "nothing delivered" 0 (Probe.emitted probes);
+  let seen = ref [] in
+  Probe.subscribe probes (fun e -> seen := ("a", e.Probe.action) :: !seen);
+  Probe.subscribe probes (fun e -> seen := ("b", e.Probe.action) :: !seen);
+  Probe.emit probes ~topic:"x" ~action:"z" ~info:[ ("k", "v") ] ();
+  Alcotest.(check bool) "active" true (Probe.active probes);
+  Alcotest.(check int) "one delivery" 1 (Probe.emitted probes);
+  Alcotest.(check (list (pair string string))) "subscription order"
+    [ ("a", "z"); ("b", "z") ]
+    (List.rev !seen)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: green campaign, planted bugs, replayable repros *)
+
+let small_ctx () = Run_ctx.make ~seed:env_seed ()
+
+let test_campaign_green () =
+  let summary = Fuzz.campaign (small_ctx ()) ~n:8 ~shrink:false () in
+  (match summary.Fuzz.failures with
+  | [] -> ()
+  | f :: _ ->
+    Alcotest.failf "expected a green campaign, got: %s"
+      (Format.asprintf "%a" Runner.pp_result
+         (Option.value f.Fuzz.shrunk ~default:f.Fuzz.result)));
+  Alcotest.(check int) "all passed" 8 summary.Fuzz.passed;
+  Alcotest.(check bool) "probes observed" true (summary.Fuzz.events > 0)
+
+let test_campaign_parallel_matches_serial () =
+  let serial = Fuzz.campaign (small_ctx ()) ~n:6 ~shrink:false () in
+  Pool.with_pool ~size:3 (fun pool ->
+      let ctx = Run_ctx.make ~seed:env_seed ~pool () in
+      let parallel = Fuzz.campaign ctx ~n:6 ~shrink:false () in
+      Alcotest.(check bool) "identical summaries" true (serial = parallel))
+
+let test_runner_deterministic () =
+  let prng = Prng.create ~seed:env_seed in
+  let sc = Scenario.gen prng in
+  let a = Runner.run sc and b = Runner.run sc in
+  Alcotest.(check bool) "same outcome" true (a = b)
+
+let violated_invariants (r : Runner.result) =
+  match r.Runner.outcome with
+  | Runner.Violated vs -> List.map (fun v -> v.Checker.invariant) vs
+  | _ -> []
+
+let test_plant_skip_fence_caught () =
+  let summary = Fuzz.campaign (small_ctx ()) ~n:2 ~plant:"skip-fence" ~shrink:false () in
+  Alcotest.(check int) "every scenario fails" 2 (List.length summary.Fuzz.failures);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "fence-before-migrate flagged" true
+        (List.mem "fence-before-migrate" (violated_invariants f.Fuzz.result)))
+    summary.Fuzz.failures
+
+let test_plant_skip_rollback_caught_and_replays () =
+  let summary =
+    Fuzz.campaign (small_ctx ()) ~n:1 ~plant:"skip-rollback" ~shrink:true ()
+  in
+  match summary.Fuzz.failures with
+  | [ f ] ->
+    Alcotest.(check bool) "rollback-restore flagged" true
+      (List.mem "rollback-restore" (violated_invariants f.Fuzz.result));
+    (* The emitted repro file reproduces the failure deterministically. *)
+    let repro = Fuzz.repro_of f in
+    (match Scenario.of_string repro with
+    | Error e -> Alcotest.failf "repro file does not parse: %s" e
+    | Ok sc ->
+      let r = Runner.run sc in
+      Alcotest.(check bool) "replay fails again" true (Runner.failed r);
+      Alcotest.(check bool) "replay finds the same invariant" true
+        (List.mem "rollback-restore" (violated_invariants r)
+        || List.mem "fence-before-migrate" (violated_invariants r)))
+  | fs -> Alcotest.failf "expected exactly one failure, got %d" (List.length fs)
+
+let test_shrink_result_minimises () =
+  let prng = Prng.create ~seed:env_seed in
+  let sc = { (Scenario.gen prng) with Scenario.plant = Some "skip-fence" } in
+  let r = Runner.run sc in
+  Alcotest.(check bool) "planted run fails" true (Runner.failed r);
+  match Fuzz.shrink_result ~budget:40 r with
+  | None -> () (* already minimal *)
+  | Some smaller ->
+    Alcotest.(check bool) "shrunk run still fails" true (Runner.failed smaller);
+    Alcotest.(check bool) "plant preserved" true
+      (smaller.Runner.scenario.Scenario.plant = Some "skip-fence")
+
+(* Regressions for bugs the fuzzer actually found, pinned as the repro
+   files it emitted. *)
+
+let run_repro text =
+  match Scenario.of_string text with
+  | Error e -> Alcotest.failf "repro does not parse: %s" e
+  | Ok sc ->
+    let r = Runner.run sc in
+    if Runner.failed r then
+      Alcotest.failf "repro fails: %s" (Format.asprintf "%a" Runner.pp_result r)
+
+let test_regression_collective_exit_race () =
+  (* Found by `check -n 1000 --seed 1337`: ranks decided the workload's
+     exit on their local clocks, so CPU-contention skew after a
+     consolidation stranded laggards inside an allreduce (Sim.Deadlock).
+     The workload now broadcasts rank 0's verdict. *)
+  run_repro
+    "seed=-7474594204390484452\n\
+     ib=5\n\
+     eth=3\n\
+     vms=3\n\
+     procs=1\n\
+     mem_gb=6.2994671907966824\n\
+     compute=0.28298897206788182\n\
+     msg_bytes=139048870.1486803\n\
+     until=66.469660177778223\n\
+     strategy=grouped\n\
+     trigger=consolidate:2\n\
+     trigger_at=8.5663234931688166\n"
+
+let test_regression_reroute_overcommit () =
+  (* Found by `check -n 1000 --seed 7` once the host-overcommit invariant
+     landed: when a consolidation destination died, the scheduler's
+     reroute only looked at current placement, so every displaced VM was
+     sent to the first node that merely looked empty — 4 VMs * 14 GB on a
+     51.5 GB host. The reroute now counts in-flight destinations and
+     checks memory and the vms_per_host cap. *)
+  run_repro
+    "seed=1204786352294408077\n\
+     ib=6\n\
+     eth=6\n\
+     vms=4\n\
+     procs=1\n\
+     mem_gb=13.24583538962561\n\
+     compute=0.1\n\
+     msg_bytes=1000000\n\
+     until=40\n\
+     strategy=grouped\n\
+     trigger=consolidate:2\n\
+     trigger_at=3.7191656196105867\n\
+     fault=node-death@eth01:n=1\n"
+
+let test_regression_reroute_cross_fabric () =
+  (* Found by `check -n 1000 --seed 1` once the reroute gained capacity
+     checks: a drain's Ethernet destination died and the reroute legally
+     picked an IB node with room — but [Ninja.migrate]'s device plan was
+     computed for the Ethernet destination, so the VM landed on IB with
+     no HCA. Reroutes now stay in the planned destination's interconnect
+     class. *)
+  run_repro
+    "seed=4156674000378942360\n\
+     ib=2\n\
+     eth=3\n\
+     vms=2\n\
+     procs=1\n\
+     mem_gb=4\n\
+     compute=0.10000000000000001\n\
+     msg_bytes=1000000\n\
+     until=40\n\
+     strategy=sequential\n\
+     trigger=drain\n\
+     trigger_at=8.6213324926064843\n\
+     fault=node-death@eth00:n=1\n"
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "ninja_check"
+    [
+      ( "scenario",
+        Alcotest.test_case "parse errors" `Quick test_scenario_parse_errors
+        :: Alcotest.test_case "comments and defaults" `Quick
+             test_scenario_parse_comments_and_defaults
+        :: Alcotest.test_case "generation is deterministic" `Quick
+             test_generate_deterministic
+        :: qsuite [ scenario_roundtrip_prop; generated_scenarios_validate_prop ] );
+      ( "checker",
+        [
+          Alcotest.test_case "fence pairing" `Quick test_checker_fence_pairing;
+          Alcotest.test_case "plan acyclicity and permit balance" `Quick
+            test_checker_plan_and_permits;
+          Alcotest.test_case "attach balance and fence gate" `Quick
+            test_checker_attach_balance_and_fence_gate;
+          Alcotest.test_case "rollback giveup is excused" `Quick
+            test_checker_excuses_giveup;
+        ] );
+      ( "probe",
+        [ Alcotest.test_case "idle bus is free; delivery in order" `Quick
+            test_probe_idle_is_free ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "small campaign is green" `Quick test_campaign_green;
+          Alcotest.test_case "parallel campaign matches serial" `Quick
+            test_campaign_parallel_matches_serial;
+          Alcotest.test_case "runner is deterministic" `Quick test_runner_deterministic;
+          Alcotest.test_case "planted skip-fence is caught" `Quick
+            test_plant_skip_fence_caught;
+          Alcotest.test_case "planted skip-rollback is caught and replays" `Quick
+            test_plant_skip_rollback_caught_and_replays;
+          Alcotest.test_case "failures shrink to smaller failures" `Quick
+            test_shrink_result_minimises;
+        ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "collective exit race (fuzzer-found)" `Quick
+            test_regression_collective_exit_race;
+          Alcotest.test_case "reroute overcommit (fuzzer-found)" `Quick
+            test_regression_reroute_overcommit;
+          Alcotest.test_case "reroute cross-fabric (fuzzer-found)" `Quick
+            test_regression_reroute_cross_fabric;
+        ] );
+    ]

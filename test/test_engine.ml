@@ -101,6 +101,42 @@ let pheap_sorted_prop =
       let rec drain acc = if Pheap.is_empty h then List.rev acc else drain (Pheap.pop h :: acc) in
       drain [] = List.sort compare (List.map fst l))
 
+(* Seed qcheck data that flows through a Prng from the environment, so the
+   CI seed matrix (NINJA_TEST_SEED=1/7/1337) exercises distinct streams
+   while any one run stays reproducible. *)
+let env_seed =
+  match Sys.getenv_opt "NINJA_TEST_SEED" with Some s -> Int64.of_string s | None -> 1L
+
+let pheap_random_ops_prop =
+  (* Heap order under an arbitrary interleaving of adds and pops, checked
+     against a sorted-list model — [pheap_sorted_prop] only covers the
+     add-everything-then-drain pattern. *)
+  QCheck.Test.make ~name:"pheap heap order under interleaved add/pop" ~count:300
+    QCheck.(pair small_int (small_list bool))
+    (fun (salt, ops) ->
+      let prng = Prng.create ~seed:(Int64.add env_seed (Int64.of_int salt)) in
+      let h = Pheap.create () in
+      let model = ref [] and seq = ref 0 and ok = ref true in
+      List.iter
+        (fun is_add ->
+          if is_add then begin
+            let k = Prng.int prng 50 in
+            Pheap.add h ~key:(Int64.of_int k) ~seq:!seq (k, !seq);
+            model := (k, !seq) :: !model;
+            incr seq
+          end
+          else
+            match List.sort compare !model with
+            | [] -> if not (Pheap.is_empty h) then ok := false
+            | best :: rest ->
+              if Pheap.pop h <> best then ok := false;
+              model := rest)
+        ops;
+      let rec drain acc =
+        if Pheap.is_empty h then List.rev acc else drain (Pheap.pop h :: acc)
+      in
+      !ok && drain [] = List.sort compare !model)
+
 let test_pheap_fifo_at_same_key () =
   let h = Pheap.create () in
   List.iteri (fun i v -> Pheap.add h ~key:5L ~seq:i v) [ "a"; "b"; "c"; "d" ];
@@ -459,6 +495,62 @@ let ps_work_conservation_prop =
       Float.abs (sec_f (Sim.now sim) -. expected) < 1e-6)
 
 (* ------------------------------------------------------------------ *)
+(* Rated *)
+
+let rated_conservation_prop =
+  (* Under an equal-share policy the set always serves exactly [capacity]
+     units/s while any task is active, so the makespan of tasks started
+     together is total work / capacity regardless of how the work is
+     split — the rate limit is conserved, never overshot or leaked. *)
+  QCheck.Test.make ~name:"rated equal-share conserves capacity" ~count:200
+    QCheck.(pair (int_range 1 6) (list_of_size Gen.(int_range 1 10) (int_range 1 50)))
+    (fun (cap, works) ->
+      let sim = Sim.create () in
+      let capacity = float_of_int cap in
+      let rerate set =
+        let tasks = Rated.active set in
+        let n = float_of_int (List.length tasks) in
+        List.iter (fun task -> Rated.set_rate task (capacity /. n)) tasks
+      in
+      let set = Rated.create sim ~name:"net" ~rerate in
+      Sim.spawn sim (fun () ->
+          let tasks =
+            List.map (fun w -> Rated.add set ~payload:() ~work:(float_of_int w)) works
+          in
+          List.iter Rated.await tasks);
+      Sim.run sim;
+      let total = float_of_int (List.fold_left ( + ) 0 works) in
+      Float.abs (sec_f (Sim.now sim) -. (total /. capacity)) < 1e-6)
+
+let rated_cancel_conservation_prop =
+  (* Cancelling a task mid-flight must release its share to the others:
+     serve [big] alone after cancelling [small] at t=0+ and the makespan
+     is still (work actually served) / capacity. *)
+  QCheck.Test.make ~name:"rated cancel re-rates survivors" ~count:100
+    QCheck.(pair (int_range 1 4) (int_range 2 40))
+    (fun (cap, work) ->
+      let sim = Sim.create () in
+      let capacity = float_of_int cap in
+      let rerate set =
+        let tasks = Rated.active set in
+        let n = float_of_int (List.length tasks) in
+        List.iter (fun task -> Rated.set_rate task (capacity /. n)) tasks
+      in
+      let set = Rated.create sim ~name:"net" ~rerate in
+      let w = float_of_int work in
+      Sim.spawn sim (fun () ->
+          let keep = Rated.add set ~payload:() ~work:w in
+          let dropped = Rated.add set ~payload:() ~work:w in
+          (* Let both run at capacity/2 for 1 s, then cancel one. *)
+          Sim.sleep (Time.sec 1);
+          Rated.cancel set dropped;
+          Rated.await keep);
+      Sim.run sim;
+      (* keep: capacity/2 for 1 s, then full capacity for the rest. *)
+      let expected = 1.0 +. ((w -. (capacity /. 2.0)) /. capacity) in
+      Float.abs (sec_f (Sim.now sim) -. expected) < 1e-6)
+
+(* ------------------------------------------------------------------ *)
 (* Trace *)
 
 let test_trace_records_and_filter () =
@@ -565,6 +657,29 @@ let test_pool_concurrent_sims () =
           Alcotest.(check (list int)) "wakeup order" [ 1; 2; 3; 4; 5 ] log)
         results)
 
+let test_pool_map_empty () =
+  Pool.with_pool ~size:2 (fun pool ->
+      Alcotest.(check (list int)) "empty in, empty out" [] (Pool.map pool ~f:(fun x -> x) []));
+  Pool.with_pool ~size:1 (fun pool ->
+      Alcotest.(check (list int)) "serial pool too" [] (Pool.map pool ~f:(fun x -> x) []))
+
+let test_pool_zero_size_clamped () =
+  (* size <= 0 clamps to 1 (caller-only) rather than spawning -1 domains
+     or rejecting — a zero-width sweep configuration must stay usable. *)
+  Pool.with_pool ~size:0 (fun pool ->
+      Alcotest.(check int) "zero clamps to 1" 1 (Pool.size pool);
+      Alcotest.(check (list int)) "usable" [ 2; 4 ] (Pool.map pool ~f:(fun x -> 2 * x) [ 1; 2 ]));
+  Pool.with_pool ~size:(-3) (fun pool ->
+      Alcotest.(check int) "negative clamps to 1" 1 (Pool.size pool))
+
+let test_run_ctx_zero_size_pool () =
+  Pool.with_pool ~size:0 (fun pool ->
+      let ctx = Run_ctx.make ~pool () in
+      Alcotest.(check int) "one job" 1 (Run_ctx.jobs ctx);
+      Alcotest.(check (list int)) "map well-defined" [ 1; 4; 9 ]
+        (Run_ctx.map ctx ~f:(fun x -> x * x) [ 1; 2; 3 ]);
+      Alcotest.(check (list int)) "empty map" [] (Run_ctx.map ctx ~f:(fun x -> x) []))
+
 (* Run_ctx.map must preserve order both serial and pooled. *)
 let test_run_ctx_map () =
   let xs = List.init 10 Fun.id in
@@ -596,7 +711,7 @@ let () =
       ( "pheap",
         Alcotest.test_case "fifo at same key" `Quick test_pheap_fifo_at_same_key
         :: Alcotest.test_case "pop empty" `Quick test_pheap_empty_pop
-        :: qsuite [ pheap_sorted_prop ] );
+        :: qsuite [ pheap_sorted_prop; pheap_random_ops_prop ] );
       ( "sim",
         [
           Alcotest.test_case "sleep ordering" `Quick test_sim_sleep_ordering;
@@ -637,6 +752,7 @@ let () =
         :: Alcotest.test_case "cancel" `Quick test_ps_cancel
         :: Alcotest.test_case "zero work" `Quick test_ps_zero_work
         :: qsuite [ ps_work_conservation_prop ] );
+      ("rated", qsuite [ rated_conservation_prop; rated_cancel_conservation_prop ]);
       ("trace", [ Alcotest.test_case "records and filter" `Quick test_trace_records_and_filter ]);
       ( "pool",
         [
@@ -646,6 +762,9 @@ let () =
           Alcotest.test_case "nested map" `Quick test_pool_nested_map;
           Alcotest.test_case "shutdown" `Quick test_pool_shutdown_rejects;
           Alcotest.test_case "concurrent sims (DLS)" `Quick test_pool_concurrent_sims;
+          Alcotest.test_case "map on empty list" `Quick test_pool_map_empty;
+          Alcotest.test_case "zero size clamped" `Quick test_pool_zero_size_clamped;
+          Alcotest.test_case "run_ctx zero-size pool" `Quick test_run_ctx_zero_size_pool;
           Alcotest.test_case "run_ctx map" `Quick test_run_ctx_map;
         ] );
     ]

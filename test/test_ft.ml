@@ -110,6 +110,81 @@ let test_restart_back_to_ib_restores_openib () =
   Alcotest.(check (option string)) "openib restored after restart" (Some "openib")
     (Option.map Btl.kind_name !transport)
 
+let test_restart_to_eth_selects_tcp () =
+  (* The complement of the openib case: restarting onto HCA-less Ethernet
+     hosts must re-select the BTLs — tcp between VMs, while ranks sharing
+     a VM keep the shared-memory path. *)
+  let sim, cluster, store = setup () in
+  let inter = ref None and intra = ref None in
+  let spec =
+    {
+      Ft_runtime.procs_per_vm = 2;
+      iterations = 40;
+      checkpoint_every = 5;
+      step =
+        (fun ctx _ ->
+          Mpi.compute ctx ~seconds:0.5;
+          Mpi.allreduce ctx ~bytes:1.0e6;
+          if Mpi.rank ctx = 0 then begin
+            intra := Mpi.current_transport ctx ~peer:1;
+            inter := Mpi.current_transport ctx ~peer:2
+          end);
+    }
+  in
+  let ft = Ft_runtime.start cluster ~store ~hosts:(hosts cluster "ib" 2) spec in
+  Sim.spawn sim (fun () ->
+      Sim.sleep (Time.sec 20);
+      Ft_runtime.fail_and_restart ft ~new_hosts:(hosts cluster "eth" 2);
+      Ft_runtime.await ft);
+  Sim.run sim;
+  Alcotest.(check bool) "finished" true (Ft_runtime.is_finished ft);
+  Alcotest.(check (option string)) "tcp between VMs after restore" (Some "tcp")
+    (Option.map Btl.kind_name !inter);
+  Alcotest.(check (option string)) "sm within a VM survives the restore" (Some "sm")
+    (Option.map Btl.kind_name !intra)
+
+let test_double_restart_reselects_each_time () =
+  (* ib -> eth -> ib: the BTL follows the hardware through consecutive
+     restores (tcp while on Ethernet, openib once back on HCAs), and the
+     incarnation counter records both restarts. *)
+  let sim, cluster, store = setup () in
+  let ib2 = [ Cluster.find_node cluster "ib02"; Cluster.find_node cluster "ib03" ] in
+  let transport = ref None in
+  let on_eth = ref None in
+  let spec =
+    {
+      Ft_runtime.procs_per_vm = 1;
+      iterations = 60;
+      checkpoint_every = 5;
+      step =
+        (fun ctx _ ->
+          Mpi.compute ctx ~seconds:0.5;
+          Mpi.allreduce ctx ~bytes:1.0e6;
+          if Mpi.rank ctx = 0 then transport := Mpi.current_transport ctx ~peer:1);
+    }
+  in
+  let ft = Ft_runtime.start cluster ~store ~hosts:(hosts cluster "ib" 2) spec in
+  Sim.spawn sim (fun () ->
+      Sim.sleep (Time.sec 20);
+      Ft_runtime.fail_and_restart ft ~new_hosts:(hosts cluster "eth" 2);
+      Sim.sleep (Time.sec 25);
+      Alcotest.(check bool) "still running on the Ethernet cluster" true
+        (Ft_runtime.completed_iterations ft < 60);
+      on_eth := !transport;
+      Ft_runtime.fail_and_restart ft ~new_hosts:ib2;
+      Ft_runtime.await ft);
+  Sim.run sim;
+  Alcotest.(check bool) "finished" true (Ft_runtime.is_finished ft);
+  Alcotest.(check int) "all iterations" 60 (Ft_runtime.completed_iterations ft);
+  Alcotest.(check int) "third incarnation" 2 (Ft_runtime.incarnation ft);
+  Alcotest.(check (option string)) "tcp while on Ethernet" (Some "tcp")
+    (Option.map Btl.kind_name !on_eth);
+  Alcotest.(check (option string)) "openib after returning to IB" (Some "openib")
+    (Option.map Btl.kind_name !transport);
+  List.iter
+    (fun vm -> Alcotest.(check bool) "back on IB nodes" true (Node.has_ib (Vm.host vm)))
+    (Ninja.vms (Ft_runtime.ninja ft))
+
 let test_restart_without_checkpoint_fails () =
   let sim, cluster, store = setup () in
   let ft =
@@ -134,6 +209,10 @@ let () =
           Alcotest.test_case "periodic checkpoints" `Quick test_periodic_checkpoints;
           Alcotest.test_case "restart from checkpoint" `Quick test_restart_from_checkpoint;
           Alcotest.test_case "restart back to IB" `Quick test_restart_back_to_ib_restores_openib;
+          Alcotest.test_case "restart to Ethernet re-selects tcp" `Quick
+            test_restart_to_eth_selects_tcp;
+          Alcotest.test_case "double restart re-selects each time" `Quick
+            test_double_restart_reselects_each_time;
           Alcotest.test_case "no checkpoint -> refuse" `Quick test_restart_without_checkpoint_fails;
         ] );
     ]

@@ -53,6 +53,15 @@ let test_breakdown_retry_row () =
   Alcotest.(check bool) "pp mentions retry when nonzero" true (contains with_retry "retry=");
   Alcotest.(check bool) "pp omits retry when zero" false (contains without "retry=")
 
+let test_breakdown_zero () =
+  check_float "zero total" 0.0 (Time.to_sec_f Breakdown.zero.Breakdown.total);
+  check_float "zero hotplug" 0.0 (Time.to_sec_f (Breakdown.hotplug Breakdown.zero));
+  check_float "zero overhead sum" 0.0 (Time.to_sec_f (Breakdown.overhead_sum Breakdown.zero));
+  let row = Breakdown.to_row Breakdown.zero in
+  Alcotest.(check bool) "zero row omits retry" false (List.mem_assoc "retry" row);
+  let z = Breakdown.add Breakdown.zero Breakdown.zero in
+  check_float "zero + zero = zero" 0.0 (Time.to_sec_f (Breakdown.overhead_sum z))
+
 let test_table_render () =
   let t = Table.create ~title:"T" ~columns:[ "a"; "bb" ] in
   Table.add_row t [ "x"; "y" ];
@@ -72,6 +81,35 @@ let test_table_csv () =
   let t = Table.create ~title:"T" ~columns:[ "a"; "b" ] in
   Table.add_row t [ "x,1"; "plain" ];
   Alcotest.(check string) "escaped csv" "a,b\n\"x,1\",plain\n" (Table.to_csv t)
+
+let test_table_empty () =
+  (* A table with no rows still renders its header and produces a
+     header-only CSV — experiment sweeps can legitimately come back
+     empty. *)
+  let t = Table.create ~title:"Empty" ~columns:[ "a"; "long-header" ] in
+  Alcotest.(check (list (list string))) "no rows" [] (Table.rows t);
+  let s = Format.asprintf "%a" Table.pp t in
+  Alcotest.(check string) "render: title, header, rule"
+    "Empty\na  long-header\n-  -----------\n" s;
+  Alcotest.(check string) "csv: header only" "a,long-header\n" (Table.to_csv t)
+
+let test_table_csv_quotes_and_newlines () =
+  let t = Table.create ~title:"T" ~columns:[ "a"; "b" ] in
+  Table.add_row t [ "say \"hi\""; "two\nlines" ];
+  Alcotest.(check string) "quotes doubled, newline cell quoted"
+    "a,b\n\"say \"\"hi\"\"\",\"two\nlines\"\n" (Table.to_csv t)
+
+let test_stats_single_sample () =
+  check_float "mean of one" 4.2 (Stats.mean [ 4.2 ]);
+  check_float "min of one" 4.2 (Stats.minimum [ 4.2 ]);
+  check_float "max of one" 4.2 (Stats.maximum [ 4.2 ]);
+  check_float "stddev of one" 0.0 (Stats.stddev [ 4.2 ]);
+  Alcotest.check_raises "empty stddev" (Invalid_argument "Stats: empty sample") (fun () ->
+      ignore (Stats.stddev []));
+  Alcotest.check_raises "empty minimum" (Invalid_argument "Stats: empty sample") (fun () ->
+      ignore (Stats.minimum []));
+  Alcotest.check_raises "best_of 0" (Invalid_argument "Stats.best_of: n must be positive")
+    (fun () -> ignore (Stats.best_of 0 (fun () -> 1.0)))
 
 let test_stats () =
   check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
@@ -113,15 +151,19 @@ let () =
           Alcotest.test_case "add" `Quick test_breakdown_add;
           Alcotest.test_case "to_row" `Quick test_breakdown_row;
           Alcotest.test_case "retry row only when nonzero" `Quick test_breakdown_retry_row;
+          Alcotest.test_case "zero element" `Quick test_breakdown_zero;
         ] );
       ( "table",
         [
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "arity check" `Quick test_table_arity_check;
           Alcotest.test_case "csv escaping" `Quick test_table_csv;
+          Alcotest.test_case "empty table" `Quick test_table_empty;
+          Alcotest.test_case "csv quotes and newlines" `Quick test_table_csv_quotes_and_newlines;
         ] );
       ( "stats",
         Alcotest.test_case "basics" `Quick test_stats
+        :: Alcotest.test_case "single sample" `Quick test_stats_single_sample
         :: Alcotest.test_case "best_of" `Quick test_best_of
         :: List.map QCheck_alcotest.to_alcotest stats_props );
     ]
