@@ -94,7 +94,16 @@ let run_cmd =
     let doc = "Also write every produced table to $(docv) as CSV, in experiment order." in
     Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
   in
-  let run name full csv_dir seed faults jobs trace_file metrics_file =
+  let spans_file =
+    let doc =
+      "Write telemetry spans to $(docv) as Chrome trace-event JSON (load it in Perfetto or \
+       chrome://tracing): one process track per node/component, one thread per VM/role, \
+       timestamps in simulated time. Also appends the telemetry metrics of each simulation \
+       to --metrics output. Byte-identical at any --jobs value."
+    in
+    Arg.(value & opt (some string) None & info [ "spans" ] ~docv:"FILE" ~doc)
+  in
+  let run name full csv_dir seed faults jobs trace_file metrics_file spans_file =
     if jobs < 1 then begin
       prerr_endline "run: --jobs must be at least 1";
       exit 1
@@ -142,22 +151,33 @@ let run_cmd =
       with_out metrics_file @@ fun metrics_oc ->
       with_pool @@ fun pool ->
       let ctx = Run_ctx.make ?seed ~mode ~faults ?pool () in
+      (* Span fragments accumulate across all experiments (in submission
+         order) and are assembled into one JSON document at the end. *)
+      let all_fragments = ref [] in
       let run_one e =
         let tbuf = Buffer.create 256 and mbuf = Buffer.create 256 in
+        let smutex = Mutex.create () in
+        let sfrags = ref [] in
         let ctx =
           Run_ctx.with_sinks
             ?trace:(Option.map (fun _ -> locked_sink tbuf) trace_oc)
             ?metrics:(Option.map (fun _ -> locked_sink mbuf) metrics_oc)
+            ?spans:
+              (Option.map
+                 (fun _ chunk ->
+                   Mutex.protect smutex (fun () -> sfrags := chunk :: !sfrags))
+                 spans_file)
             ctx
         in
         let tables = Registry.run_entry ctx e in
-        (tables, Buffer.contents tbuf, Buffer.contents mbuf)
+        (tables, Buffer.contents tbuf, Buffer.contents mbuf, List.rev !sfrags)
       in
-      let print_result e (tables, tchunk, mchunk) =
+      let print_result e (tables, tchunk, mchunk, sfrags) =
         Printf.printf "== %s: %s ==\n%!" e.Registry.name e.Registry.description;
         print_tables ~csv_dir e.Registry.name tables;
         Option.iter (fun oc -> output_string oc tchunk) trace_oc;
-        Option.iter (fun oc -> output_string oc mchunk) metrics_oc
+        Option.iter (fun oc -> output_string oc mchunk) metrics_oc;
+        all_fragments := List.rev_append sfrags !all_fragments
       in
       (* Submit everything up front, then print in submission order as
          results arrive: parallel output is byte-identical to serial. *)
@@ -166,12 +186,19 @@ let run_cmd =
         entries
         |> List.map (fun e -> (e, Pool.submit p (fun () -> run_one e)))
         |> List.iter (fun (e, fut) -> print_result e (Pool.await p fut))
-      | None -> List.iter (fun e -> print_result e (run_one e)) entries)
+      | None -> List.iter (fun e -> print_result e (run_one e)) entries);
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc (Ninja_telemetry.Export.document (List.rev !all_fragments));
+          close_out oc;
+          Printf.printf "wrote %s\n%!" path)
+        spans_file
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ name_arg $ full $ csv_dir $ seed_arg $ fault_args $ jobs $ trace_file
-      $ metrics_file)
+      $ metrics_file $ spans_file)
 
 (* `ninja_sim script [FILE]`: execute a Fig. 5-style migration script
    against a canned demo scenario (2 VMs on the IB cluster running a

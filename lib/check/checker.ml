@@ -15,6 +15,7 @@ type t = {
   gave_up : (string, unit) Hashtbl.t;
   mutable origins : (string * string) list;  (* vm -> host at migrate start *)
   mutable events : int;
+  mutable sub : Probe.subscription option;
 }
 
 let watched t name = Hashtbl.mem t.vms name
@@ -148,6 +149,7 @@ let install cluster ~vms =
       gave_up = Hashtbl.create 8;
       origins = [];
       events = 0;
+      sub = None;
     }
   in
   List.iter
@@ -156,8 +158,19 @@ let install cluster ~vms =
       Hashtbl.replace t.attached (Vm.name vm)
         (ref (List.map (fun (d : Device.t) -> d.Device.tag) (Vm.devices vm))))
     vms;
-  Probe.subscribe (Cluster.probes cluster) (on_event t);
+  t.sub <- Some (Probe.attach (Cluster.probes cluster) (on_event t));
   t
+
+let detach t =
+  match t.sub with
+  | None -> ()
+  | Some sub ->
+    Probe.detach (Cluster.probes t.cluster) sub;
+    t.sub <- None
+
+let with_checker cluster ~vms f =
+  let t = install cluster ~vms in
+  Fun.protect ~finally:(fun () -> detach t) (fun () -> f t)
 
 let check_finish t =
   if Hashtbl.length t.fenced > 0 then

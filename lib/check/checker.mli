@@ -44,6 +44,13 @@ val install : Cluster.t -> vms:Vm.t list -> t
     current devices become the attach-balance baseline). Install after
     the fleet is created and before any migration activity. *)
 
+val detach : t -> unit
+(** Remove the checker's bus subscription (idempotent). A detached bus
+    with no other subscriber goes back to costing nothing per emit. *)
+
+val with_checker : Cluster.t -> vms:Vm.t list -> (t -> 'a) -> 'a
+(** [install], run the body, then {!detach} — even on exceptions. *)
+
 val record : t -> invariant:string -> detail:string -> unit
 (** Report a violation found outside the probe stream (used by
     {!Runner}'s end-of-run checks). *)

@@ -121,7 +121,7 @@ let final_checks (sc : Scenario.t) ninja checker =
                  (Vm.name vm) (Vm.host vm).Node.name origin))
       (Ninja.vms ninja)
 
-let run scenario =
+let run ?attach scenario =
   let checker_ref = ref None in
   let sim_ref = ref None in
   let outcome =
@@ -146,6 +146,9 @@ let run scenario =
             | Ok spec -> Injector.arm_spec (Cluster.injector cluster) spec
             | Error e -> failwith (Printf.sprintf "bad fault spec %S: %s" text e))
           (effective_faults scenario);
+        (* Extra observers (e.g. a telemetry recorder under test) join the
+           bus before any fleet activity. *)
+        Option.iter (fun f -> f cluster) attach;
         let hosts =
           List.init scenario.Scenario.vms (fun i ->
               Cluster.find_node cluster (Printf.sprintf "ib%02d" i))
@@ -153,7 +156,7 @@ let run scenario =
         let ninja =
           Ninja.setup cluster ~hosts ~mem_gb:scenario.Scenario.mem_gb ()
         in
-        let checker = Checker.install cluster ~vms:(Ninja.vms ninja) in
+        Checker.with_checker cluster ~vms:(Ninja.vms ninja) @@ fun checker ->
         checker_ref := Some checker;
         let stop = ref false in
         ignore

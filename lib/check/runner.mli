@@ -35,7 +35,10 @@ type result = {
 val plants : string list
 (** The recognised plant names. *)
 
-val run : Scenario.t -> result
+val run : ?attach:(Ninja_hardware.Cluster.t -> unit) -> Scenario.t -> result
+(** [attach], when given, is called with the scenario's cluster after it
+    is fully configured and before the fleet boots — a hook for extra
+    probe-bus observers (e.g. a telemetry recorder under test). *)
 
 val failed : result -> bool
 (** True for [Violated] and [Crashed]. *)

@@ -4,6 +4,7 @@ open Ninja_hardware
 open Ninja_metrics
 open Ninja_mpi
 open Ninja_symvirt
+open Ninja_telemetry
 open Ninja_vmm
 
 type vnode = { vm : Vm.t; guest : Guest.t; endpoint : Hypercall.t }
@@ -169,7 +170,6 @@ let migrate t ~plan ?(transport = Migration.Tcp) ?hotplug_noise
   in
   let multi = protocol = `Multi_fence in
   let ctl = controller t in
-  let t0 = Sim.now sim in
   t.last_outcome <- None;
   (* Rollback bookkeeping: where every VM started, and which devices the
      detach phase actually removed (so rollback can restore them). *)
@@ -182,19 +182,28 @@ let migrate t ~plan ?(transport = Migration.Tcp) ?hotplug_noise
     if not (List.exists (fun (e : Device.t) -> e.Device.tag = d.Device.tag) !r) then
       r := d :: !r
   in
-  let retry_lost = ref Time.zero in
   let probes = Cluster.probes t.cluster in
+  (* The span tree is built unconditionally (a handful of allocations, no
+     simulated effect): the returned breakdown is derived from it. The
+     scope mirrors transitions onto the probe bus only while observed. *)
+  let sc = Span.scope ~probes ~sim ~proc:"ninja" ~thread:"migration" () in
+  let in_span name cat f =
+    let s = Span.enter sc ~name ~cat () in
+    Fun.protect ~finally:(fun () -> Span.exit_ sc s) f
+  in
   Trace.record t.trace ~category:"ninja" "migration triggered";
   if Probe.active probes then
     Probe.emit probes ~topic:"migrate" ~action:"start"
       ~info:(List.map (fun (vm, origin) -> (Vm.name vm, origin.Node.name)) origins)
       ();
+  let root = Span.enter sc ~name:"migration" ~cat:"migration" () in
   (* 1. Trigger: the runtime tells every process to reach a safe point and
      call into the coordinator; the controller waits for the fence. *)
   t.operation_active <- multi;
+  let coordination = Span.enter sc ~name:"coordination" ~cat:"phase" () in
   let complete = Runtime.request_checkpoint rt in
   Controller.wait_all ctl;
-  let coordination = span_since sim t0 in
+  Span.exit_ sc coordination;
   let fence_boundary ~last =
     if multi then begin
       if last then t.operation_active <- false;
@@ -205,11 +214,11 @@ let migrate t ~plan ?(transport = Migration.Tcp) ?hotplug_noise
   in
   (* A VMM phase with per-VM retry: only the VMs whose agent reported an
      error are re-issued their (idempotent) command lists, after the
-     policy's backoff. [lost] accumulates the sim-time spent on failed
-     attempts and backoff sleeps. [best_effort] phases (rollback) log and
-     drop VMs that exhaust the policy instead of raising. *)
-  let phase ~name ?(lost = retry_lost) ?(best_effort = false)
-      ?(retryable = fun _vm _msg -> true) commands_for =
+     policy's backoff. Sim-time spent on failed attempts and backoff
+     sleeps is recorded as ["retry"]-category spans, which the breakdown
+     derivation sums. [best_effort] phases (rollback) log and drop VMs
+     that exhaust the policy instead of raising. *)
+  let phase ~name ?(best_effort = false) ?(retryable = fun _vm _msg -> true) commands_for =
     let phase_start = Sim.now sim in
     let rec go attempt pending =
       let a0 = Sim.now sim in
@@ -226,7 +235,8 @@ let migrate t ~plan ?(transport = Migration.Tcp) ?hotplug_noise
           results
       in
       if failed <> [] then begin
-        lost := Time.add !lost (span_since sim a0);
+        ignore (Span.note sc ~name:"retry-attempt" ~cat:"retry" ~start:a0
+                  ~args:[ ("phase", name); ("attempt", string_of_int attempt) ] ());
         let fatals, transients = List.partition (fun (vm, msg) -> not (retryable vm msg)) failed in
         List.iter
           (fun (vm, msg) ->
@@ -273,8 +283,11 @@ let migrate t ~plan ?(transport = Migration.Tcp) ?hotplug_noise
             Trace.recordf t.trace ~category:"faults"
               "%s: attempt %d failed for %d VM(s); retrying in %a" name attempt
               (List.length transients) Time.pp delay;
-            lost := Time.add !lost delay;
+            let backoff =
+              Span.enter sc ~name:"backoff" ~cat:"retry" ~args:[ ("phase", name) ] ()
+            in
             Sim.sleep delay;
+            Span.exit_ sc backoff;
             go (attempt + 1) (List.map fst transients)
           end
         end
@@ -296,19 +309,13 @@ let migrate t ~plan ?(transport = Migration.Tcp) ?hotplug_noise
     |> List.filter (fun (d : Device.t) -> Vm.find_device vm ~tag:d.Device.tag = None)
     |> List.map (fun device -> Qmp.Device_add { device; noise })
   in
-  let detach_span = ref Time.zero in
-  let migration_span = ref Time.zero in
-  let attach_span = ref Time.zero in
-  let timed cell f =
-    let p0 = Sim.now sim in
-    Fun.protect ~finally:(fun () -> cell := span_since sim p0) f
-  in
-  (* 2–4. Detach, migrate, re-attach — each phase under retry. *)
+  (* 2–4. Detach, migrate, re-attach — each phase under retry, each a
+     direct child span of the migration root. *)
   let result =
     try
-      timed detach_span (fun () -> phase ~name:"detach" detach_builder);
+      in_span "detach" "phase" (fun () -> phase ~name:"detach" detach_builder);
       fence_boundary ~last:false;
-      timed migration_span (fun () ->
+      in_span "precopy" "phase" (fun () ->
           match migration_exec with
           | Some exec -> exec ()
           | None ->
@@ -316,7 +323,7 @@ let migrate t ~plan ?(transport = Migration.Tcp) ?hotplug_noise
                 ~retryable:(fun vm _msg -> Cluster.node_alive t.cluster (plan vm))
                 migration_builder);
       fence_boundary ~last:false;
-      timed attach_span (fun () -> phase ~name:"attach" attach_builder);
+      in_span "attach" "phase" (fun () -> phase ~name:"attach" attach_builder);
       Ok ()
     with
     | Phase_failed reason -> Error reason
@@ -330,40 +337,46 @@ let migrate t ~plan ?(transport = Migration.Tcp) ?hotplug_noise
       fence_boundary ~last:true
   | Error reason ->
       Trace.recordf t.trace ~category:"ninja" "migration failed (%s); rolling back" reason;
-      let rb0 = Sim.now sim in
-      (* Rollback phases keep their own scratch accounting: the whole
-         rollback span is charged to [retry_lost] below, so counting the
-         inner failed attempts again would double-bill them. *)
-      let scratch = ref Time.zero in
+      (* The whole rollback is charged to the breakdown's retry bucket as
+         one span; retry spans nested inside it are excluded from the sum,
+         so the inner failed attempts are not double-billed. *)
+      let rollback =
+        Span.enter sc ~name:"rollback" ~cat:"rollback" ~args:[ ("reason", reason) ] ()
+      in
       (* a. Strip bypass devices from any VM that must travel back (a
          partially completed attach would otherwise pin it in place). *)
-      phase ~name:"rollback-detach" ~lost:scratch ~best_effort:true (fun vm ->
-          if (Vm.host vm).Node.id <> (origin_of vm).Node.id then begin
-            let stuck =
-              List.filter
-                (fun (d : Device.t) -> Vm.find_device vm ~tag:d.Device.tag <> None)
-                (attach_f vm)
-            in
-            List.iter (remember_removed vm) stuck;
-            List.map (fun (d : Device.t) -> Qmp.Device_del { tag = d.Device.tag; noise }) stuck
-          end
-          else []);
+      in_span "rollback-detach" "phase" (fun () ->
+          phase ~name:"rollback-detach" ~best_effort:true (fun vm ->
+              if (Vm.host vm).Node.id <> (origin_of vm).Node.id then begin
+                let stuck =
+                  List.filter
+                    (fun (d : Device.t) -> Vm.find_device vm ~tag:d.Device.tag <> None)
+                    (attach_f vm)
+                in
+                List.iter (remember_removed vm) stuck;
+                List.map
+                  (fun (d : Device.t) -> Qmp.Device_del { tag = d.Device.tag; noise })
+                  stuck
+              end
+              else []));
       (* b. Return every displaced VM to its origin. *)
-      phase ~name:"rollback-return" ~lost:scratch ~best_effort:true
-        ~retryable:(fun vm _msg -> Cluster.node_alive t.cluster (origin_of vm))
-        (fun vm ->
-          if (Vm.host vm).Node.id <> (origin_of vm).Node.id then
-            [ Qmp.Migrate { dst = origin_of vm; transport } ]
-          else []);
+      in_span "rollback-return" "phase" (fun () ->
+          phase ~name:"rollback-return" ~best_effort:true
+            ~retryable:(fun vm _msg -> Cluster.node_alive t.cluster (origin_of vm))
+            (fun vm ->
+              if (Vm.host vm).Node.id <> (origin_of vm).Node.id then
+                [ Qmp.Migrate { dst = origin_of vm; transport } ]
+              else []));
       (* c. Re-attach what the detach phase removed, where the (source)
          hardware still backs it. *)
-      phase ~name:"rollback-attach" ~lost:scratch ~best_effort:true (fun vm ->
-          !(removed_of vm)
-          |> List.filter (fun (d : Device.t) ->
-                 Vm.find_device vm ~tag:d.Device.tag = None
-                 && (not (Device.is_bypass d.Device.kind) || Node.has_ib (Vm.host vm)))
-          |> List.map (fun device -> Qmp.Device_add { device; noise }));
-      retry_lost := Time.add !retry_lost (span_since sim rb0);
+      in_span "rollback-attach" "phase" (fun () ->
+          phase ~name:"rollback-attach" ~best_effort:true (fun vm ->
+              !(removed_of vm)
+              |> List.filter (fun (d : Device.t) ->
+                     Vm.find_device vm ~tag:d.Device.tag = None
+                     && (not (Device.is_bypass d.Device.kind) || Node.has_ib (Vm.host vm)))
+              |> List.map (fun device -> Qmp.Device_add { device; noise })));
+      Span.exit_ sc rollback;
       t.last_outcome <- Some (Rolled_back reason);
       Trace.record t.trace ~category:"ninja" "rollback complete: VMs restored at source";
       Probe.emit probes ~topic:"migrate" ~action:"rollback" ~info:[ ("reason", reason) ] ();
@@ -371,19 +384,16 @@ let migrate t ~plan ?(transport = Migration.Tcp) ?hotplug_noise
       t.operation_active <- false;
       Controller.signal ctl);
   Runtime.await_checkpoint_complete complete;
+  (* Link-up (BTL reconstruction + port polling) happens inside the
+     runtime's continue path and is only known after the fact; its
+     interval ends exactly when the checkpoint completes. *)
   let linkup = Runtime.last_linkup_wait rt in
-  let total = span_since sim t0 in
-  let breakdown =
-    {
-      Breakdown.coordination;
-      detach = !detach_span;
-      migration = !migration_span;
-      attach = !attach_span;
-      linkup;
-      retry = !retry_lost;
-      total;
-    }
-  in
+  ignore
+    (Span.note sc ~name:"link-up" ~cat:"phase"
+       ~start:(Time.max root.Span.start (Time.diff (Sim.now sim) linkup))
+       ());
+  Span.exit_ sc root;
+  let breakdown = Export.breakdown_of_root root in
   Trace.recordf t.trace ~category:"ninja" "migration done: %a" Breakdown.pp breakdown;
   breakdown
 

@@ -6,15 +6,30 @@ type event = {
   info : (string * string) list;
 }
 
+(* Each subscriber is boxed so [detach] can remove exactly the entry an
+   [attach] created (closures have no useful equality). *)
+type subscription = { fn : event -> unit }
+
 type t = {
   sim : Sim.t;
-  mutable subscribers : (event -> unit) list;
+  mutable subscribers : subscription list;
   mutable emitted : int;
 }
 
 let create sim = { sim; subscribers = []; emitted = 0 }
 
-let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
+let attach t f =
+  let s = { fn = f } in
+  t.subscribers <- t.subscribers @ [ s ];
+  s
+
+let detach t s = t.subscribers <- List.filter (fun x -> x != s) t.subscribers
+
+let subscribe t f = ignore (attach t f)
+
+let with_subscriber t f body =
+  let s = attach t f in
+  Fun.protect ~finally:(fun () -> detach t s) body
 
 let active t = t.subscribers <> []
 
@@ -26,7 +41,7 @@ let emit t ~topic ~action ?(subject = "") ?(info = []) () =
   | subscribers ->
     t.emitted <- t.emitted + 1;
     let e = { at = Sim.now t.sim; topic; action; subject; info } in
-    List.iter (fun f -> f e) subscribers
+    List.iter (fun s -> s.fn e) subscribers
 
 let info_of e key = List.assoc_opt key e.info
 

@@ -23,11 +23,27 @@ type event = {
 
 type t
 
+type subscription
+(** A handle identifying one attached subscriber, so it can be removed
+    again. *)
+
 val create : Sim.t -> t
 
 val subscribe : t -> (event -> unit) -> unit
 (** Subscribers are called synchronously, in subscription order, from the
     emitting fiber. They must not block. *)
+
+val attach : t -> (event -> unit) -> subscription
+(** Like {!subscribe}, but returns a handle for {!detach}. *)
+
+val detach : t -> subscription -> unit
+(** Removes the subscriber; a no-op if it was already detached. The bus
+    returns to zero-cost idle once the last subscriber is gone. *)
+
+val with_subscriber : t -> (event -> unit) -> (unit -> 'a) -> 'a
+(** [with_subscriber t f body] runs [body] with [f] attached and
+    guarantees detachment on exit (normal or exceptional), so a checker
+    or telemetry recorder cannot leak across runs. *)
 
 val active : t -> bool
 (** Whether any subscriber is attached (probe sites may use this to skip

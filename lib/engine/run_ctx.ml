@@ -6,13 +6,17 @@ type t = {
   seed : int64;
   mode : mode;
   faults : string list;
+  label : string;
   trace : sink option;
   metrics : sink option;
+  spans : sink option;
+  observe : (string -> float -> unit) option;
   pool : Pool.t option;
 }
 
-let make ?(seed = 42L) ?(mode = Quick) ?(faults = []) ?trace ?metrics ?pool () =
-  { seed; mode; faults; trace; metrics; pool }
+let make ?(seed = 42L) ?(mode = Quick) ?(faults = []) ?(label = "") ?trace ?metrics
+    ?spans ?observe ?pool () =
+  { seed; mode; faults; label; trace; metrics; spans; observe; pool }
 
 let default = make ()
 
@@ -26,7 +30,11 @@ let with_mode mode t = { t with mode }
 
 let with_pool pool t = { t with pool }
 
-let with_sinks ?trace ?metrics t = { t with trace; metrics }
+let with_label label t = { t with label }
+
+let with_sinks ?trace ?metrics ?spans t = { t with trace; metrics; spans }
+
+let with_observer observe t = { t with observe }
 
 let jobs t = match t.pool with None -> 1 | Some p -> Pool.size p
 
@@ -36,3 +44,7 @@ let map t ~f xs =
 let trace_line t line = Option.iter (fun sink -> sink line) t.trace
 
 let emit_metrics t chunk = Option.iter (fun sink -> sink chunk) t.metrics
+
+let emit_spans t chunk = Option.iter (fun sink -> sink chunk) t.spans
+
+let observe t name value = Option.iter (fun f -> f name value) t.observe

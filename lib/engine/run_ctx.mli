@@ -28,8 +28,20 @@ type t = {
   faults : string list;
       (** textual fault specs in the [Ninja_faults.Injector] grammar,
           armed on every cluster the run creates; validated upstream *)
+  label : string;
+      (** names this run's simulations in telemetry exports (e.g. the
+          experiment entry and sweep-point index), so tracks from
+          different simulations stay distinct; [""] when unused *)
   trace : sink option;  (** rendered trace timelines, one per simulation *)
   metrics : sink option;  (** result tables as CSV, one chunk per table *)
+  spans : sink option;
+      (** telemetry span exports (Chrome trace-event JSON), one chunk per
+          simulation; setting it arms the telemetry recorder on every
+          cluster the run creates *)
+  observe : (string -> float -> unit) option;
+      (** scalar observation hook [name value], e.g. a bench harness
+          collecting per-entry simulated seconds; may be called from
+          pooled domains, so the callback must be thread-safe *)
   pool : Pool.t option;  (** grid points run domain-parallel when set *)
 }
 
@@ -37,8 +49,11 @@ val make :
   ?seed:int64 ->
   ?mode:mode ->
   ?faults:string list ->
+  ?label:string ->
   ?trace:sink ->
   ?metrics:sink ->
+  ?spans:sink ->
+  ?observe:(string -> float -> unit) ->
   ?pool:Pool.t ->
   unit ->
   t
@@ -57,9 +72,13 @@ val with_mode : mode -> t -> t
 
 val with_pool : Pool.t option -> t -> t
 
-val with_sinks : ?trace:sink -> ?metrics:sink -> t -> t
-(** Replaces both sinks (absent arguments clear the sink — deriving a
-    silent context from a noisy one is the common case). *)
+val with_label : string -> t -> t
+
+val with_sinks : ?trace:sink -> ?metrics:sink -> ?spans:sink -> t -> t
+(** Replaces all three sinks (absent arguments clear the sink — deriving
+    a silent context from a noisy one is the common case). *)
+
+val with_observer : (string -> float -> unit) option -> t -> t
 
 val jobs : t -> int
 (** Pool size, or 1 when serial. *)
@@ -73,3 +92,9 @@ val trace_line : t -> string -> unit
 
 val emit_metrics : t -> string -> unit
 (** Send a chunk to the metrics sink, if any. *)
+
+val emit_spans : t -> string -> unit
+(** Send a chunk to the spans sink, if any. *)
+
+val observe : t -> string -> float -> unit
+(** Report a named scalar to the observation hook, if any. *)

@@ -101,7 +101,8 @@ let bypass rc =
         [ "Guest NIC"; "p2p throughput [GB/s]"; "p2p latency [us]"; "FT.C time [s]" ]
   in
   sweep rc
-    ~f:(fun setup -> (setup, p2p_throughput rc setup, p2p_latency rc setup, ft_runtime rc setup))
+    ~f:(fun rc setup ->
+      (setup, p2p_throughput rc setup, p2p_latency rc setup, ft_runtime rc setup))
     [ Bypass_ib; Virtio; Emulated ]
   |> List.iter (fun (setup, tp, lat, ft) ->
          Table.add_row table
@@ -138,7 +139,7 @@ let rdma_migration rc =
       ~columns:[ "Footprint"; "TCP sender [s]"; "RDMA sender [s]"; "speedup" ]
   in
   sweep rc
-    ~f:(fun size_gb ->
+    ~f:(fun rc size_gb ->
       let tcp = sec (migrate_once rc ~transport:Migration.Tcp ~size_gb).Migration.duration in
       let rdma = sec (migrate_once rc ~transport:Migration.Rdma ~size_gb).Migration.duration in
       (size_gb, tcp, rdma))
@@ -177,7 +178,9 @@ let copy_mode_run rc ~mode =
 let postcopy rc =
   let (pre, pre_work), (post, post_work) =
     match
-      sweep rc ~f:(fun mode -> copy_mode_run rc ~mode) [ Migration.Precopy; Migration.Postcopy ]
+      sweep rc
+        ~f:(fun rc mode -> copy_mode_run rc ~mode)
+        [ Migration.Precopy; Migration.Postcopy ]
     with
     | [ pre; post ] -> (pre, post)
     | _ -> assert false
@@ -230,7 +233,7 @@ let quiesce_run rc ~frozen =
 
 let quiesce rc =
   let frozen, live =
-    match sweep rc ~f:(fun frozen -> quiesce_run rc ~frozen) [ true; false ] with
+    match sweep rc ~f:(fun rc frozen -> quiesce_run rc ~frozen) [ true; false ] with
     | [ frozen; live ] -> (frozen, live)
     | _ -> assert false
   in

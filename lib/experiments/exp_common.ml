@@ -1,9 +1,15 @@
 open Ninja_engine
 open Ninja_hardware
+open Ninja_telemetry
 
 type mode = Run_ctx.mode = Quick | Full
 
-type env = { ctx : Run_ctx.t; sim : Sim.t; cluster : Cluster.t }
+type env = {
+  ctx : Run_ctx.t;
+  sim : Sim.t;
+  cluster : Cluster.t;
+  recorder : Recorder.t option;
+}
 
 let fresh ?(spec = Spec.agc) ctx =
   let sim = Sim.create ~seed:ctx.Run_ctx.seed () in
@@ -14,11 +20,26 @@ let fresh ?(spec = Spec.agc) ctx =
       | Ok spec -> Ninja_faults.Injector.arm_spec (Cluster.injector cluster) spec
       | Error msg -> failwith (Printf.sprintf "Exp_common.fresh: bad fault spec %S: %s" text msg))
     ctx.Run_ctx.faults;
-  { ctx; sim; cluster }
+  (* A spans sink in the context arms the telemetry recorder: every probe
+     event this cluster emits is collected and flushed as one trace-event
+     fragment when the simulation completes. Without the sink the bus
+     stays unobserved and costs nothing. *)
+  let recorder =
+    match ctx.Run_ctx.spans with
+    | None -> None
+    | Some _ ->
+      let r = Recorder.create () in
+      ignore (Recorder.attach r (Cluster.probes cluster));
+      Some r
+  in
+  { ctx; sim; cluster; recorder }
 
 let hosts cluster ~prefix ~first ~count =
   List.init count (fun i ->
       Cluster.find_node cluster (Printf.sprintf "%s%02d" prefix (first + i)))
+
+let track_prefix ctx =
+  match ctx.Run_ctx.label with "" -> "" | label -> label ^ "/"
 
 let flush_trace env =
   match env.ctx.Run_ctx.trace with
@@ -31,14 +52,92 @@ let flush_trace env =
       Run_ctx.trace_line env.ctx
         (Printf.sprintf "-- trace (seed %Ld) --\n%s" env.ctx.Run_ctx.seed timeline)
 
+let flush_telemetry env =
+  match env.recorder with
+  | None -> ()
+  | Some r ->
+    let fragment = Export.recorder_fragment ~track_prefix:(track_prefix env.ctx) r in
+    if fragment <> "" then Run_ctx.emit_spans env.ctx fragment;
+    (* Telemetry metrics ride the metrics sink only when the recorder is
+       armed, so a plain [--metrics] run's output is unchanged. *)
+    if not (Metrics.is_empty (Recorder.metrics r)) then
+      Run_ctx.emit_metrics env.ctx
+        (Printf.sprintf "# telemetry (%s, seed %Ld)\n%s"
+           (match env.ctx.Run_ctx.label with "" -> "run" | l -> l)
+           env.ctx.Run_ctx.seed
+           (Metrics.to_csv (Recorder.metrics r)))
+
+let finish env =
+  Run_ctx.observe env.ctx "sim_s" (Time.to_sec_f (Sim.now env.sim));
+  flush_trace env;
+  flush_telemetry env
+
 let run_to_completion env =
   Sim.run env.sim;
-  flush_trace env
+  finish env
 
 let run_until env limit =
   Sim.run_until env.sim limit;
-  flush_trace env
+  finish env
 
-let sweep ctx ~f xs = Run_ctx.map ctx ~f xs
+(* One buffered redirection of a context's sinks: chunks are kept, in
+   order, until [drain] replays them into the parent. The mutex only
+   guards against a future in-point fan-out; each buffer is written by
+   the one domain running its point. *)
+type buffer = {
+  mutex : Mutex.t;
+  mutable rev_chunks : ([ `Trace | `Metrics | `Spans ] * string) list;
+}
+
+let redirect parent buf =
+  let push kind chunk =
+    Mutex.protect buf.mutex (fun () -> buf.rev_chunks <- (kind, chunk) :: buf.rev_chunks)
+  in
+  let sub kind = function None -> None | Some _ -> Some (push kind) in
+  Run_ctx.with_sinks
+    ?trace:(sub `Trace parent.Run_ctx.trace)
+    ?metrics:(sub `Metrics parent.Run_ctx.metrics)
+    ?spans:(sub `Spans parent.Run_ctx.spans)
+    parent
+
+let drain parent buf =
+  List.iter
+    (fun (kind, chunk) ->
+      match kind with
+      | `Trace -> Run_ctx.trace_line parent chunk
+      | `Metrics -> Run_ctx.emit_metrics parent chunk
+      | `Spans -> Run_ctx.emit_spans parent chunk)
+    (List.rev buf.rev_chunks)
+
+let point_label ctx i =
+  match ctx.Run_ctx.label with
+  | "" -> "#" ^ string_of_int i
+  | label -> label ^ "#" ^ string_of_int i
+
+let sweep ctx ~f xs =
+  match ctx.Run_ctx.pool with
+  | None ->
+    List.mapi (fun i x -> f (Run_ctx.with_label (point_label ctx i) ctx) x) xs
+  | Some _ ->
+    (* Pooled points write into per-point buffers, drained in input order
+       afterwards: the parent sinks see the exact chunk sequence of the
+       serial sweep, so output is byte-identical at any -j. Points run
+       their own simulations serially (no nested pool). *)
+    let tagged =
+      List.mapi
+        (fun i x ->
+          let buf = { mutex = Mutex.create (); rev_chunks = [] } in
+          let pctx =
+            ctx
+            |> Run_ctx.with_label (point_label ctx i)
+            |> Run_ctx.with_pool None
+            |> fun c -> redirect c buf
+          in
+          (pctx, x, buf))
+        xs
+    in
+    let results = Run_ctx.map ctx ~f:(fun (pctx, x, _) -> f pctx x) tagged in
+    List.iter (fun (_, _, buf) -> drain ctx buf) tagged;
+    results
 
 let sec = Time.to_sec_f

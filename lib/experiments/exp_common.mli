@@ -13,10 +13,16 @@ open Ninja_hardware
 type mode = Run_ctx.mode = Quick | Full
 (** Re-exported so experiments can match on [ctx.mode] unqualified. *)
 
-type env = { ctx : Run_ctx.t; sim : Sim.t; cluster : Cluster.t }
+type env = {
+  ctx : Run_ctx.t;
+  sim : Sim.t;
+  cluster : Cluster.t;
+  recorder : Ninja_telemetry.Recorder.t option;
+}
 (** One simulated point: a deterministic simulation (seeded from the
     context) plus its cluster, with the context's fault specs armed on
-    the cluster's injector. *)
+    the cluster's injector. When the context carries a spans sink, a
+    telemetry recorder is attached to the cluster's probe bus. *)
 
 val fresh : ?spec:Spec.t -> Run_ctx.t -> env
 (** Raises [Failure] on a malformed fault spec in the context (the CLI
@@ -26,14 +32,20 @@ val hosts : Cluster.t -> prefix:string -> first:int -> count:int -> Node.t list
 (** e.g. [hosts c ~prefix:"ib" ~first:8 ~count:8] = ib08..ib15. *)
 
 val run_to_completion : env -> unit
-(** [Sim.run], then flush the cluster's trace to the context's trace
-    sink (one chunk per simulation, nothing when the sink is absent). *)
+(** [Sim.run], then flush: the cluster's trace timeline to the trace
+    sink, the recorder's span fragment to the spans sink and its metrics
+    CSV to the metrics sink (each only when armed), and the simulated
+    end time to the observation hook as ["sim_s"]. *)
 
 val run_until : env -> Time.t -> unit
-(** [Sim.run_until] plus the same trace flush. *)
+(** [Sim.run_until] plus the same flush. *)
 
-val sweep : Run_ctx.t -> f:('a -> 'b) -> 'a list -> 'b list
-(** {!Run_ctx.map}: an experiment's point grid, one simulation per
-    domain when the context carries a pool, in deterministic order. *)
+val sweep : Run_ctx.t -> f:(Run_ctx.t -> 'a -> 'b) -> 'a list -> 'b list
+(** An experiment's point grid. [f] receives a derived context labelled
+    ["<parent>#<index>"] (so each point's telemetry tracks are distinct)
+    and runs on its own domain when the parent carries a pool. Pooled
+    points buffer their sink output and replay it in input order, so
+    trace/metrics/spans chunks arrive byte-identically to a serial
+    sweep. *)
 
 val sec : Time.span -> float

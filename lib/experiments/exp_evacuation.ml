@@ -78,7 +78,9 @@ let run rc =
   let grid =
     List.concat_map (fun n_vms -> List.map (fun s -> (n_vms, s)) Solver.all) counts
   in
-  sweep rc ~f:(fun (n_vms, strategy) -> measure rc ~n_vms ~strategy ~uplink_gbps ()) grid
+  sweep rc
+    ~f:(fun rc (n_vms, strategy) -> measure rc ~n_vms ~strategy ~uplink_gbps ())
+    grid
   |> List.iter (fun r ->
          Table.add_row table
            [

@@ -45,7 +45,7 @@ let run rc =
   let sizes =
     match rc.Run_ctx.mode with Quick -> [ 2.0; 16.0 ] | Full -> Paper_data.fig6_sizes_gb
   in
-  let rows = sweep rc ~f:(fun size_gb -> measure rc ~size_gb) sizes in
+  let rows = sweep rc ~f:(fun rc size_gb -> measure rc ~size_gb) sizes in
   (* The retry column appears only when some run actually lost time to
      recovery, so fault-free output stays byte-identical. *)
   let with_retry = List.exists (fun r -> r.retry > 0.0) rows in

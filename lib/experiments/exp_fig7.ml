@@ -68,7 +68,7 @@ let run rc =
         | Quick -> "Fig. 7 (quick: class C, 4 procs): Ninja migration overhead on NPB [seconds]")
       ~columns:[ "Kernel"; "baseline"; "proposed"; "migration"; "hotplug"; "link-up" ]
   in
-  let rows = sweep rc ~f:(fun kernel -> measure rc kernel) Npb.all in
+  let rows = sweep rc ~f:(fun rc kernel -> measure rc kernel) Npb.all in
   List.iter
     (fun r ->
       let paper_base, paper_over =

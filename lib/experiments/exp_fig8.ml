@@ -120,6 +120,6 @@ let run rc =
     [ table; summary ]
   in
   sweep rc
-    ~f:(fun (procs_per_vm, label) -> (measure rc ~procs_per_vm, procs_per_vm, label))
+    ~f:(fun rc (procs_per_vm, label) -> (measure rc ~procs_per_vm, procs_per_vm, label))
     [ (1, "a"); (8, "b") ]
   |> List.concat_map make_table

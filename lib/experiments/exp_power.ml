@@ -83,7 +83,7 @@ let run rc =
       ~columns:[ "Case"; "job time [s]"; "energy [kJ]" ]
   in
   sweep rc
-    ~f:(fun (busy, consolidated) -> measure rc ~consolidated ~busy)
+    ~f:(fun rc (busy, consolidated) -> measure rc ~consolidated ~busy)
     [ (false, false); (false, true); (true, false); (true, true) ]
   |> List.iter (fun r ->
          Table.add_row table

@@ -57,7 +57,7 @@ let run rc =
       ~columns:
         [ "VMs"; "migration [s]"; "per-VM rate [GB/s]"; "hotplug [s]"; "coordination [s]" ]
   in
-  sweep rc ~f:(fun n_vms -> measure rc ~n_vms ~uplink_gbps) counts
+  sweep rc ~f:(fun rc n_vms -> measure rc ~n_vms ~uplink_gbps) counts
   |> List.iter (fun r ->
       Table.add_row table
         [

@@ -57,7 +57,7 @@ let run rc =
   in
   let rows =
     sweep rc
-      ~f:(fun combo ->
+      ~f:(fun rc combo ->
         let one () =
           let hotplug = ref 0.0 and linkup = ref 0.0 in
           measure rc combo ~hotplug ~linkup;

@@ -74,6 +74,9 @@ let find name = List.find_opt (fun e -> String.equal e.name name) all
 let names = List.map (fun e -> e.name) all
 
 let run_entry ctx e =
+  (* Telemetry tracks from different entries must not collide in one
+     export file, so each entry's simulations carry its name. *)
+  let ctx = Ninja_engine.Run_ctx.with_label e.name ctx in
   let tables = e.run ctx in
   List.iteri
     (fun i table ->

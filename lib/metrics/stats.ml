@@ -9,10 +9,24 @@ let minimum l = List.fold_left Float.min Float.infinity (check l)
 let maximum l = List.fold_left Float.max Float.neg_infinity (check l)
 
 let stddev l =
+  match check l with
+  | [ _ ] -> 0.0 (* a singleton has no spread; avoid any sqrt round-off *)
+  | l ->
+    let m = mean l in
+    let var = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 l in
+    sqrt (var /. float_of_int (List.length l))
+
+let percentile p l =
   let l = check l in
-  let m = mean l in
-  let var = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 l in
-  sqrt (var /. float_of_int (List.length l))
+  if not (Float.is_finite p) || p < 0.0 || p > 100.0 then
+    invalid_arg "Stats.percentile: p must be within [0, 100]";
+  let sorted = List.sort Float.compare l in
+  let n = List.length sorted in
+  (* Nearest-rank: the smallest value with at least p% of the sample at or
+     below it; p = 0 is defined as the minimum. *)
+  let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) in
+  let rank = max 1 (min n rank) in
+  List.nth sorted (rank - 1)
 
 let best_of n f =
   if n <= 0 then invalid_arg "Stats.best_of: n must be positive";

@@ -9,6 +9,14 @@ val minimum : float list -> float
 val maximum : float list -> float
 
 val stddev : float list -> float
+(** Population standard deviation; 0.0 on a singleton list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p l] is the nearest-rank p-th percentile of [l]: the
+    smallest sample value with at least [p]% of the sample at or below
+    it ([p = 0] yields the minimum, [p = 100] the maximum, so the result
+    is always an actual sample). Raises [Invalid_argument] on an empty
+    list or [p] outside [0, 100]. *)
 
 val best_of : int -> (unit -> float) -> float
 (** [best_of n f] runs [f] n times and returns the smallest result. *)

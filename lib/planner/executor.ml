@@ -1,5 +1,6 @@
 open Ninja_engine
 open Ninja_hardware
+open Ninja_telemetry
 open Ninja_vmm
 
 type step_result = {
@@ -62,6 +63,7 @@ let run cluster ?(transport = Migration.Tcp) ?(max_per_host = default_max_per_ho
   ignore (Plan.topo_order plan);
   let sim = Cluster.sim cluster in
   let trace = Cluster.trace cluster in
+  let probes = Cluster.probes cluster in
   let run_step = Option.value run_step ~default:(default_run_step transport) in
   let steps = Plan.steps plan in
   let started = Sim.now sim in
@@ -131,7 +133,23 @@ let run cluster ?(transport = Migration.Tcp) ?(max_per_host = default_max_per_ho
                 List.iter (fun n -> Semaphore.acquire (sem n)) nodes;
                 let t0 = Sim.now sim in
                 Trace.recordf trace ~category:"planner" "%a starts" Plan.pp_step step;
-                match run_step step with
+                (* One span per attempt, on the step's source track, where
+                   the VMM migration span it triggers will nest under it. *)
+                let span_name = Printf.sprintf "step-%d" step.Plan.id in
+                let proc = step.Plan.src.Node.name and thread = Vm.name step.Plan.vm in
+                Span.emit_begin probes ~name:span_name ~cat:"executor" ~proc ~thread
+                  ~args:
+                    [
+                      ("dst", step.Plan.dst.Node.name);
+                      ("attempt", string_of_int attempt_no);
+                    ]
+                  ();
+                match
+                  Fun.protect
+                    ~finally:(fun () ->
+                      Span.emit_end probes ~name:span_name ~proc ~thread ())
+                    (fun () -> run_step step)
+                with
                 | stats ->
                     (* Release before waking dependents so a freed permit is
                        visible to them even at max_per_host = 1. *)
@@ -165,7 +183,12 @@ let run cluster ?(transport = Migration.Tcp) ?(max_per_host = default_max_per_ho
                         "step %d (%s -> %s) attempt %d failed: %s; retrying in %a"
                         step.Plan.id (Vm.name step.Plan.vm) step.Plan.dst.Node.name
                         attempt_no reason Time.pp delay;
+                      Span.emit_begin probes ~name:"backoff" ~cat:"executor"
+                        ~proc:step.Plan.src.Node.name ~thread:(Vm.name step.Plan.vm)
+                        ~args:[ ("step", string_of_int step.Plan.id) ] ();
                       Sim.sleep delay;
+                      Span.emit_end probes ~name:"backoff" ~proc:step.Plan.src.Node.name
+                        ~thread:(Vm.name step.Plan.vm) ();
                       attempt step (attempt_no + 1)
                     end)
           in
@@ -182,7 +205,7 @@ let run cluster ?(transport = Migration.Tcp) ?(max_per_host = default_max_per_ho
   in
   (* The probe fires before any [Step_failed] is raised so an observer sees
      the permit balance even when the run fails. *)
-  Probe.emit (Cluster.probes cluster) ~topic:"executor" ~action:"report"
+  Probe.emit probes ~topic:"executor" ~action:"report"
     ~info:
       [
         ("steps", string_of_int (List.length step_results));

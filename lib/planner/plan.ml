@@ -1,5 +1,6 @@
 open Ninja_engine
 open Ninja_hardware
+open Ninja_telemetry
 open Ninja_vmm
 
 type kind = Direct | Stage_out | Stage_in
@@ -287,4 +288,10 @@ let of_assignment cluster ~vms ~dst_of ?(staging = []) ?bytes_of () =
         ("acyclic", string_of_bool (is_acyclic plan));
       ]
     ();
+  (* Plan building is pure bookkeeping — no simulated time passes — so the
+     span is a zero-duration marker on the planner track. *)
+  Span.emit_note (Cluster.probes cluster) ~name:"plan-build" ~cat:"planner" ~proc:"planner"
+    ~thread:"plan"
+    ~start:(Sim.now (Cluster.sim cluster))
+    ~args:[ ("steps", string_of_int (length plan)) ] ();
   plan

@@ -1,0 +1,43 @@
+(** Exporters: Chrome trace-event JSON and the span-derived breakdown.
+
+    The JSON follows the trace-event format that Perfetto and
+    chrome://tracing load: ["X"] complete events for spans, ["i"]
+    instant events for plain probe events, ["M"] metadata naming each
+    process/thread track, timestamps in microseconds of {e simulated}
+    time. Track ids are stable string hashes of the track names, so
+    fragments produced independently (different simulations, different
+    domains) concatenate into one consistent file without renumbering —
+    which is what keeps pooled runs byte-identical to serial ones. *)
+
+open Ninja_engine
+
+val fragment :
+  ?track_prefix:string ->
+  ?instants:Probe.event list ->
+  ?upto:Time.t ->
+  Span.t list ->
+  string
+(** Renders span trees (plus instants) as comma-separated trace-event
+    objects — a fragment of a [traceEvents] array, [""] when there is
+    nothing to render. [track_prefix] namespaces every process track
+    (e.g. ["fig6#0/"] for sweep point 0), keeping simulations apart in
+    one file. Spans still open are closed at [upto] (default: the
+    latest stop/start in the input) and marked ["unfinished"]. *)
+
+val document : string list -> string
+(** Wraps fragments (empty ones are dropped) into a complete JSON
+    object: [{"displayTimeUnit": "ms", "traceEvents": [...]}]. *)
+
+val recorder_fragment : ?track_prefix:string -> Recorder.t -> string
+(** [fragment] of everything a recorder collected. *)
+
+val breakdown_of_root : Span.t -> Ninja_metrics.Breakdown.t
+(** Re-derives the paper's overhead decomposition from a migration root
+    span: [coordination]/[detach]/[migration]/[attach]/[linkup] are the
+    durations of the direct children named ["coordination"],
+    ["detach"], ["precopy"], ["attach"], ["link-up"] (zero when
+    absent); [retry] is the ["rollback"] child's duration plus every
+    ["retry"]-category span outside the rollback subtree (failed
+    attempts and backoff sleeps — the rollback's own inner retries are
+    part of its duration already); [total] is the root's duration.
+    Raises [Invalid_argument] on an unfinished span. *)

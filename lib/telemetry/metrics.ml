@@ -1,0 +1,143 @@
+open Ninja_metrics
+
+type kind = Counter | Gauge | Histogram
+
+type cell =
+  | Count of float ref
+  | High of float ref
+  | Samples of float list ref  (* newest first *)
+
+type t = { mutex : Mutex.t; cells : (string, cell) Hashtbl.t }
+
+let create () = { mutex = Mutex.create (); cells = Hashtbl.create 16 }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let kind_name = function
+  | Count _ -> "counter"
+  | High _ -> "gauge"
+  | Samples _ -> "histogram"
+
+(* Under the lock. *)
+let cell t name make =
+  match Hashtbl.find_opt t.cells name with
+  | Some c -> c
+  | None ->
+    let c = make () in
+    Hashtbl.add t.cells name c;
+    c
+
+let mismatch name c =
+  invalid_arg (Printf.sprintf "Metrics: %s is a %s" name (kind_name c))
+
+let incr t ?(by = 1.0) name =
+  locked t @@ fun () ->
+  match cell t name (fun () -> Count (ref 0.0)) with
+  | Count r -> r := !r +. by
+  | c -> mismatch name c
+
+let gauge t name v =
+  locked t @@ fun () ->
+  match cell t name (fun () -> High (ref v)) with
+  | High r -> r := Float.max !r v
+  | c -> mismatch name c
+
+let observe t name v =
+  locked t @@ fun () ->
+  match cell t name (fun () -> Samples (ref [])) with
+  | Samples r -> r := v :: !r
+  | c -> mismatch name c
+
+let kind_of t name =
+  locked t @@ fun () ->
+  Option.map
+    (function Count _ -> Counter | High _ -> Gauge | Samples _ -> Histogram)
+    (Hashtbl.find_opt t.cells name)
+
+let value t name =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.cells name with
+  | Some (Count r) | Some (High r) -> Some !r
+  | Some (Samples _) | None -> None
+
+let samples t name =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.cells name with
+  | Some (Samples r) -> List.rev !r
+  | Some c -> mismatch name c
+  | None -> []
+
+let names t =
+  locked t @@ fun () ->
+  List.sort String.compare (Hashtbl.fold (fun name _ acc -> name :: acc) t.cells [])
+
+let is_empty t = locked t @@ fun () -> Hashtbl.length t.cells = 0
+
+let merge_into ~into t =
+  (* Snapshot the source first: taking both locks at once could deadlock
+     against a concurrent merge in the other direction. *)
+  let snapshot =
+    locked t @@ fun () ->
+    Hashtbl.fold
+      (fun name c acc ->
+        let copy =
+          match c with
+          | Count r -> Count (ref !r)
+          | High r -> High (ref !r)
+          | Samples r -> Samples (ref !r)
+        in
+        (name, copy) :: acc)
+      t.cells []
+  in
+  locked into @@ fun () ->
+  List.iter
+    (fun (name, c) ->
+      match (cell into name (fun () -> c), c) with
+      | Count dst, Count src -> if dst != src then dst := !dst +. !src
+      | High dst, High src -> if dst != src then dst := Float.max !dst !src
+      | Samples dst, Samples src -> if dst != src then dst := !src @ !dst
+      | dst, _ -> mismatch name dst)
+    snapshot
+
+let fmt_val v =
+  (* Enough digits to round-trip the doubles we produce, without the noise
+     of %h: counts are small integers, times a few significant figures. *)
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let to_table t =
+  let rows =
+    locked t @@ fun () ->
+    Hashtbl.fold (fun name c acc -> (name, c) :: acc) t.cells []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (name, c) ->
+           match c with
+           | Count r -> [ name; "counter"; "-"; fmt_val !r; "-"; "-"; "-"; "-"; "-"; "-" ]
+           | High r -> [ name; "gauge"; "-"; fmt_val !r; "-"; "-"; "-"; "-"; "-"; "-" ]
+           | Samples r ->
+             let s = List.sort Float.compare !r in
+             let p q = fmt_val (Stats.percentile q s) in
+             [
+               name;
+               "histogram";
+               string_of_int (List.length s);
+               fmt_val (List.fold_left ( +. ) 0.0 s);
+               fmt_val (Stats.mean s);
+               fmt_val (Stats.minimum s);
+               p 50.0;
+               p 95.0;
+               p 99.0;
+               fmt_val (Stats.maximum s);
+             ])
+  in
+  let table =
+    Table.create ~title:"telemetry metrics"
+      ~columns:
+        [ "metric"; "kind"; "count"; "value"; "mean"; "min"; "p50"; "p95"; "p99"; "max" ]
+  in
+  List.iter (Table.add_row table) rows;
+  table
+
+let to_csv t = Table.to_csv (to_table t)

@@ -1,0 +1,53 @@
+(** Named metrics registry: counters, gauges, histograms.
+
+    One registry per run (simulation), mergeable across a sweep. The
+    merge operations are commutative — counters add, gauges keep the
+    high-water mark, histograms pool their samples and compute their
+    statistics on the {e sorted} sample — so merging per-domain
+    registries in any order renders identical output, which is what
+    keeps pooled runs byte-identical to serial ones.
+
+    All operations take the registry lock; the callbacks are safe to use
+    from pooled domains. *)
+
+type t
+
+type kind = Counter | Gauge | Histogram
+
+val create : unit -> t
+
+val incr : t -> ?by:float -> string -> unit
+(** Counter += [by] (default 1.0). *)
+
+val gauge : t -> string -> float -> unit
+(** High-water gauge: keeps [max current value] so that merge order
+    cannot matter. *)
+
+val observe : t -> string -> float -> unit
+(** Appends a sample to a histogram. *)
+
+val kind_of : t -> string -> kind option
+
+val value : t -> string -> float option
+(** Current value of a counter or gauge; [None] for absent names and
+    histograms. *)
+
+val samples : t -> string -> float list
+(** A histogram's samples in recording order; [[]] for absent names.
+    Raises [Invalid_argument] on a counter or gauge. *)
+
+val names : t -> string list
+(** Sorted. *)
+
+val merge_into : into:t -> t -> unit
+(** Folds [t] into [into]. Raises [Invalid_argument] when a name is
+    registered with different kinds in the two registries. *)
+
+val to_table : t -> Ninja_metrics.Table.t
+(** One row per metric, sorted by name, with nearest-rank p50/p95/p99
+    for histograms. Deterministic for a given set of recorded values
+    regardless of histogram insertion order. *)
+
+val to_csv : t -> string
+
+val is_empty : t -> bool

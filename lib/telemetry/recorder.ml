@@ -1,0 +1,154 @@
+open Ninja_engine
+
+type track = { mutable stack : Span.t list (* innermost open span first *) }
+
+type t = {
+  m : Metrics.t;
+  tracks : (string * string, track) Hashtbl.t;
+  mutable rev_roots : Span.t list;
+  mutable rev_instants : Probe.event list;
+  mutable rev_anomalies : string list;
+  mutable fence_entered : Time.t option;
+  mutable last_at : Time.t;
+  mutable events : int;
+  mutable open_count : int;
+}
+
+let create () =
+  {
+    m = Metrics.create ();
+    tracks = Hashtbl.create 8;
+    rev_roots = [];
+    rev_instants = [];
+    rev_anomalies = [];
+    fence_entered = None;
+    last_at = Time.zero;
+    events = 0;
+    open_count = 0;
+  }
+
+let metrics t = t.m
+
+let roots t = List.rev t.rev_roots
+
+let instants t = List.rev t.rev_instants
+
+let anomalies t = List.rev t.rev_anomalies
+
+let last_at t = t.last_at
+
+let events_seen t = t.events
+
+let open_spans t = t.open_count
+
+let anomaly t fmt = Printf.ksprintf (fun m -> t.rev_anomalies <- m :: t.rev_anomalies) fmt
+
+let reserved = [ "cat"; "proc"; "tid"; "start" ]
+
+let span_args info = List.filter (fun (k, _) -> not (List.mem k reserved)) info
+
+let track t ~proc ~tid =
+  match Hashtbl.find_opt t.tracks (proc, tid) with
+  | Some tr -> tr
+  | None ->
+    let tr = { stack = [] } in
+    Hashtbl.add t.tracks (proc, tid) tr;
+    tr
+
+let seconds = Time.to_sec_f
+
+(* Histograms keyed by span taxonomy, fed as spans close. *)
+let closed t (s : Span.t) =
+  match s.Span.cat with
+  | "phase" -> Metrics.observe t.m ("phase." ^ s.Span.name ^ ".seconds") (seconds (Span.duration s))
+  | "migration" -> Metrics.observe t.m "migration.total.seconds" (seconds (Span.duration s))
+  | "retry" -> Metrics.observe t.m "retry.lost.seconds" (seconds (Span.duration s))
+  | _ -> ()
+
+let on_span t (e : Probe.event) =
+  let info key = Option.value (Probe.info_of e key) ~default:"" in
+  let proc = info "proc" and tid = info "tid" in
+  let tr = track t ~proc ~tid in
+  let attach s =
+    match tr.stack with
+    | top :: _ -> Span.add_child top s
+    | [] -> t.rev_roots <- s :: t.rev_roots
+  in
+  match e.Probe.action with
+  | "begin" ->
+    let s =
+      Span.create ~name:e.Probe.subject ~cat:(info "cat") ~proc ~thread:tid
+        ~start:e.Probe.at ~args:(span_args e.Probe.info) ()
+    in
+    attach s;
+    tr.stack <- s :: tr.stack;
+    t.open_count <- t.open_count + 1
+  | "end" -> (
+    match tr.stack with
+    | [] -> anomaly t "span end %S on %s/%s without a begin" e.Probe.subject proc tid
+    | top :: rest ->
+      if not (String.equal top.Span.name e.Probe.subject) then
+        anomaly t "span end %S on %s/%s closes open span %S" e.Probe.subject proc tid
+          top.Span.name;
+      tr.stack <- rest;
+      t.open_count <- t.open_count - 1;
+      Span.finish top ~at:e.Probe.at ~args:(span_args e.Probe.info) ();
+      closed t top)
+  | "note" -> (
+    match Int64.of_string_opt (info "start") with
+    | None -> anomaly t "span note %S on %s/%s carries no start" e.Probe.subject proc tid
+    | Some ns ->
+      let start = Time.min (Time.of_ns ns) e.Probe.at in
+      let s =
+        Span.create ~name:e.Probe.subject ~cat:(info "cat") ~proc ~thread:tid ~start
+          ~args:(span_args e.Probe.info) ()
+      in
+      Span.finish s ~at:e.Probe.at ();
+      attach s;
+      closed t s)
+  | other -> anomaly t "unknown span action %S" other
+
+let float_info e key = Option.bind (Probe.info_of e key) float_of_string_opt
+
+let on_event t (e : Probe.event) =
+  t.events <- t.events + 1;
+  t.last_at <- Time.max t.last_at e.Probe.at;
+  match (e.Probe.topic, e.Probe.action) with
+  | "span", _ -> on_span t e
+  | topic_action ->
+    t.rev_instants <- e :: t.rev_instants;
+    (match topic_action with
+    | "migrate", "start" -> Metrics.incr t.m "migrations.started"
+    | "migrate", "complete" -> Metrics.incr t.m "migrations.completed"
+    | "migrate", "rollback" -> Metrics.incr t.m "migrations.rolled_back"
+    | "migrate", "giveup" -> Metrics.incr t.m "migrations.gave_up"
+    | "fence", "enter" ->
+      t.fence_entered <- Some e.Probe.at;
+      Option.iter (Metrics.gauge t.m "fence.vms.max") (float_info e "count")
+    | "fence", "release" ->
+      Option.iter
+        (fun entered ->
+          Metrics.observe t.m "fence.residency.seconds"
+            (seconds (Time.diff e.Probe.at entered)))
+        t.fence_entered;
+      t.fence_entered <- None
+    | "migration", "done" ->
+      Option.iter (fun b -> Metrics.incr t.m ~by:b "precopy.bytes") (float_info e "bytes");
+      Option.iter (fun r -> Metrics.incr t.m ~by:r "precopy.rounds") (float_info e "rounds");
+      Option.iter
+        (fun ns -> Metrics.observe t.m "vm.downtime.seconds" (ns /. 1e9))
+        (float_info e "downtime_ns")
+    | "fault", _ -> Metrics.incr t.m "faults.injected"
+    | "node", "death" -> Metrics.incr t.m "node.deaths"
+    | "plan", "built" -> Metrics.incr t.m "plans.built"
+    | "executor", "report" ->
+      Option.iter (fun v -> Metrics.incr t.m ~by:v "executor.steps") (float_info e "steps");
+      Option.iter
+        (fun v -> Metrics.incr t.m ~by:v "executor.failures")
+        (float_info e "failures");
+      Option.iter
+        (fun v -> Metrics.incr t.m ~by:v "executor.retries")
+        (float_info e "retries")
+    | _ -> ())
+
+let attach t probes = Probe.attach probes (on_event t)

@@ -3,6 +3,7 @@ open Ninja_flownet
 open Ninja_hardware
 
 open Ninja_faults
+open Ninja_telemetry
 
 exception Bypass_device_attached of string
 
@@ -113,6 +114,8 @@ let precopy vm ~dst ~transport =
       Memory.clear_dirty memory;
       let t0 = Sim.now sim in
       send sender vm dirty;
+      Span.emit_note (Cluster.probes cluster) ~name:"stop-and-copy" ~cat:"vmm"
+        ~proc:src.Node.name ~thread:(Vm.name vm) ~start:t0 ();
       (n + 1, Time.diff (Sim.now sim) t0)
     end
     else begin
@@ -143,6 +146,8 @@ let postcopy vm ~dst ~transport =
   let hot = Float.min postcopy_hot_set_bytes (Memory.nonzero_bytes memory) in
   send sender vm hot;
   let downtime = Time.diff (Sim.now sim) t0 in
+  Span.emit_note (Cluster.probes cluster) ~name:"stop-and-switch" ~cat:"vmm"
+    ~proc:src.Node.name ~thread:(Vm.name vm) ~start:t0 ();
   Vm.set_host vm dst;
   if was_running then Vm.resume vm;
   (* Background pull of the residual image; the guest runs at the
@@ -180,12 +185,33 @@ let migrate vm ~dst ?(transport = Tcp) ?(mode = Precopy) () =
   let mode_name = match mode with Precopy -> "precopy" | Postcopy -> "postcopy" in
   Trace.recordf trace ~category:"migration" "%s: %s %s -> %s begins" (Vm.name vm) mode_name
     src.Node.name dst.Node.name;
+  let probes = Cluster.probes cluster in
+  Span.emit_begin probes ~name:mode_name ~cat:"vmm" ~proc:src.Node.name ~thread:(Vm.name vm)
+    ~args:[ ("dst", dst.Node.name) ] ();
   let rounds, zero, downtime, sent =
-    match mode with
-    | Precopy -> precopy vm ~dst ~transport
-    | Postcopy -> postcopy vm ~dst ~transport
+    (* The end mirror must fire even when an injected fault aborts the
+       attempt mid-copy, or the recorder's track would stay open. *)
+    Fun.protect
+      ~finally:(fun () ->
+        Span.emit_end probes ~name:mode_name ~proc:src.Node.name ~thread:(Vm.name vm) ())
+      (fun () ->
+        match mode with
+        | Precopy -> precopy vm ~dst ~transport
+        | Postcopy -> postcopy vm ~dst ~transport)
   in
   let duration = Time.diff (Sim.now sim) started in
   Trace.recordf trace ~category:"migration" "%s: done in %a (%d rounds, downtime %a)"
     (Vm.name vm) Time.pp duration rounds Time.pp downtime;
+  if Probe.active probes then
+    Probe.emit probes ~topic:"migration" ~action:"done" ~subject:(Vm.name vm)
+      ~info:
+        [
+          ("src", src.Node.name);
+          ("dst", dst.Node.name);
+          ("mode", mode_name);
+          ("bytes", Printf.sprintf "%.0f" sent);
+          ("rounds", string_of_int rounds);
+          ("downtime_ns", Int64.to_string (Time.to_ns downtime));
+        ]
+      ();
   { duration; rounds; transferred_bytes = sent; scanned_zero_bytes = zero; downtime }

@@ -198,6 +198,31 @@ let test_probe_idle_is_free () =
     [ ("a", "z"); ("b", "z") ]
     (List.rev !seen)
 
+let test_probe_subscription_scoping () =
+  let sim = Sim.create ~seed:env_seed () in
+  let probes = Probe.create sim in
+  let seen = ref 0 in
+  (* attach/detach bracket exactly the events in between; detach is
+     idempotent and returns the bus to zero-cost idle. *)
+  let sub = Probe.attach probes (fun _ -> incr seen) in
+  Probe.emit probes ~topic:"x" ~action:"a" ();
+  Probe.detach probes sub;
+  Probe.detach probes sub;
+  Probe.emit probes ~topic:"x" ~action:"b" ();
+  Alcotest.(check int) "only the bracketed event" 1 !seen;
+  Alcotest.(check bool) "idle again" false (Probe.active probes);
+  (* with_subscriber detaches even when the body raises. *)
+  (try
+     Probe.with_subscriber probes
+       (fun _ -> incr seen)
+       (fun () ->
+         Probe.emit probes ~topic:"x" ~action:"c" ();
+         failwith "boom")
+   with Failure _ -> ());
+  Probe.emit probes ~topic:"x" ~action:"d" ();
+  Alcotest.(check int) "detached on exception" 2 !seen;
+  Alcotest.(check bool) "idle after the body" false (Probe.active probes)
+
 (* ------------------------------------------------------------------ *)
 (* End-to-end: green campaign, planted bugs, replayable repros *)
 
@@ -370,8 +395,12 @@ let () =
             test_checker_excuses_giveup;
         ] );
       ( "probe",
-        [ Alcotest.test_case "idle bus is free; delivery in order" `Quick
-            test_probe_idle_is_free ] );
+        [
+          Alcotest.test_case "idle bus is free; delivery in order" `Quick
+            test_probe_idle_is_free;
+          Alcotest.test_case "attach/detach/with_subscriber scoping" `Quick
+            test_probe_subscription_scoping;
+        ] );
       ( "fuzz",
         [
           Alcotest.test_case "small campaign is green" `Quick test_campaign_green;

@@ -119,6 +119,23 @@ let test_stats () =
   Alcotest.check_raises "empty" (Invalid_argument "Stats: empty sample") (fun () ->
       ignore (Stats.mean []))
 
+let test_percentile () =
+  let l = List.map float_of_int [ 15; 20; 35; 40; 50 ] in
+  (* Nearest-rank: the smallest sample with at least p% of the sample at
+     or below it — always an actual sample value. *)
+  check_float "p0 is the minimum" 15.0 (Stats.percentile 0.0 l);
+  check_float "p30 (textbook nearest-rank)" 20.0 (Stats.percentile 30.0 l);
+  check_float "p40 lands on a sample" 20.0 (Stats.percentile 40.0 l);
+  check_float "p50 of five" 35.0 (Stats.percentile 50.0 l);
+  check_float "p100 is the maximum" 50.0 (Stats.percentile 100.0 l);
+  check_float "singleton" 7.0 (Stats.percentile 99.0 [ 7.0 ]);
+  check_float "unsorted input" 35.0 (Stats.percentile 50.0 [ 50.0; 15.0; 35.0; 40.0; 20.0 ]);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats: empty sample") (fun () ->
+      ignore (Stats.percentile 50.0 []));
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.percentile: p must be within [0, 100]") (fun () ->
+      ignore (Stats.percentile 101.0 [ 1.0 ]))
+
 let test_best_of () =
   let calls = ref 0 in
   let v =
@@ -139,6 +156,12 @@ let stats_props =
     QCheck.Test.make ~name:"stddev non-negative" ~count:300
       QCheck.(list_of_size Gen.(int_range 1 20) (float_bound_exclusive 1000.0))
       (fun l -> Stats.stddev l >= 0.0);
+    QCheck.Test.make ~name:"percentile is always a sample member" ~count:300
+      QCheck.(
+        pair
+          (list_of_size Gen.(int_range 1 20) (float_bound_exclusive 1000.0))
+          (float_bound_inclusive 100.0))
+      (fun (l, p) -> List.mem (Stats.percentile p l) l);
   ]
 
 let () =
@@ -164,6 +187,7 @@ let () =
       ( "stats",
         Alcotest.test_case "basics" `Quick test_stats
         :: Alcotest.test_case "single sample" `Quick test_stats_single_sample
+        :: Alcotest.test_case "nearest-rank percentile" `Quick test_percentile
         :: Alcotest.test_case "best_of" `Quick test_best_of
         :: List.map QCheck_alcotest.to_alcotest stats_props );
     ]

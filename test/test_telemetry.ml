@@ -1,0 +1,604 @@
+(* Telemetry subsystem tests: the span scope builds well-formed local
+   trees and mirrors them onto the probe bus; the recorder reassembles
+   identical trees and derives the protocol metrics; the exporters render
+   valid Chrome trace-event fragments; and — the load-bearing property —
+   the breakdown re-derived from a bus-reconstructed migration root is
+   exactly the one [Ninja.migrate] returns, fault-free and rolled-back
+   alike. A qcheck property runs fuzz scenarios with a recorder attached
+   and asserts every reconstructed tree is sound. *)
+
+open Ninja_engine
+open Ninja_faults
+open Ninja_hardware
+open Ninja_mpi
+open Ninja_metrics
+open Ninja_core
+open Ninja_check
+open Ninja_telemetry
+
+let env_seed =
+  match Sys.getenv_opt "NINJA_TEST_SEED" with
+  | Some s -> ( try Int64.of_string s with Failure _ -> 1L)
+  | None -> 1L
+
+let salted salt = Int64.add env_seed (Int64.of_int salt)
+
+let sec = Time.to_sec_f
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let count_substring hay needle =
+  let ln = String.length needle in
+  let rec go i acc =
+    if i + ln > String.length hay then acc
+    else if String.sub hay i ln = needle then go (i + ln) (acc + 1)
+    else go (i + 1) acc
+  in
+  if ln = 0 then 0 else go 0 0
+
+let check_time msg expected actual =
+  Alcotest.(check int64) msg (Time.to_ns expected) (Time.to_ns actual)
+
+(* Structural equality of two span trees, field by field, with a path in
+   every failure message. *)
+let rec check_same_tree path (a : Span.t) (b : Span.t) =
+  Alcotest.(check string) (path ^ ": name") a.Span.name b.Span.name;
+  Alcotest.(check string) (path ^ ": cat") a.Span.cat b.Span.cat;
+  Alcotest.(check string) (path ^ ": proc") a.Span.proc b.Span.proc;
+  Alcotest.(check string) (path ^ ": thread") a.Span.thread b.Span.thread;
+  check_time (path ^ ": start") a.Span.start b.Span.start;
+  Alcotest.(check (option int64))
+    (path ^ ": stop")
+    (Option.map Time.to_ns a.Span.stop)
+    (Option.map Time.to_ns b.Span.stop);
+  Alcotest.(check (list (pair string string))) (path ^ ": args") a.Span.args b.Span.args;
+  let ca = Span.children a and cb = Span.children b in
+  Alcotest.(check int) (path ^ ": child count") (List.length ca) (List.length cb);
+  List.iter2
+    (fun x y -> check_same_tree (path ^ "/" ^ x.Span.name) x y)
+    ca cb
+
+let breakdown_fields (b : Breakdown.t) =
+  [
+    ("coordination", b.Breakdown.coordination);
+    ("detach", b.Breakdown.detach);
+    ("migration", b.Breakdown.migration);
+    ("attach", b.Breakdown.attach);
+    ("linkup", b.Breakdown.linkup);
+    ("retry", b.Breakdown.retry);
+    ("total", b.Breakdown.total);
+  ]
+
+let check_breakdown_eq msg a b =
+  List.iter2
+    (fun (f, x) (_, y) ->
+      Alcotest.(check int64) (Printf.sprintf "%s: %s" msg f) (Time.to_ns x) (Time.to_ns y))
+    (breakdown_fields a) (breakdown_fields b)
+
+(* A finished span for hand-built trees. *)
+let mk ?(proc = "proc") ?(thread = "thr") ?(args = []) name cat start stop =
+  let s =
+    Span.create ~name ~cat ~proc ~thread ~start:(Time.of_sec_f start) ~args ()
+  in
+  Span.finish s ~at:(Time.of_sec_f stop) ();
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Span scope: local trees *)
+
+let test_scope_builds_tree () =
+  let sim = Sim.create ~seed:env_seed () in
+  let sc = Span.scope ~sim ~proc:"ninja" ~thread:"migration" () in
+  let root_ref = ref None in
+  Sim.spawn sim (fun () ->
+      let root = Span.enter sc ~name:"root" ~cat:"migration" () in
+      root_ref := Some root;
+      Sim.sleep (Time.sec 1);
+      let a = Span.enter sc ~name:"a" ~cat:"phase" ~args:[ ("k", "v") ] () in
+      Sim.sleep (Time.sec 2);
+      Span.exit_ sc a;
+      (* Retroactive interval, known only after the fact. *)
+      ignore (Span.note sc ~name:"n" ~cat:"retry" ~start:(Time.sec 1) ());
+      let b = Span.enter sc ~name:"b" ~cat:"phase" () in
+      let _c = Span.enter sc ~name:"c" ~cat:"retry" () in
+      Sim.sleep (Time.sec 1);
+      (* Closing [b] unwinds past the still-open [c]. *)
+      Span.exit_ sc b;
+      Span.exit_ sc root);
+  Sim.run sim;
+  let root = Option.get !root_ref in
+  Alcotest.(check int) "single root" 1 (List.length (Span.roots sc));
+  Alcotest.(check (list string)) "well-formed" [] (Span.well_formed root);
+  Alcotest.(check (list string)) "children in order" [ "a"; "n"; "b" ]
+    (List.map (fun (s : Span.t) -> s.Span.name) (Span.children root));
+  check_time "root duration" (Time.sec 4) (Span.duration root);
+  let child name = Option.get (Span.find_child root name) in
+  check_time "a duration" (Time.sec 2) (Span.duration (child "a"));
+  check_time "note spans 1..3" (Time.sec 2) (Span.duration (child "n"));
+  check_time "note start unclamped" (Time.sec 1) (child "n").Span.start;
+  let b = child "b" in
+  check_time "b duration" (Time.sec 1) (Span.duration b);
+  match Span.children b with
+  | [ c ] ->
+    Alcotest.(check string) "abandoned child closed" "c" c.Span.name;
+    Alcotest.(check bool) "abandoned flagged" true
+      (List.mem ("abandoned", "true") c.Span.args);
+    check_time "closed where the unwind stood" (Time.sec 4)
+      (Option.get c.Span.stop)
+  | _ -> Alcotest.fail "expected exactly one child under b"
+
+let test_note_clamps_future_start () =
+  let sim = Sim.create ~seed:env_seed () in
+  let sc = Span.scope ~sim ~proc:"p" ~thread:"t" () in
+  let n = Span.note sc ~name:"n" ~cat:"phase" ~start:(Time.sec 99) () in
+  check_time "start clamped to now" Time.zero n.Span.start;
+  check_time "zero duration" Time.zero (Span.duration n)
+
+let test_span_guards () =
+  let s = mk "s" "phase" 1.0 2.0 in
+  (try
+     Span.finish s ~at:(Time.sec 3) ();
+     Alcotest.fail "double finish accepted"
+   with Invalid_argument _ -> ());
+  let open_span = Span.create ~name:"o" ~cat:"phase" ~proc:"p" ~thread:"t" ~start:(Time.sec 5) () in
+  (try
+     ignore (Span.duration open_span);
+     Alcotest.fail "duration of an open span accepted"
+   with Invalid_argument _ -> ());
+  (try
+     Span.finish open_span ~at:(Time.sec 4) ();
+     Alcotest.fail "stop before start accepted"
+   with Invalid_argument _ -> ());
+  let sim = Sim.create ~seed:env_seed () in
+  let sc = Span.scope ~sim ~proc:"p" ~thread:"t" () in
+  try
+    Span.exit_ sc s;
+    Alcotest.fail "exit of a span foreign to the scope accepted"
+  with Invalid_argument _ -> ()
+
+let test_well_formed_flags_problems () =
+  let root = mk "root" "migration" 0.0 10.0 in
+  let escapee = mk "escapee" "phase" 5.0 12.0 in
+  Span.add_child root escapee;
+  let unfinished =
+    Span.create ~name:"open" ~cat:"phase" ~proc:"proc" ~thread:"thr" ~start:(Time.sec 1) ()
+  in
+  Span.add_child root unfinished;
+  let problems = Span.well_formed root in
+  Alcotest.(check int) "two problems" 2 (List.length problems);
+  Alcotest.(check bool) "escapee reported" true
+    (List.exists (fun p -> contains p "escapee") problems);
+  Alcotest.(check bool) "unfinished reported" true
+    (List.exists (fun p -> contains p "not finished") problems)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry *)
+
+let test_metrics_basics () =
+  let m = Metrics.create () in
+  Alcotest.(check bool) "fresh registry is empty" true (Metrics.is_empty m);
+  Metrics.incr m "c";
+  Metrics.incr m ~by:2.5 "c";
+  Metrics.gauge m "g" 3.0;
+  Metrics.gauge m "g" 1.0;
+  Metrics.observe m "h" 2.0;
+  Metrics.observe m "h" 1.0;
+  Alcotest.(check (option (float 1e-9))) "counter sums" (Some 3.5) (Metrics.value m "c");
+  Alcotest.(check (option (float 1e-9))) "gauge keeps high-water" (Some 3.0)
+    (Metrics.value m "g");
+  Alcotest.(check (option (float 1e-9))) "histogram has no value" None (Metrics.value m "h");
+  Alcotest.(check (list (float 1e-9))) "samples in recording order" [ 2.0; 1.0 ]
+    (Metrics.samples m "h");
+  Alcotest.(check (list string)) "names sorted" [ "c"; "g"; "h" ] (Metrics.names m);
+  Alcotest.(check bool) "kinds" true
+    (Metrics.kind_of m "c" = Some Metrics.Counter
+    && Metrics.kind_of m "g" = Some Metrics.Gauge
+    && Metrics.kind_of m "h" = Some Metrics.Histogram
+    && Metrics.kind_of m "absent" = None);
+  (try
+     ignore (Metrics.samples m "c");
+     Alcotest.fail "samples of a counter accepted"
+   with Invalid_argument _ -> ());
+  try
+    Metrics.incr m "g";
+    Alcotest.fail "kind clash accepted"
+  with Invalid_argument _ -> ()
+
+let test_metrics_merge_is_order_insensitive () =
+  let build salt =
+    let m = Metrics.create () in
+    Metrics.incr m ~by:(float_of_int salt) "migrations";
+    Metrics.gauge m "fence.vms.max" (float_of_int (salt * 3 mod 7));
+    List.iter
+      (fun i -> Metrics.observe m "latency" (float_of_int ((salt * i * 37) mod 11)))
+      [ 1; 2; 3 ];
+    m
+  in
+  let parts = List.map build [ 1; 2; 3; 4 ] in
+  let merged order =
+    let into = Metrics.create () in
+    List.iter (fun i -> Metrics.merge_into ~into (List.nth parts i)) order;
+    Metrics.to_csv into
+  in
+  let a = merged [ 0; 1; 2; 3 ] and b = merged [ 3; 1; 0; 2 ] in
+  Alcotest.(check string) "any merge order renders identically" a b;
+  Alcotest.(check bool) "histogram rows carry percentiles" true (contains a "p95")
+
+let test_metrics_table_percentiles () =
+  let m = Metrics.create () in
+  (* 1..100 inserted out of order: nearest-rank p50/p95/p99 on the sorted
+     sample are exactly 50/95/99. *)
+  List.iter
+    (fun i -> Metrics.observe m "h" (float_of_int (((i * 61) mod 100) + 1)))
+    (List.init 100 Fun.id);
+  let csv = Metrics.to_csv m in
+  let row =
+    List.find (fun l -> String.length l > 2 && String.sub l 0 2 = "h,")
+      (String.split_on_char '\n' csv)
+  in
+  Alcotest.(check string) "nearest-rank percentiles on the sorted sample"
+    "h,histogram,100,5050,50.5,1,50,95,99,100" row
+
+(* ------------------------------------------------------------------ *)
+(* Recorder: bus-event reassembly *)
+
+let test_recorder_mirrors_scope () =
+  let sim = Sim.create ~seed:env_seed () in
+  let probes = Probe.create sim in
+  let r = Recorder.create () in
+  let sub = Recorder.attach r probes in
+  let sc = Span.scope ~probes ~sim ~proc:"ninja" ~thread:"migration" () in
+  Sim.spawn sim (fun () ->
+      let root = Span.enter sc ~name:"root" ~cat:"migration" () in
+      Sim.sleep (Time.sec 1);
+      let a = Span.enter sc ~name:"a" ~cat:"phase" ~args:[ ("k", "v") ] () in
+      Sim.sleep (Time.sec 2);
+      Span.exit_ sc a ~args:[ ("outcome", "ok") ];
+      ignore
+        (Span.note sc ~name:"n" ~cat:"retry" ~start:(Time.sec 1)
+           ~args:[ ("phase", "a") ] ());
+      let b = Span.enter sc ~name:"b" ~cat:"phase" () in
+      let _c = Span.enter sc ~name:"c" ~cat:"retry" () in
+      Sim.sleep (Time.sec 1);
+      Span.exit_ sc b;
+      Span.exit_ sc root);
+  Sim.run sim;
+  Probe.detach probes sub;
+  Alcotest.(check (list string)) "no anomalies" [] (Recorder.anomalies r);
+  Alcotest.(check int) "all spans closed" 0 (Recorder.open_spans r);
+  (match (Span.roots sc, Recorder.roots r) with
+  | [ local ], [ wire ] -> check_same_tree "root" local wire
+  | l, w ->
+    Alcotest.failf "expected one root on each side, got %d local / %d reconstructed"
+      (List.length l) (List.length w));
+  (* Closing spans fed the taxonomy histograms. *)
+  let m = Recorder.metrics r in
+  Alcotest.(check int) "two phase samples" 2
+    (List.length (Metrics.samples m "phase.a.seconds")
+    + List.length (Metrics.samples m "phase.b.seconds"));
+  Alcotest.(check (list (float 1e-9))) "migration total" [ 4.0 ]
+    (Metrics.samples m "migration.total.seconds");
+  (* note (2s) + abandoned c (1s) *)
+  Alcotest.(check (float 1e-9)) "retry seconds" 3.0
+    (List.fold_left ( +. ) 0.0 (Metrics.samples m "retry.lost.seconds"))
+
+let test_recorder_anomalies () =
+  let sim = Sim.create ~seed:env_seed () in
+  let probes = Probe.create sim in
+  let r = Recorder.create () in
+  let _sub = Recorder.attach r probes in
+  Span.emit_end probes ~name:"ghost" ~proc:"p" ~thread:"t" ();
+  Span.emit_begin probes ~name:"a" ~cat:"phase" ~proc:"p" ~thread:"t" ();
+  Span.emit_end probes ~name:"mismatch" ~proc:"p" ~thread:"t" ();
+  Probe.emit probes ~topic:"span" ~action:"note" ~subject:"startless"
+    ~info:[ ("cat", "phase"); ("proc", "p"); ("tid", "t") ]
+    ();
+  let anomalies = Recorder.anomalies r in
+  Alcotest.(check int) "three anomalies" 3 (List.length anomalies);
+  Alcotest.(check bool) "end without begin" true
+    (List.exists (fun a -> contains a "without a begin") anomalies);
+  Alcotest.(check int) "mismatched end still closes" 0 (Recorder.open_spans r);
+  Alcotest.(check bool) "startless note" true
+    (List.exists (fun a -> contains a "carries no start") anomalies)
+
+let test_recorder_metrics_from_instants () =
+  let sim = Sim.create ~seed:env_seed () in
+  let probes = Probe.create sim in
+  let r = Recorder.create () in
+  let _sub = Recorder.attach r probes in
+  Sim.spawn sim (fun () ->
+      Probe.emit probes ~topic:"migrate" ~action:"start" ();
+      Probe.emit probes ~topic:"fence" ~action:"enter" ~info:[ ("count", "8") ] ();
+      Sim.sleep (Time.sec 2);
+      Probe.emit probes ~topic:"fence" ~action:"release" ();
+      Probe.emit probes ~topic:"migration" ~action:"done" ~subject:"vm0"
+        ~info:[ ("bytes", "1000"); ("rounds", "3"); ("downtime_ns", "500000000") ]
+        ();
+      Probe.emit probes ~topic:"fault" ~action:"injected" ~subject:"vm0" ();
+      Probe.emit probes ~topic:"node" ~action:"death" ~subject:"eth00" ();
+      Probe.emit probes ~topic:"plan" ~action:"built"
+        ~info:[ ("steps", "4"); ("acyclic", "true") ]
+        ();
+      Probe.emit probes ~topic:"executor" ~action:"report"
+        ~info:[ ("steps", "4"); ("failures", "1"); ("retries", "2"); ("permits-leaked", "0") ]
+        ();
+      Probe.emit probes ~topic:"migrate" ~action:"giveup" ~subject:"vm1" ();
+      Probe.emit probes ~topic:"migrate" ~action:"rollback" ();
+      Probe.emit probes ~topic:"migrate" ~action:"complete" ());
+  Sim.run sim;
+  let m = Recorder.metrics r in
+  let counter name expected =
+    Alcotest.(check (option (float 1e-9))) name (Some expected) (Metrics.value m name)
+  in
+  counter "migrations.started" 1.0;
+  counter "migrations.completed" 1.0;
+  counter "migrations.rolled_back" 1.0;
+  counter "migrations.gave_up" 1.0;
+  counter "precopy.bytes" 1000.0;
+  counter "precopy.rounds" 3.0;
+  counter "faults.injected" 1.0;
+  counter "node.deaths" 1.0;
+  counter "plans.built" 1.0;
+  counter "executor.steps" 4.0;
+  counter "executor.failures" 1.0;
+  counter "executor.retries" 2.0;
+  counter "fence.vms.max" 8.0;
+  Alcotest.(check (list (float 1e-9))) "fence residency" [ 2.0 ]
+    (Metrics.samples m "fence.residency.seconds");
+  Alcotest.(check (list (float 1e-9))) "vm downtime" [ 0.5 ]
+    (Metrics.samples m "vm.downtime.seconds");
+  Alcotest.(check int) "every event kept as an instant" 11
+    (List.length (Recorder.instants r));
+  Alcotest.(check int) "events counted" 11 (Recorder.events_seen r);
+  check_time "newest event timestamp" (Time.sec 2) (Recorder.last_at r)
+
+(* ------------------------------------------------------------------ *)
+(* Exporters *)
+
+let test_export_fragment_shape () =
+  let root = mk ~args:[ ("quo\"te", "line\nbreak") ] "mig\"ration" "migration" 0.0 4.0 in
+  Span.add_child root (mk "a" "phase" 1.0 3.0);
+  let instant =
+    {
+      Probe.at = Time.sec 2;
+      topic = "fence";
+      action = "enter";
+      subject = "";
+      info = [ ("count", "8") ];
+    }
+  in
+  let frag = Export.fragment ~instants:[ instant ] [ root ] in
+  Alcotest.(check int) "one complete event per span" 2 (count_substring frag {|"ph":"X"|});
+  Alcotest.(check int) "one instant" 1 (count_substring frag {|"ph":"i"|});
+  Alcotest.(check int) "metadata: two procs, two threads" 4
+    (count_substring frag {|"ph":"M"|});
+  Alcotest.(check bool) "quotes escaped" true (contains frag {|mig\"ration|});
+  Alcotest.(check bool) "newlines escaped" true (contains frag {|line\nbreak|});
+  Alcotest.(check bool) "microsecond timestamps" true (contains frag {|"ts":1000000.000|});
+  Alcotest.(check bool) "durations in microseconds" true (contains frag {|"dur":2000000.000|});
+  (* Identical trees render identically: track ids hash from names alone. *)
+  let root' = mk ~args:[ ("quo\"te", "line\nbreak") ] "mig\"ration" "migration" 0.0 4.0 in
+  Span.add_child root' (mk "a" "phase" 1.0 3.0);
+  Alcotest.(check string) "deterministic rendering" frag
+    (Export.fragment ~instants:[ instant ] [ root' ]);
+  let prefixed = Export.fragment ~track_prefix:"fig6#0/" [ root ] in
+  Alcotest.(check bool) "prefix namespaces the process track" true
+    (contains prefixed {|"name":"fig6#0/proc"|});
+  Alcotest.(check string) "nothing to render" "" (Export.fragment [])
+
+let test_export_unfinished_closed_at_upto () =
+  let s = Span.create ~name:"open" ~cat:"phase" ~proc:"p" ~thread:"t" ~start:(Time.sec 1) () in
+  let frag = Export.fragment ~upto:(Time.sec 5) [ s ] in
+  Alcotest.(check bool) "marked unfinished" true (contains frag {|"unfinished":"true"|});
+  Alcotest.(check bool) "runs to upto" true (contains frag {|"dur":4000000.000|})
+
+let test_export_document () =
+  let frag = Export.fragment [ mk "s" "phase" 0.0 1.0 ] in
+  let doc = Export.document [ ""; frag; "" ] in
+  Alcotest.(check bool) "header" true
+    (String.length doc > 40 && String.sub doc 0 40 = {|{"displayTimeUnit":"ms","traceEvents":[
+|});
+  Alcotest.(check bool) "footer" true (contains doc "\n]}\n");
+  Alcotest.(check int) "empty fragments dropped" 1 (count_substring doc {|"ph":"X"|});
+  (* No fragments at all still forms a loadable document. *)
+  Alcotest.(check string) "empty document" "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n\n]}\n"
+    (Export.document [])
+
+let test_breakdown_of_root () =
+  let root = mk "migration" "migration" 0.0 100.0 in
+  Span.add_child root (mk "coordination" "phase" 0.0 5.0);
+  Span.add_child root (mk "detach" "phase" 5.0 10.0);
+  let precopy = mk "precopy" "phase" 10.0 50.0 in
+  Span.add_child precopy (mk "retry-attempt" "retry" 20.0 30.0);
+  Span.add_child precopy (mk "backoff" "retry" 30.0 35.0);
+  Span.add_child root precopy;
+  Span.add_child root (mk "attach" "phase" 50.0 55.0);
+  let rollback = mk "rollback" "rollback" 55.0 80.0 in
+  (* Inside the rollback subtree: already part of its duration, must not
+     be double-billed. *)
+  Span.add_child rollback (mk "retry-attempt" "retry" 60.0 70.0);
+  Span.add_child root rollback;
+  Span.add_child root (mk "link-up" "phase" 90.0 100.0);
+  let b = Export.breakdown_of_root root in
+  Alcotest.(check (float 1e-9)) "coordination" 5.0 (sec b.Breakdown.coordination);
+  Alcotest.(check (float 1e-9)) "detach" 5.0 (sec b.Breakdown.detach);
+  Alcotest.(check (float 1e-9)) "migration = precopy" 40.0 (sec b.Breakdown.migration);
+  Alcotest.(check (float 1e-9)) "attach" 5.0 (sec b.Breakdown.attach);
+  Alcotest.(check (float 1e-9)) "linkup" 10.0 (sec b.Breakdown.linkup);
+  Alcotest.(check (float 1e-9)) "retry = rollback + retries outside it" 40.0
+    (sec b.Breakdown.retry);
+  Alcotest.(check (float 1e-9)) "total" 100.0 (sec b.Breakdown.total);
+  let open_root =
+    Span.create ~name:"migration" ~cat:"migration" ~proc:"p" ~thread:"t" ~start:Time.zero ()
+  in
+  try
+    ignore (Export.breakdown_of_root open_root);
+    Alcotest.fail "breakdown of an unfinished root accepted"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: the bus-reconstructed migration root re-derives exactly
+   the breakdown [Ninja.fallback] returns *)
+
+let setup_agc () =
+  let sim = Sim.create ~seed:env_seed () in
+  (sim, Cluster.create sim ~spec:Spec.agc ())
+
+let ib_hosts cluster n =
+  List.init n (fun i -> Cluster.find_node cluster (Printf.sprintf "ib%02d" i))
+
+let eth_hosts cluster n =
+  List.init n (fun i -> Cluster.find_node cluster (Printf.sprintf "eth%02d" i))
+
+let iteration_workload ~until ctx =
+  while Mpi.wtime ctx < until do
+    Mpi.compute ctx ~seconds:0.3;
+    Mpi.allreduce ctx ~bytes:2.0e8;
+    Mpi.checkpoint_point ctx
+  done
+
+let run_fallback ?(faults = []) ~vms () =
+  let sim, cluster = setup_agc () in
+  List.iter
+    (fun text ->
+      match Injector.parse_spec text with
+      | Ok spec -> Injector.arm_spec (Cluster.injector cluster) spec
+      | Error e -> Alcotest.failf "bad fault spec %S: %s" text e)
+    faults;
+  let ninja = Ninja.setup cluster ~hosts:(ib_hosts cluster vms) () in
+  ignore (Ninja.launch ninja ~procs_per_vm:1 (iteration_workload ~until:120.0));
+  let b = ref Breakdown.zero in
+  Sim.spawn sim (fun () ->
+      Sim.sleep (Time.sec 10);
+      b := Ninja.fallback ninja ~dsts:(eth_hosts cluster vms);
+      Ninja.wait_job ninja);
+  let r = Recorder.create () in
+  Probe.with_subscriber (Cluster.probes cluster) (Recorder.on_event r) (fun () ->
+      Sim.run sim);
+  (ninja, r, !b)
+
+let migration_roots r =
+  List.filter (fun (s : Span.t) -> s.Span.cat = "migration") (Recorder.roots r)
+
+let assert_sound r =
+  Alcotest.(check (list string)) "no anomalies" [] (Recorder.anomalies r);
+  Alcotest.(check int) "no span left open" 0 (Recorder.open_spans r);
+  List.iter
+    (fun root -> Alcotest.(check (list string)) "well-formed" [] (Span.well_formed root))
+    (Recorder.roots r)
+
+let test_e2e_breakdown_matches () =
+  let ninja, r, b = run_fallback ~vms:4 () in
+  Alcotest.(check bool) "completed" true (Ninja.last_outcome ninja = Some Ninja.Completed);
+  assert_sound r;
+  match migration_roots r with
+  | [ root ] ->
+    check_breakdown_eq "bus-reconstructed breakdown" b (Export.breakdown_of_root root);
+    Alcotest.(check bool) "fault-free run billed no retry" true
+      (sec b.Breakdown.retry = 0.0);
+    let m = Recorder.metrics r in
+    Alcotest.(check (option (float 1e-9))) "started" (Some 1.0)
+      (Metrics.value m "migrations.started");
+    Alcotest.(check (option (float 1e-9))) "completed" (Some 1.0)
+      (Metrics.value m "migrations.completed");
+    Alcotest.(check int) "one total-duration sample" 1
+      (List.length (Metrics.samples m "migration.total.seconds"));
+    Alcotest.(check bool) "precopy traffic counted" true
+      (match Metrics.value m "precopy.bytes" with Some v -> v > 1e9 | None -> false);
+    Alcotest.(check int) "one downtime sample per VM" 4
+      (List.length (Metrics.samples m "vm.downtime.seconds"))
+  | roots -> Alcotest.failf "expected one migration root, got %d" (List.length roots)
+
+let test_e2e_rollback_breakdown_matches () =
+  let ninja, r, b = run_fallback ~faults:[ "precopy-abort:count=inf" ] ~vms:2 () in
+  Alcotest.(check bool) "rolled back" true
+    (match Ninja.last_outcome ninja with Some (Ninja.Rolled_back _) -> true | _ -> false);
+  assert_sound r;
+  match migration_roots r with
+  | [ root ] ->
+    check_breakdown_eq "bus-reconstructed breakdown" b (Export.breakdown_of_root root);
+    Alcotest.(check bool) "retry time billed" true (sec b.Breakdown.retry > 0.0);
+    Alcotest.(check bool) "rollback child present" true
+      (Span.find_child root "rollback" <> None);
+    Alcotest.(check (option (float 1e-9))) "rollback counted" (Some 1.0)
+      (Metrics.value (Recorder.metrics r) "migrations.rolled_back")
+  | roots -> Alcotest.failf "expected one migration root, got %d" (List.length roots)
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz: every scenario's reconstructed span trees are sound *)
+
+let spans_well_formed_prop =
+  QCheck.Test.make ~name:"recorder trees from fuzz scenarios are well-formed" ~count:20
+    QCheck.small_int (fun salt ->
+      let prng = Prng.create ~seed:(salted salt) in
+      let sc = Scenario.gen prng in
+      let r = Recorder.create () in
+      let result =
+        Runner.run
+          ~attach:(fun cluster -> ignore (Recorder.attach r (Cluster.probes cluster)))
+          sc
+      in
+      match result.Runner.outcome with
+      | Runner.Crashed msg ->
+        QCheck.Test.fail_reportf "scenario crashed: %s (%s)" msg (Scenario.to_string sc)
+      | Runner.Passed | Runner.Violated _ ->
+        (match Recorder.anomalies r with
+        | [] -> ()
+        | a :: _ -> QCheck.Test.fail_reportf "recorder anomaly: %s" a);
+        if Recorder.open_spans r <> 0 then
+          QCheck.Test.fail_reportf "%d span(s) left open" (Recorder.open_spans r);
+        List.for_all
+          (fun root ->
+            match Span.well_formed root with
+            | [] -> true
+            | p :: _ -> QCheck.Test.fail_reportf "ill-formed tree: %s" p)
+          (Recorder.roots r))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "ninja_telemetry"
+    [
+      ( "span",
+        [
+          Alcotest.test_case "scope builds a nested tree" `Quick test_scope_builds_tree;
+          Alcotest.test_case "note clamps a future start" `Quick test_note_clamps_future_start;
+          Alcotest.test_case "lifecycle guards" `Quick test_span_guards;
+          Alcotest.test_case "well_formed flags problems" `Quick
+            test_well_formed_flags_problems;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters, gauges, histograms" `Quick test_metrics_basics;
+          Alcotest.test_case "merge order cannot matter" `Quick
+            test_metrics_merge_is_order_insensitive;
+          Alcotest.test_case "table percentiles" `Quick test_metrics_table_percentiles;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "reassembles the emitted tree" `Quick
+            test_recorder_mirrors_scope;
+          Alcotest.test_case "anomalies on a broken stream" `Quick test_recorder_anomalies;
+          Alcotest.test_case "protocol metrics from instants" `Quick
+            test_recorder_metrics_from_instants;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "fragment shape and escaping" `Quick test_export_fragment_shape;
+          Alcotest.test_case "unfinished spans close at upto" `Quick
+            test_export_unfinished_closed_at_upto;
+          Alcotest.test_case "document wrapping" `Quick test_export_document;
+          Alcotest.test_case "breakdown re-derivation" `Quick test_breakdown_of_root;
+        ] );
+      ( "e2e",
+        [
+          Alcotest.test_case "fault-free breakdown matches exactly" `Quick
+            test_e2e_breakdown_matches;
+          Alcotest.test_case "rollback breakdown matches exactly" `Quick
+            test_e2e_rollback_breakdown_matches;
+        ] );
+      ("fuzz", List.map QCheck_alcotest.to_alcotest [ spans_well_formed_prop ]);
+    ]
