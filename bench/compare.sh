@@ -1,0 +1,67 @@
+#!/bin/sh
+# Bench regression gate: compare the two newest BENCH_N.json files (or the
+# two given as arguments) entry by entry and fail when any experiment's
+# wall time regressed by more than BENCH_TOLERANCE (default 30%).
+#
+#   bench/compare.sh                       # newest vs previous in repo root
+#   bench/compare.sh BENCH_5.json BENCH_6.json
+#   BENCH_TOLERANCE=0.5 bench/compare.sh   # allow 50%
+#
+# Entries present only in the newer file are reported and skipped (new
+# experiments have no baseline); entries faster than MIN_WALL seconds are
+# skipped as noise. Exits 0 when there is nothing to compare.
+set -eu
+
+TOL="${BENCH_TOLERANCE:-0.30}"
+MIN_WALL="${BENCH_MIN_WALL:-0.05}"
+
+if [ "$#" -eq 2 ]; then
+  old="$1"
+  new="$2"
+else
+  dir="$(dirname "$0")/.."
+  set -- $(ls "$dir"/BENCH_*.json 2>/dev/null | sort -t_ -k2 -n)
+  if [ "$#" -lt 2 ]; then
+    echo "bench/compare.sh: fewer than two BENCH_N.json files; nothing to compare"
+    exit 0
+  fi
+  while [ "$#" -gt 2 ]; do shift; done
+  old="$1"
+  new="$2"
+fi
+
+command -v jq >/dev/null 2>&1 || {
+  echo "bench/compare.sh: jq not available; skipping bench gate"
+  exit 0
+}
+
+echo "bench gate: $new vs baseline $old (tolerance ${TOL}, floor ${MIN_WALL}s)"
+
+fail=0
+for name in $(jq -r '.entries[].name' "$new"); do
+  new_wall=$(jq -r --arg n "$name" '.entries[] | select(.name == $n) | .wall_s' "$new")
+  old_wall=$(jq -r --arg n "$name" '.entries[] | select(.name == $n) | .wall_s' "$old")
+  if [ -z "$old_wall" ]; then
+    echo "  NEW   $name: ${new_wall}s (no baseline, skipped)"
+    continue
+  fi
+  verdict=$(jq -n --argjson o "$old_wall" --argjson w "$new_wall" \
+    --argjson t "$TOL" --argjson m "$MIN_WALL" \
+    'if ($o < $m and $w < $m) then "skip"
+     elif $w > $o * (1 + $t) then "regressed"
+     else "ok" end' | tr -d '"')
+  case "$verdict" in
+    regressed)
+      echo "  FAIL  $name: ${old_wall}s -> ${new_wall}s (> ${TOL} regression)"
+      fail=1
+      ;;
+    skip) echo "  skip  $name: ${old_wall}s -> ${new_wall}s (below ${MIN_WALL}s floor)" ;;
+    *) echo "  ok    $name: ${old_wall}s -> ${new_wall}s" ;;
+  esac
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "bench gate: wall-time regression detected"
+  exit 1
+fi
+echo "bench gate: ok"

@@ -399,7 +399,258 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const run $ n $ jobs $ out_dir $ plant $ no_shrink $ replay $ seed_arg)
 
+(* `ninja_sim serve`: run the continuous control plane — an open-loop
+   request stream served by the long-running migration scheduler — under
+   the protocol invariant checker, and report SLO percentiles. *)
+let serve_cmd =
+  let doc =
+    "Run the continuous control plane: a long-lived migration service consuming an \
+     open-loop request stream (rebalance, placement changes, evacuations, failovers), \
+     checked against the protocol invariants. Exits 2 on an invariant violation or a \
+     stranded request, 3 on an SLO breach."
+  in
+  let duration =
+    let doc = "Simulated service duration in seconds." in
+    Arg.(value & opt float 3600.0 & info [ "duration" ] ~docv:"SEC" ~doc)
+  in
+  let rate =
+    let doc = "Mean Poisson arrival rate, requests per simulated second." in
+    Arg.(value & opt float 0.2 & info [ "rate" ] ~docv:"R" ~doc)
+  in
+  let burst_period =
+    let doc = "Overlay a burst source: one burst every $(docv) seconds (0 disables)." in
+    Arg.(value & opt float 0.0 & info [ "burst-period" ] ~docv:"SEC" ~doc)
+  in
+  let burst_size =
+    let doc = "Requests per burst." in
+    Arg.(value & opt int 4 & info [ "burst-size" ] ~docv:"N" ~doc)
+  in
+  let burst_spread =
+    let doc = "Burst arrival jitter in seconds." in
+    Arg.(value & opt float 5.0 & info [ "burst-spread" ] ~docv:"SEC" ~doc)
+  in
+  let tenants =
+    let doc = "Number of tenants (weights cycle 3:2:1)." in
+    Arg.(value & opt int 3 & info [ "tenants" ] ~docv:"N" ~doc)
+  in
+  let vms_per_tenant =
+    let doc = "VMs booted per tenant." in
+    Arg.(value & opt int 2 & info [ "vms-per-tenant" ] ~docv:"N" ~doc)
+  in
+  let mem_gb =
+    let doc = "Memory per VM in GB." in
+    Arg.(value & opt float 8.0 & info [ "mem-gb" ] ~docv:"GB" ~doc)
+  in
+  let strategy =
+    let doc = "Planner strategy for each batch: $(b,sequential) or $(b,grouped)." in
+    Arg.(value & opt strategy_conv Ninja_planner.Solver.Grouped
+         & info [ "strategy" ] ~docv:"STRATEGY" ~doc)
+  in
+  let max_inflight =
+    let doc = "Concurrent non-overlapping batch plans." in
+    Arg.(value & opt int 2 & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
+  let queue_cap =
+    let doc = "Admission bound per tenant queue." in
+    Arg.(value & opt int 8 & info [ "queue-cap" ] ~docv:"N" ~doc)
+  in
+  let slo =
+    let doc = "p99 request-latency SLO in seconds; a breach exits 3." in
+    Arg.(value & opt (some float) None & info [ "slo" ] ~docv:"SEC" ~doc)
+  in
+  let seeds =
+    let doc = "Run one service simulation per seed (repeatable; default: --seed or 1)." in
+    Arg.(value & opt_all int64 [] & info [ "seeds" ] ~docv:"SEED" ~doc)
+  in
+  let jobs =
+    let doc =
+      "Run the seeds domain-parallel on $(docv) domains; output is byte-identical to -j 1."
+    in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let show_log =
+    let doc = "Print the per-request service log." in
+    Arg.(value & flag & info [ "log" ] ~doc)
+  in
+  let trace_file =
+    let doc = "Write the simulation trace timelines to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_file =
+    let doc = "Write the telemetry metrics of each run to $(docv) as CSV." in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  let spans_file =
+    let doc =
+      "Write request/migration spans to $(docv) as Chrome trace-event JSON (one \
+       controlplane thread per request)."
+    in
+    Arg.(value & opt (some string) None & info [ "spans" ] ~docv:"FILE" ~doc)
+  in
+  let run duration rate burst_period burst_size burst_spread tenants_n vms_per_tenant
+      mem_gb strategy max_inflight queue_cap slo seed seeds jobs show_log faults
+      trace_file metrics_file spans_file =
+    if duration <= 0.0 || rate < 0.0 || tenants_n < 1 || vms_per_tenant < 0
+       || max_inflight < 1 || queue_cap < 1 || jobs < 1
+    then begin
+      prerr_endline
+        "serve: --duration must be positive, --rate non-negative, --tenants, \
+         --max-inflight, --queue-cap and -j at least 1";
+      exit 1
+    end;
+    let open Ninja_engine in
+    let open Ninja_controlplane in
+    let process =
+      let base = Ninja_workloads.Arrivals.Poisson { rate } in
+      if burst_period > 0.0 then
+        Ninja_workloads.Arrivals.Overlay
+          [ base;
+            Ninja_workloads.Arrivals.Bursts
+              { period = burst_period; size = burst_size; spread = burst_spread } ]
+      else base
+    in
+    (match Ninja_workloads.Arrivals.validate process with
+    | Ok () -> ()
+    | Error msg ->
+      prerr_endline ("serve: " ^ msg);
+      exit 1);
+    let faults = List.map Ninja_faults.Injector.spec_to_string faults in
+    let seeds = if seeds = [] then [ Option.value seed ~default:1L ] else seeds in
+    let locked_sink buf =
+      let m = Mutex.create () in
+      fun chunk ->
+        Mutex.lock m;
+        Buffer.add_string buf chunk;
+        if chunk = "" || chunk.[String.length chunk - 1] <> '\n' then
+          Buffer.add_char buf '\n';
+        Mutex.unlock m
+    in
+    let with_out path k =
+      match path with
+      | None -> k None
+      | Some path ->
+        let oc = open_out path in
+        Fun.protect ~finally:(fun () -> close_out oc) (fun () -> k (Some oc))
+    in
+    let with_pool k =
+      if jobs > 1 then Pool.with_pool ~size:jobs (fun p -> k (Some p)) else k None
+    in
+    with_out trace_file @@ fun trace_oc ->
+    with_out metrics_file @@ fun metrics_oc ->
+    with_pool @@ fun pool ->
+    let ctx = Run_ctx.make ~faults ?pool ~label:"serve" () in
+    let all_fragments = ref [] in
+    let serve_one ctx seed =
+      let tbuf = Buffer.create 256 and mbuf = Buffer.create 256 in
+      let smutex = Mutex.create () in
+      let sfrags = ref [] in
+      let ctx =
+        Run_ctx.with_sinks
+          ?trace:(Option.map (fun _ -> locked_sink tbuf) trace_oc)
+          ?metrics:(Option.map (fun _ -> locked_sink mbuf) metrics_oc)
+          ?spans:
+            (Option.map
+               (fun _ chunk ->
+                 Mutex.protect smutex (fun () -> sfrags := chunk :: !sfrags))
+               spans_file)
+          (Run_ctx.with_seed seed ctx)
+      in
+      let env = Exp_common.fresh ctx in
+      let tenant_names =
+        List.init tenants_n (fun i ->
+            (Printf.sprintf "t%d" i, [| 3.0; 2.0; 1.0 |].(i mod 3)))
+      in
+      let specs =
+        Service.boot_tenants env.Exp_common.cluster ~tenants:tenant_names
+          ~vms_per_tenant ~mem_bytes:(Ninja_hardware.Units.gb mem_gb)
+      in
+      let config = { Service.default_config with strategy; max_inflight; queue_cap } in
+      let svc = Service.create env.Exp_common.cluster ~config ~tenants:specs () in
+      let checker =
+        Ninja_check.Checker.install env.Exp_common.cluster ~vms:(Service.vms svc)
+      in
+      Service.open_loop svc ~process ~horizon:duration;
+      Exp_common.run_to_completion env;
+      Ninja_check.Checker.check_finish checker;
+      Ninja_check.Checker.detach checker;
+      let violations = Ninja_check.Checker.violations checker in
+      let b = Buffer.create 1024 in
+      let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+      pf "== serve: seed %Ld, %.0fs at rate %.3g/s, strategy %s ==\n" seed duration rate
+        (Ninja_planner.Solver.name strategy);
+      if show_log then List.iter (fun line -> pf "%s\n" line) (Service.log svc);
+      let c name = int_of_float (Service.count svc name) in
+      pf
+        "requests: %d submitted, %d completed, %d rejected, %d dropped, %d failed \
+         (%d deferrals, %d requeues, %d rollbacks, %d stranded VMs)\n"
+        (Service.submitted svc) (c "ctl.requests.completed") (c "ctl.requests.rejected")
+        (c "ctl.requests.dropped") (c "ctl.requests.failed") (c "ctl.requests.deferred")
+        (c "ctl.requests.requeued") (c "ctl.batches.rolled_back") (c "ctl.vms.stranded");
+      (match Service.latency_percentiles svc with
+      | None -> pf "request latency: no completed requests\n"
+      | Some (p50, p95, p99) ->
+        pf "request latency: p50 %.1fs, p95 %.1fs, p99 %.1fs\n" p50 p95 p99);
+      (match Ninja_telemetry.Metrics.samples (Service.metrics svc) "ctl.vm.downtime.seconds" with
+      | [] -> pf "vm downtime: none\n"
+      | samples ->
+        pf "vm downtime: %d fenced intervals, max %.2fs, total %.2fs\n"
+          (List.length samples)
+          (List.fold_left Float.max 0.0 samples)
+          (List.fold_left ( +. ) 0.0 samples));
+      pf "%s"
+        (Format.asprintf "%a" Ninja_metrics.Table.pp
+           (Ninja_telemetry.Metrics.to_table (Service.metrics svc)));
+      let status = ref 0 in
+      (match Service.accounting svc with
+      | Ok () -> ()
+      | Error msg ->
+        pf "ACCOUNTING VIOLATION: %s\n" msg;
+        status := 2);
+      if violations <> [] then begin
+        List.iter
+          (fun v ->
+            pf "INVARIANT VIOLATION: %s\n"
+              (Format.asprintf "%a" Ninja_check.Checker.pp_violation v))
+          violations;
+        status := 2
+      end;
+      (match (slo, Service.latency_percentiles svc) with
+      | Some budget, Some (_, _, p99) when p99 > budget && !status = 0 ->
+        pf "SLO BREACH: p99 %.1fs > %.1fs\n" p99 budget;
+        status := 3
+      | _ -> ());
+      (!status, Buffer.contents b, Buffer.contents tbuf, Buffer.contents mbuf,
+       List.rev !sfrags)
+    in
+    let results = Exp_common.sweep ctx ~f:serve_one seeds in
+    let worst =
+      List.fold_left
+        (fun acc (status, report, tchunk, mchunk, sfrags) ->
+          print_string report;
+          Option.iter (fun oc -> output_string oc tchunk) trace_oc;
+          Option.iter (fun oc -> output_string oc mchunk) metrics_oc;
+          all_fragments := List.rev_append sfrags !all_fragments;
+          max acc status)
+        0 results
+    in
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Ninja_telemetry.Export.document (List.rev !all_fragments));
+        close_out oc;
+        Printf.printf "wrote %s\n%!" path)
+      spans_file;
+    if worst <> 0 then exit worst
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ duration $ rate $ burst_period $ burst_size $ burst_spread $ tenants
+      $ vms_per_tenant $ mem_gb $ strategy $ max_inflight $ queue_cap $ slo $ seed_arg
+      $ seeds $ jobs $ show_log $ fault_args $ trace_file $ metrics_file $ spans_file)
+
 let () =
   let doc = "Ninja migration reproduction: run the paper's experiments on the simulator." in
   let info = Cmd.info "ninja_sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; script_cmd; plan_cmd; check_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; run_cmd; script_cmd; plan_cmd; check_cmd; serve_cmd ]))

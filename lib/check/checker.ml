@@ -10,10 +10,12 @@ type t = {
   vms : (string, Vm.t) Hashtbl.t;
   mutable rev_violations : violation list;
   mutable last_at : Time.t;
-  fenced : (string, unit) Hashtbl.t;
+  fenced : (string, string) Hashtbl.t;  (* vm -> id of the fence holding it *)
+  active_fences : (string, string list) Hashtbl.t;  (* fence id -> vms *)
   attached : (string, string list ref) Hashtbl.t;  (* vm -> attached tags *)
   gave_up : (string, unit) Hashtbl.t;
-  mutable origins : (string * string) list;  (* vm -> host at migrate start *)
+  origins : (string, (string * string) list) Hashtbl.t;
+      (* batch -> (vm, host at migrate start); key "" for unbatched flows *)
   mutable events : int;
   mutable sub : Probe.subscription option;
 }
@@ -76,15 +78,33 @@ let on_event t (e : Probe.event) =
   let info key = Option.value (Probe.info_of e key) ~default:"" in
   match (e.Probe.topic, e.Probe.action) with
   | "fence", "enter" ->
-    if Hashtbl.length t.fenced > 0 then
+    (* Concurrent fences are fine as long as ids are fresh and their VM
+       sets are disjoint: one batch may never fence a VM another batch
+       already holds quiesced. *)
+    let id = info "id" in
+    let vms = split_csv (info "vms") in
+    if Hashtbl.mem t.active_fences id || List.exists (Hashtbl.mem t.fenced) vms then
       record_at t ~at:e.Probe.at ~invariant:"fence-pairing"
-        ~detail:"fence entered while a fence was already held";
-    List.iter (fun vm -> Hashtbl.replace t.fenced vm ()) (split_csv (info "vms"))
-  | "fence", "release" ->
-    if Hashtbl.length t.fenced = 0 then
+        ~detail:
+          (Printf.sprintf "fence %S entered while one of its VMs was already fenced"
+             id);
+    let prev = Option.value (Hashtbl.find_opt t.active_fences id) ~default:[] in
+    Hashtbl.replace t.active_fences id (prev @ vms);
+    List.iter (fun vm -> Hashtbl.replace t.fenced vm id) vms
+  | "fence", "release" -> (
+    let id = info "id" in
+    match Hashtbl.find_opt t.active_fences id with
+    | None ->
       record_at t ~at:e.Probe.at ~invariant:"fence-pairing"
-        ~detail:"fence released without a matching enter";
-    Hashtbl.reset t.fenced
+        ~detail:"fence released without a matching enter"
+    | Some vms ->
+      List.iter
+        (fun vm ->
+          match Hashtbl.find_opt t.fenced vm with
+          | Some owner when owner = id -> Hashtbl.remove t.fenced vm
+          | _ -> ())
+        vms;
+      Hashtbl.remove t.active_fences id)
   | "vm", "migrated" when watched t e.Probe.subject ->
     if not (Hashtbl.mem t.fenced e.Probe.subject) then
       record_at t ~at:e.Probe.at ~invariant:"fence-before-migrate"
@@ -119,9 +139,12 @@ let on_event t (e : Probe.event) =
       record_at t ~at:e.Probe.at ~invariant:"permit-leak"
         ~detail:(Printf.sprintf "executor leaked %s per-host permit(s)" (info "permits-leaked"))
   | "migrate", "start" ->
-    (* A fresh transaction: origins reset, prior giveups no longer apply. *)
-    Hashtbl.reset t.gave_up;
-    t.origins <- List.filter (fun (vm, _) -> watched t vm) e.Probe.info
+    (* A fresh transaction for this batch: record its origins; prior
+       giveups for the VMs it moves no longer apply. *)
+    let batch = info "batch" in
+    let origins = List.filter (fun (vm, _) -> watched t vm) e.Probe.info in
+    List.iter (fun (vm, _) -> Hashtbl.remove t.gave_up vm) origins;
+    Hashtbl.replace t.origins batch origins
   | "migrate", "giveup" -> Hashtbl.replace t.gave_up e.Probe.subject ()
   | "migrate", "rollback" ->
     List.iter
@@ -134,7 +157,7 @@ let on_event t (e : Probe.event) =
               ~detail:
                 (Printf.sprintf "%s rolled back to %s but its origin is %s" name here
                    origin))
-      t.origins
+      (Option.value (Hashtbl.find_opt t.origins (info "batch")) ~default:[])
   | _ -> ()
 
 let install cluster ~vms =
@@ -145,9 +168,10 @@ let install cluster ~vms =
       rev_violations = [];
       last_at = Sim.now (Cluster.sim cluster);
       fenced = Hashtbl.create 8;
+      active_fences = Hashtbl.create 8;
       attached = Hashtbl.create 8;
       gave_up = Hashtbl.create 8;
-      origins = [];
+      origins = Hashtbl.create 8;
       events = 0;
       sub = None;
     }
@@ -173,7 +197,7 @@ let with_checker cluster ~vms f =
   Fun.protect ~finally:(fun () -> detach t) (fun () -> f t)
 
 let check_finish t =
-  if Hashtbl.length t.fenced > 0 then
+  if Hashtbl.length t.active_fences > 0 then
     record t ~invariant:"fence-pairing"
       ~detail:"a SymVirt fence is still held at the end of the run";
   Hashtbl.iter

@@ -1,0 +1,91 @@
+(* Two-list deques so a deferred head can go back where it came from. *)
+type 'a dq = { mutable front : 'a list; mutable back : 'a list }
+
+let dq_create () = { front = []; back = [] }
+
+let dq_len d = List.length d.front + List.length d.back
+
+let dq_is_empty d = d.front = [] && d.back = []
+
+let dq_push d x = d.back <- x :: d.back
+
+let dq_push_front d x = d.front <- x :: d.front
+
+let dq_norm d =
+  if d.front = [] then begin
+    d.front <- List.rev d.back;
+    d.back <- []
+  end
+
+let dq_peek d =
+  dq_norm d;
+  match d.front with [] -> None | x :: _ -> Some x
+
+let dq_pop d =
+  dq_norm d;
+  match d.front with
+  | [] -> raise Not_found
+  | x :: rest ->
+    d.front <- rest;
+    x
+
+type 'a tenant = { weight : float; mutable vtime : float; q : 'a dq }
+
+type 'a t = {
+  by_name : (string, 'a tenant) Hashtbl.t;
+  mutable rev_order : string list;  (* registration order, reversed *)
+}
+
+let create () = { by_name = Hashtbl.create 8; rev_order = [] }
+
+let register t ~name ~weight =
+  if weight <= 0.0 || not (Float.is_finite weight) then
+    invalid_arg "Fair_queue.register: weight must be positive and finite";
+  if Hashtbl.mem t.by_name name then
+    invalid_arg (Printf.sprintf "Fair_queue.register: duplicate tenant %S" name);
+  Hashtbl.replace t.by_name name { weight; vtime = 0.0; q = dq_create () };
+  t.rev_order <- name :: t.rev_order
+
+let tenants t = List.rev t.rev_order
+
+let find t name = Hashtbl.find t.by_name name
+
+(* Virtual "now": the least clock among busy tenants, so a tenant waking
+   from idle starts level with the pack instead of replaying banked
+   credit. *)
+let vnow t =
+  List.fold_left
+    (fun acc name ->
+      let ten = find t name in
+      if dq_is_empty ten.q then acc else Float.min acc ten.vtime)
+    Float.infinity (tenants t)
+
+let push t ~tenant x =
+  let ten = find t tenant in
+  if dq_is_empty ten.q then begin
+    let now = vnow t in
+    if Float.is_finite now then ten.vtime <- Float.max ten.vtime now
+  end;
+  dq_push ten.q x
+
+let push_front t ~tenant x = dq_push_front (find t tenant).q x
+
+let pop t ~tenant = dq_pop (find t tenant).q
+
+let charge t ~tenant cost =
+  let ten = find t tenant in
+  ten.vtime <- ten.vtime +. (cost /. ten.weight)
+
+let heads t =
+  List.filter_map
+    (fun name ->
+      let ten = find t name in
+      Option.map (fun x -> (name, ten.vtime, x)) (dq_peek ten.q))
+    (tenants t)
+
+let depth t ~tenant = dq_len (find t tenant).q
+
+let length t =
+  List.fold_left (fun acc name -> acc + dq_len (find t name).q) 0 (tenants t)
+
+let is_empty t = length t = 0

@@ -1,0 +1,50 @@
+(** Per-tenant weighted-fair queues.
+
+    Each tenant owns a FIFO and a virtual-time clock; serving a tenant
+    advances its clock by [cost / weight], so over time tenants receive
+    service in proportion to their weights (classic WFQ). A tenant whose
+    queue was empty rejoins at the current virtual time of the busy
+    tenants — idling never banks credit.
+
+    The queue is deliberately policy-free about {e which} head runs next:
+    {!heads} exposes every tenant's front element with its virtual time,
+    in registration order, and the service loop applies its own ordering
+    (priority-major, then virtual time) so the dispatch decision stays in
+    one place. All iteration orders are deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val register : 'a t -> name:string -> weight:float -> unit
+(** Weight must be positive. Re-registering a name is an error. *)
+
+val tenants : 'a t -> string list
+(** In registration order. *)
+
+val push : 'a t -> tenant:string -> 'a -> unit
+(** Append to the tenant's FIFO. Raises [Not_found] for an unknown
+    tenant. *)
+
+val push_front : 'a t -> tenant:string -> 'a -> unit
+(** Return a deferred element to the head of its FIFO, preserving
+    per-tenant submission order. *)
+
+val pop : 'a t -> tenant:string -> 'a
+(** Remove and return the tenant's head. Raises [Not_found] when the
+    tenant is unknown or its queue is empty. *)
+
+val charge : 'a t -> tenant:string -> float -> unit
+(** Advance the tenant's virtual time by [cost / weight] — call once per
+    dispatched batch with the batch's cost (e.g. its step count). *)
+
+val heads : 'a t -> (string * float * 'a) list
+(** [(tenant, vtime, head)] for every non-empty tenant, in registration
+    order. *)
+
+val depth : 'a t -> tenant:string -> int
+
+val length : 'a t -> int
+(** Total queued elements across tenants. *)
+
+val is_empty : 'a t -> bool

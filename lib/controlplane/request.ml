@@ -1,0 +1,43 @@
+open Ninja_engine
+
+type kind =
+  | Evacuate of { node : string }
+  | Rebalance
+  | Fallback
+  | Return
+  | Failover of { rack : int }
+
+type priority = Low | Normal | High
+
+type t = {
+  id : int;
+  tenant : string;
+  kind : kind;
+  priority : priority;
+  deadline : Time.span option;
+  submitted : Time.t;
+  mutable attempts : int;
+  mutable defers : int;
+}
+
+let priority_rank = function High -> 2 | Normal -> 1 | Low -> 0
+
+let priority_name = function High -> "high" | Normal -> "normal" | Low -> "low"
+
+let kind_name = function
+  | Evacuate _ -> "evacuate"
+  | Rebalance -> "rebalance"
+  | Fallback -> "fallback"
+  | Return -> "return"
+  | Failover _ -> "failover"
+
+let describe t =
+  match t.kind with
+  | Evacuate { node } -> "evacuate " ^ node
+  | Failover { rack } -> Printf.sprintf "failover rack%d" rack
+  | k -> kind_name k
+
+let expired t ~now =
+  match t.deadline with
+  | None -> false
+  | Some d -> Time.( > ) now (Time.add t.submitted d)

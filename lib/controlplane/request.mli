@@ -1,0 +1,46 @@
+(** The control plane's typed request surface.
+
+    A request asks the service to change where some set of VMs runs: a
+    per-tenant placement change (fall back to Ethernet, return to IB,
+    spread out), or an operator-scoped action over whole nodes and racks
+    (drain a node for maintenance, evacuate a rack). Requests carry the
+    submitting tenant (fair-queued per tenant), a priority (served
+    strictly first within the fair order) and an optional relative
+    deadline after which the request is dropped rather than served. *)
+
+open Ninja_engine
+
+type kind =
+  | Evacuate of { node : string }
+      (** drain every managed VM off the named node (maintenance) *)
+  | Rebalance  (** spread the tenant's co-located VMs over distinct nodes *)
+  | Fallback  (** move the tenant's VMs from the IB cluster to Ethernet *)
+  | Return  (** move the tenant's VMs back onto IB-equipped nodes *)
+  | Failover of { rack : int }
+      (** mass evacuation: move every managed VM off the given rack *)
+
+type priority = Low | Normal | High
+
+type t = {
+  id : int;  (** dense, service-assigned, in submission order *)
+  tenant : string;
+  kind : kind;
+  priority : priority;
+  deadline : Time.span option;  (** relative to [submitted] *)
+  submitted : Time.t;
+  mutable attempts : int;  (** completed dispatch attempts (rollbacks) *)
+  mutable defers : int;  (** times deferred for capacity/lock conflicts *)
+}
+
+val priority_rank : priority -> int
+(** [High] > [Normal] > [Low]. *)
+
+val priority_name : priority -> string
+
+val kind_name : kind -> string
+
+val describe : t -> string
+(** e.g. ["evacuate ib03"], ["fallback"], ["failover rack1"]. *)
+
+val expired : t -> now:Time.t -> bool
+(** Whether the deadline (if any) has passed. *)

@@ -1,0 +1,145 @@
+(** The continuous control plane: a long-running, sim-time migration
+    service.
+
+    Everything else in the repo is one-shot — plan a batch, fence, migrate,
+    exit. This service runs for the whole simulation: an open-loop arrival
+    stream ({!Ninja_workloads.Arrivals}) submits {!Request}s; an admission
+    controller bounds each tenant's queue; a dispatcher fiber serves the
+    per-tenant weighted-fair queues ({!Fair_queue}) under a bounded
+    in-flight batch budget; each admitted batch claims its VM/host
+    footprint ({!Locks}) so concurrent plans never overlap, then executes
+    through the existing pipeline — placement
+    ({!Ninja_scheduler.Placement.pack_least_loaded}), plan construction
+    ({!Ninja_planner.Plan.of_assignment}), strategy solving
+    ({!Ninja_planner.Solver}) and the fault-aware fiber executor
+    ({!Ninja_planner.Executor}).
+
+    Each batch runs inside its own keyed SymVirt-style fence (probe topic
+    ["fence"] with an [id]): the batch's VMs are paused, bypass devices
+    detached, migrated, re-equipped for wherever they landed (an HCA on
+    IB-equipped hosts) and resumed. A failed batch rolls every VM back to
+    its origin — VMs stranded by a dead node are excused with a
+    ["migrate"]/["giveup"] probe, exactly like {!Ninja_core.Ninja} — and
+    the request is re-queued until its attempt budget runs out, so faults
+    delay requests rather than lose them.
+
+    Telemetry: every decision lands in the service's {!Ninja_telemetry.Metrics}
+    registry ([ctl.*] counters, queue-depth gauge/histogram, request
+    latency / queue-wait / batch-makespan / VM-downtime histograms) and is
+    mirrored on the probe bus (topic ["ctl"], action ["stat"]) so an
+    attached {!Ninja_telemetry.Recorder} exports the same numbers; each
+    request gets a span track ([controlplane]/[req-NNN]) with its queued
+    interval and execution window.
+
+    Determinism: one service per simulation, all decisions taken in
+    deterministic DES order from seeded PRNGs — equal seeds give equal
+    request logs, outcomes and metrics. *)
+
+open Ninja_engine
+open Ninja_hardware
+open Ninja_vmm
+open Ninja_telemetry
+
+type tenant_spec = { name : string; weight : float; vms : Vm.t list }
+(** The VMs a tenant owns; weights shape the fair queues. A VM may appear
+    in at most one tenant. *)
+
+type config = {
+  strategy : Ninja_planner.Solver.strategy;
+  max_inflight : int;  (** concurrent batch plans; >= 1 *)
+  queue_cap : int;  (** admission bound per tenant queue *)
+  max_attempts : int;  (** dispatch attempts per request before Failed *)
+  max_defers : int;  (** capacity/lock deferrals before Dropped *)
+  retry : Retry.policy;  (** per-step and rollback retry policy *)
+  max_per_host : int;  (** executor migration slots per node *)
+}
+
+val default_config : config
+(** Grouped strategy, 2 batches in flight, queue cap 8, 3 attempts,
+    25 deferrals, the executor's defaults otherwise. *)
+
+type outcome =
+  | Completed
+  | Rejected of string  (** refused at admission (e.g. ["queue-full"]) *)
+  | Dropped of string
+      (** left the queue unserved: ["deadline-missed"],
+          ["no-feasible-placement"], ... *)
+  | Failed of string  (** every dispatch attempt rolled back *)
+
+val outcome_name : outcome -> string
+
+type t
+
+val create : Cluster.t -> config:config -> tenants:tenant_spec list -> unit -> t
+(** Registers the tenants (plus an implicit VM-less ["ops"] tenant for
+    operator requests, unless one is supplied) and spawns the dispatcher
+    fiber — create the service before running the simulation. *)
+
+val boot_tenants :
+  Cluster.t ->
+  tenants:(string * float) list ->
+  vms_per_tenant:int ->
+  mem_bytes:float ->
+  tenant_spec list
+(** Convenience harness: boots [vms_per_tenant] VMs per (name, weight)
+    tenant, round-robin over the cluster's alive nodes under their memory
+    capacity, attaching a VMM-bypass HCA on IB-equipped hosts. *)
+
+val cluster : t -> Cluster.t
+
+val vms : t -> Vm.t list
+(** Every managed VM, sorted by name — the checker's watch list. *)
+
+val metrics : t -> Metrics.t
+
+(** {1 Feeding requests} *)
+
+val make :
+  t ->
+  tenant:string ->
+  kind:Request.kind ->
+  ?priority:Request.priority ->
+  ?deadline:Time.span ->
+  unit ->
+  Request.t
+(** Allocate the next request id, stamped with the current sim time. *)
+
+val submit : t -> Request.t -> unit
+(** Admission: reject (["queue-full"], ["unknown-tenant"]) or enqueue. *)
+
+val random_request : t -> Request.t
+(** Draw from the built-in traffic mix (tenant placement changes plus
+    operator evacuations/failovers) using the service's PRNG stream. *)
+
+val inject : t -> after:Time.span -> (t -> Request.t) -> unit
+(** Submit one constructed request after a delay (a registered feeder, so
+    the dispatcher outlives it). *)
+
+val open_loop : t -> process:Ninja_workloads.Arrivals.process -> horizon:float -> unit
+(** Spawn the open-loop source: arrival instants drawn over [horizon]
+    seconds from now, one {!random_request} submitted at each. May be
+    called several times to overlay sources. *)
+
+(** {1 Results} *)
+
+val submitted : t -> int
+
+val outcomes : t -> (Request.t * outcome) list
+(** In completion order. *)
+
+val count : t -> string -> float
+(** A counter/gauge value from the service registry, 0 when absent. *)
+
+val log : t -> string list
+(** The request log, one deterministic line per transition. *)
+
+val quiesced : t -> bool
+(** No feeders, no queued requests, no batch in flight. *)
+
+val accounting : t -> (unit, string) result
+(** Every submitted request reached exactly one terminal outcome and
+    nothing is still queued or in flight — the no-stranded-requests
+    invariant. *)
+
+val latency_percentiles : t -> (float * float * float) option
+(** Nearest-rank (p50, p95, p99) of completed-request latency seconds. *)

@@ -1,0 +1,8 @@
+(** Control-plane experiment: the long-running migration service under an
+    open-loop Poisson request stream, swept over arrival rate × planner
+    strategy. Reports the request SLO table (throughput by outcome,
+    latency percentiles, aggregate fenced VM downtime) with the protocol
+    invariant checker attached; any violation shows up in the last
+    column, and a stranded request fails the experiment outright. *)
+
+val run : Ninja_engine.Run_ctx.t -> Ninja_metrics.Table.t list

@@ -63,6 +63,13 @@ let all =
       run = Exp_scalability.run;
     };
     {
+      name = "controlplane";
+      description =
+        "Continuous control plane: open-loop request stream through the migration \
+         service (rate x strategy SLO table)";
+      run = Exp_controlplane.run;
+    };
+    {
       name = "power";
       description = "Section VII future work: power-aware consolidation (energy vs run time)";
       run = Exp_power.run;

@@ -103,6 +103,21 @@ let topo_order t =
 
 let is_acyclic t = match topo_order t with _ -> true | exception Cyclic _ -> false
 
+let nodes_touched t =
+  let module Ints = Set.Make (Int) in
+  let ids =
+    List.fold_left
+      (fun acc s -> Ints.add s.src.Node.id (Ints.add s.dst.Node.id acc))
+      Ints.empty (steps t)
+  in
+  let by_id = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      Hashtbl.replace by_id s.src.Node.id s.src;
+      Hashtbl.replace by_id s.dst.Node.id s.dst)
+    (steps t);
+  List.map (Hashtbl.find by_id) (Ints.elements ids)
+
 let kind_name = function
   | Direct -> "direct"
   | Stage_out -> "stage-out"

@@ -75,6 +75,11 @@ val dep_count : t -> int
 
 val is_acyclic : t -> bool
 
+val nodes_touched : t -> Node.t list
+(** Every node appearing as a step source or destination (staging nodes
+    included), deduplicated and sorted by node id — the footprint a
+    control plane must lock so concurrent plans never overlap. *)
+
 val topo_order : t -> step list
 (** Dependency-respecting order, deterministic (ties broken by id).
     Raises {!Cyclic}. *)

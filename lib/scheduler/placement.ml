@@ -37,6 +37,30 @@ let consolidation_plan _cluster ~vms ~vms_per_host ~targets =
     | Some dst -> dst
     | None -> Vm.host vm
 
+let pack_least_loaded ~vms ~candidates ~load_bytes ~bytes_of () =
+  let planned = Hashtbl.create 8 in
+  let extra (n : Node.t) = Option.value (Hashtbl.find_opt planned n.Node.id) ~default:0.0 in
+  let projected n = load_bytes n +. extra n in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | vm :: rest -> (
+      let need = bytes_of vm in
+      let fits n = projected n +. need <= (n.Node.mem_bytes *. (1.0 +. 1e-9)) in
+      let best =
+        candidates vm |> List.filter fits
+        |> List.sort (fun a b ->
+               match Float.compare (projected a) (projected b) with
+               | 0 -> compare a.Node.id b.Node.id
+               | c -> c)
+      in
+      match best with
+      | [] -> Error (Printf.sprintf "no feasible destination for %s" (Vm.name vm))
+      | n :: _ ->
+        Hashtbl.replace planned n.Node.id (extra n +. need);
+        go ((vm, n) :: acc) rest)
+  in
+  go [] vms
+
 let spread_plan _cluster ~vms ~targets =
   if List.length vms > List.length targets then
     failwith "Placement.spread_plan: not enough target nodes";

@@ -21,3 +21,19 @@ val consolidation_plan :
 
 val spread_plan : Cluster.t -> vms:Vm.t list -> targets:Node.t list -> (Vm.t -> Node.t)
 (** One VM per target node, in order (the recovery / rebalance shape). *)
+
+val pack_least_loaded :
+  vms:Vm.t list ->
+  candidates:(Vm.t -> Node.t list) ->
+  load_bytes:(Node.t -> float) ->
+  bytes_of:(Vm.t -> float) ->
+  unit ->
+  ((Vm.t * Node.t) list, string) result
+(** Capacity-aware greedy assignment, the control-plane building block:
+    each VM (in list order) goes to the acceptable candidate with the
+    least projected memory load — [load_bytes] (residents plus in-flight
+    reservations, supplied by the caller) plus bytes already assigned to
+    that node by this call — among those where the VM still fits within
+    [Node.mem_bytes]. Ties break by node id, so the result is
+    deterministic. [Error] names the first VM with no feasible
+    destination. *)

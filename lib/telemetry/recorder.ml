@@ -8,7 +8,7 @@ type t = {
   mutable rev_roots : Span.t list;
   mutable rev_instants : Probe.event list;
   mutable rev_anomalies : string list;
-  mutable fence_entered : Time.t option;
+  fences : (string, Time.t) Hashtbl.t;  (* fence id -> entry time; key "" legacy *)
   mutable last_at : Time.t;
   mutable events : int;
   mutable open_count : int;
@@ -21,7 +21,7 @@ let create () =
     rev_roots = [];
     rev_instants = [];
     rev_anomalies = [];
-    fence_entered = None;
+    fences = Hashtbl.create 4;
     last_at = Time.zero;
     events = 0;
     open_count = 0;
@@ -123,15 +123,30 @@ let on_event t (e : Probe.event) =
     | "migrate", "rollback" -> Metrics.incr t.m "migrations.rolled_back"
     | "migrate", "giveup" -> Metrics.incr t.m "migrations.gave_up"
     | "fence", "enter" ->
-      t.fence_entered <- Some e.Probe.at;
+      (* Concurrent control-plane batches each run their own fence; events
+         carry an [id] (absent — "" — for the single legacy fence). *)
+      let id = Option.value (Probe.info_of e "id") ~default:"" in
+      Hashtbl.replace t.fences id e.Probe.at;
       Option.iter (Metrics.gauge t.m "fence.vms.max") (float_info e "count")
     | "fence", "release" ->
+      let id = Option.value (Probe.info_of e "id") ~default:"" in
       Option.iter
         (fun entered ->
           Metrics.observe t.m "fence.residency.seconds"
-            (seconds (Time.diff e.Probe.at entered)))
-        t.fence_entered;
-      t.fence_entered <- None
+            (seconds (Time.diff e.Probe.at entered));
+          Hashtbl.remove t.fences id)
+        (Hashtbl.find_opt t.fences id)
+    | "ctl", "stat" ->
+      (* The control plane mirrors its registry on the bus so a recorder
+         exports the same ctl.* numbers. *)
+      Option.iter
+        (fun v ->
+          match Probe.info_of e "kind" with
+          | Some "counter" -> Metrics.incr t.m ~by:v e.Probe.subject
+          | Some "gauge" -> Metrics.gauge t.m e.Probe.subject v
+          | Some "histogram" -> Metrics.observe t.m e.Probe.subject v
+          | _ -> ())
+        (float_info e "value")
     | "migration", "done" ->
       Option.iter (fun b -> Metrics.incr t.m ~by:b "precopy.bytes") (float_info e "bytes");
       Option.iter (fun r -> Metrics.incr t.m ~by:r "precopy.rounds") (float_info e "rounds");

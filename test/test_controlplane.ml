@@ -1,0 +1,416 @@
+(* Control-plane tests: arrival processes, fair queues, footprint locks,
+   the service loop (determinism, faults, requeue-not-strand), the
+   experiment's parallel/serial identity and the CLI exit codes. *)
+
+open Ninja_engine
+open Ninja_hardware
+open Ninja_controlplane
+
+(* {1 Arrivals} *)
+
+let times ~seed process ~horizon =
+  Ninja_workloads.Arrivals.times (Prng.create ~seed) process ~horizon
+
+let test_arrivals_deterministic () =
+  let p = Ninja_workloads.Arrivals.Poisson { rate = 0.5 } in
+  let a = times ~seed:42L p ~horizon:1000.0 in
+  let b = times ~seed:42L p ~horizon:1000.0 in
+  Alcotest.(check (list (float 0.0))) "same seed, same instants" a b;
+  let c = times ~seed:43L p ~horizon:1000.0 in
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let test_arrivals_shape () =
+  let check_sorted name ts =
+    Alcotest.(check bool) (name ^ " sorted") true (List.sort compare ts = ts);
+    List.iter
+      (fun t -> Alcotest.(check bool) (name ^ " in horizon") true (t >= 0.0 && t < 500.0))
+      ts
+  in
+  let poisson = times ~seed:7L (Poisson { rate = 0.2 }) ~horizon:500.0 in
+  check_sorted "poisson" poisson;
+  (* Mean count is rate*horizon = 100; a 4-sigma excursion is < 40. *)
+  let n = List.length poisson in
+  Alcotest.(check bool) "poisson count plausible" true (n > 60 && n < 140);
+  let bursts =
+    times ~seed:7L (Bursts { period = 100.0; size = 3; spread = 5.0 }) ~horizon:500.0
+  in
+  check_sorted "bursts" bursts;
+  Alcotest.(check int) "bursts count" 15 (List.length bursts);
+  let overlay =
+    times ~seed:7L
+      (Overlay [ Poisson { rate = 0.2 }; Bursts { period = 100.0; size = 3; spread = 5.0 } ])
+      ~horizon:500.0
+  in
+  check_sorted "overlay" overlay
+
+let test_arrivals_validation () =
+  let bad p =
+    Alcotest.(check bool) "rejected" true
+      (Result.is_error (Ninja_workloads.Arrivals.validate p))
+  in
+  bad (Poisson { rate = -1.0 });
+  bad (Bursts { period = 0.0; size = 3; spread = 1.0 });
+  bad (Bursts { period = 10.0; size = -1; spread = 1.0 });
+  bad (Overlay []);
+  Alcotest.(check bool) "good accepted" true
+    (Result.is_ok (Ninja_workloads.Arrivals.validate (Poisson { rate = 0.0 })))
+
+(* {1 Fair queue} *)
+
+let test_fair_queue_order () =
+  let q = Fair_queue.create () in
+  Fair_queue.register q ~name:"a" ~weight:2.0;
+  Fair_queue.register q ~name:"b" ~weight:1.0;
+  Fair_queue.push q ~tenant:"a" 1;
+  Fair_queue.push q ~tenant:"a" 2;
+  Fair_queue.push q ~tenant:"b" 3;
+  Alcotest.(check int) "total length" 3 (Fair_queue.length q);
+  (* FIFO within a tenant. *)
+  Alcotest.(check int) "a head" 1 (Fair_queue.pop q ~tenant:"a");
+  Fair_queue.push_front q ~tenant:"a" 1;
+  Alcotest.(check int) "push_front restores the head" 1 (Fair_queue.pop q ~tenant:"a");
+  (* Equal work costs a weight-2 tenant half the virtual time. *)
+  Fair_queue.charge q ~tenant:"a" 4.0;
+  Fair_queue.charge q ~tenant:"b" 4.0;
+  let vt name = List.assoc name (List.map (fun (n, v, _) -> (n, v)) (Fair_queue.heads q)) in
+  Alcotest.(check (float 1e-9)) "a vtime" 2.0 (vt "a");
+  Alcotest.(check (float 1e-9)) "b vtime" 4.0 (vt "b")
+
+let test_fair_queue_idle_rejoin () =
+  let q = Fair_queue.create () in
+  Fair_queue.register q ~name:"busy" ~weight:1.0;
+  Fair_queue.register q ~name:"idle" ~weight:1.0;
+  Fair_queue.push q ~tenant:"busy" 0;
+  Fair_queue.charge q ~tenant:"busy" 10.0;
+  (* The idle tenant rejoins at the pack's virtual now, not at 0 — it must
+     not replay banked credit. *)
+  Fair_queue.push q ~tenant:"idle" 1;
+  let heads = List.map (fun (n, v, _) -> (n, v)) (Fair_queue.heads q) in
+  Alcotest.(check (float 1e-9)) "rejoins level" 10.0 (List.assoc "idle" heads)
+
+(* {1 Locks} *)
+
+let test_locks () =
+  let l = Locks.create () in
+  let c1 =
+    Option.get
+      (Locks.try_claim l ~batch:1 ~vms:[ "vm0"; "vm1" ] ~hosts:[ 1; 2 ]
+         ~reserved:[ (2, 8e9) ])
+  in
+  Alcotest.(check bool) "vm0 taken" false (Locks.vm_free l "vm0");
+  Alcotest.(check bool) "host 2 taken" false (Locks.host_free l 2);
+  Alcotest.(check bool) "host 2 free for owner" true (Locks.host_free l ~batch:1 2);
+  Alcotest.(check (float 0.0)) "reservation" 8e9 (Locks.reserved_bytes l 2);
+  (* All-or-nothing: a claim touching any taken VM or host fails whole. *)
+  Alcotest.(check bool) "overlapping claim refused" true
+    (Locks.try_claim l ~batch:2 ~vms:[ "vm2" ] ~hosts:[ 2; 3 ] ~reserved:[] = None);
+  Alcotest.(check bool) "host 3 untouched by failed claim" true (Locks.host_free l 3);
+  Locks.extend l c1 ~host:4 ~bytes:1e9;
+  Alcotest.(check bool) "extended host taken" false (Locks.host_free l 4);
+  let c2 = Option.get (Locks.try_claim l ~batch:2 ~vms:[ "vm2" ] ~hosts:[ 3 ] ~reserved:[]) in
+  Alcotest.check_raises "extend onto another batch's host"
+    (Invalid_argument "Locks.extend: node 3 is claimed by another batch") (fun () ->
+      Locks.extend l c1 ~host:3 ~bytes:1.0);
+  Locks.release l c1;
+  Locks.release l c1;
+  (* idempotent *)
+  Alcotest.(check bool) "released" true
+    (Locks.vm_free l "vm0" && Locks.host_free l 2 && Locks.host_free l 4);
+  Alcotest.(check (float 0.0)) "reservation returned" 0.0 (Locks.reserved_bytes l 2);
+  Locks.release l c2;
+  Alcotest.(check (list int)) "nothing claimed" [] (Locks.claimed_hosts l)
+
+(* {1 Service helpers} *)
+
+type harness = {
+  sim : Sim.t;
+  cluster : Cluster.t;
+  svc : Service.t;
+  checker : Ninja_check.Checker.t;
+}
+
+let harness ?(spec = Spec.make ~ib_nodes:2 ~eth_nodes:2 ()) ?(seed = 11L) ?(faults = [])
+    ?(config = Service.default_config) ?(tenants = [ ("t0", 2.0); ("t1", 1.0) ])
+    ?(vms_per_tenant = 1) () =
+  let sim = Sim.create ~seed () in
+  let cluster = Cluster.create sim ~spec () in
+  List.iter
+    (fun text ->
+      match Ninja_faults.Injector.parse_spec text with
+      | Ok spec -> Ninja_faults.Injector.arm_spec (Cluster.injector cluster) spec
+      | Error msg -> failwith msg)
+    faults;
+  let specs =
+    Service.boot_tenants cluster ~tenants ~vms_per_tenant ~mem_bytes:(Units.gb 8.0)
+  in
+  let svc = Service.create cluster ~config ~tenants:specs () in
+  let checker = Ninja_check.Checker.install cluster ~vms:(Service.vms svc) in
+  { sim; cluster; svc; checker }
+
+let finish h =
+  Sim.run h.sim;
+  Ninja_check.Checker.check_finish h.checker;
+  Ninja_check.Checker.detach h.checker;
+  Alcotest.(check (list string))
+    "no invariant violations" []
+    (List.map
+       (fun v -> Format.asprintf "%a" Ninja_check.Checker.pp_violation v)
+       (Ninja_check.Checker.violations h.checker));
+  match Service.accounting h.svc with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "accounting: %s" msg
+
+let outcome_names h =
+  List.map (fun (_, o) -> Service.outcome_name o) (Service.outcomes h.svc)
+
+(* {1 Service} *)
+
+let test_service_smoke () =
+  let h = harness () in
+  Service.inject h.svc ~after:(Time.sec 1) (fun svc ->
+      Service.make svc ~tenant:"t0" ~kind:Request.Fallback ());
+  Service.inject h.svc ~after:(Time.sec 100) (fun svc ->
+      Service.make svc ~tenant:"t0" ~kind:Request.Return ());
+  Service.inject h.svc ~after:(Time.sec 200) (fun svc ->
+      Service.make svc ~tenant:"ops" ~kind:(Request.Evacuate { node = "ib01" }) ());
+  finish h;
+  Alcotest.(check (list string))
+    "all completed"
+    [ "completed"; "completed"; "completed" ]
+    (outcome_names h);
+  (* The fallback moved t0-vm0 off InfiniBand, the return brought it back,
+     the evacuation moved t1-vm0 off ib01. *)
+  Alcotest.(check bool) "t0-vm0 back on IB" true
+    (Node.has_ib (Ninja_vmm.Vm.host (List.nth (Service.vms h.svc) 0)));
+  Alcotest.(check bool) "ib01 evacuated" true
+    ((Ninja_vmm.Vm.host (List.nth (Service.vms h.svc) 1)).Node.name <> "ib01");
+  Alcotest.(check bool) "downtime recorded" true
+    (Ninja_telemetry.Metrics.samples (Service.metrics h.svc) "ctl.vm.downtime.seconds"
+    <> [])
+
+let test_service_admission () =
+  let config = { Service.default_config with queue_cap = 1; max_inflight = 1 } in
+  let h = harness ~config () in
+  (* Five requests in the same instant against a cap-1 queue: the head is
+     dispatched immediately, one sits in the queue, the rest bounce. *)
+  for _ = 1 to 5 do
+    Service.inject h.svc ~after:(Time.sec 1) (fun svc ->
+        Service.make svc ~tenant:"t0" ~kind:Request.Fallback ())
+  done;
+  Service.inject h.svc ~after:(Time.sec 1) (fun svc ->
+      Service.make svc ~tenant:"nosuch" ~kind:Request.Rebalance ());
+  finish h;
+  Alcotest.(check bool) "queue-full rejections" true
+    (Service.count h.svc "ctl.rejected.queue-full" >= 1.0);
+  Alcotest.(check (float 0.0)) "unknown tenant rejected" 1.0
+    (Service.count h.svc "ctl.rejected.unknown-tenant");
+  Alcotest.(check int) "every submission got an outcome" (Service.submitted h.svc)
+    (List.length (Service.outcomes h.svc))
+
+let run_once ~seed =
+  let h = harness ~seed () in
+  Service.open_loop h.svc
+    ~process:(Overlay [ Poisson { rate = 0.05 }; Bursts { period = 240.0; size = 3; spread = 10.0 } ])
+    ~horizon:900.0;
+  finish h;
+  ( Service.log h.svc,
+    Ninja_telemetry.Metrics.to_csv (Service.metrics h.svc),
+    outcome_names h )
+
+let test_service_deterministic () =
+  let log_a, csv_a, out_a = run_once ~seed:1337L in
+  let log_b, csv_b, out_b = run_once ~seed:1337L in
+  Alcotest.(check (list string)) "request logs identical" log_a log_b;
+  Alcotest.(check string) "metrics CSV identical" csv_a csv_b;
+  Alcotest.(check (list string)) "outcomes identical" out_a out_b;
+  let log_c, _, _ = run_once ~seed:7L in
+  Alcotest.(check bool) "different seed differs" true (log_a <> log_c)
+
+let test_requeue_on_node_death () =
+  (* Two concurrent fallback batches: t0 -> eth00, t1 -> eth01. eth01 dies
+     as the second migration starts; its reroute alternative (eth00) is
+     claimed by the first batch, so the batch rolls back and the request
+     re-queues — and completes once eth00 frees up. Faults delay requests,
+     they must not lose them. *)
+  let h = harness ~faults:[ "node-death@eth01" ] ~tenants:[ ("t0", 1.0); ("t1", 1.0) ] () in
+  Service.inject h.svc ~after:(Time.sec 1) (fun svc ->
+      Service.make svc ~tenant:"t0" ~kind:Request.Fallback ());
+  Service.inject h.svc ~after:(Time.sec 1) (fun svc ->
+      Service.make svc ~tenant:"t1" ~kind:Request.Fallback ());
+  finish h;
+  Alcotest.(check (list string))
+    "both requests completed despite the node death"
+    [ "completed"; "completed" ] (outcome_names h);
+  Alcotest.(check bool) "the failed batch rolled back" true
+    (Service.count h.svc "ctl.batches.rolled_back" >= 1.0);
+  Alcotest.(check bool) "the request was re-queued" true
+    (Service.count h.svc "ctl.requests.requeued" >= 1.0);
+  Alcotest.(check (float 0.0)) "no VM stranded" 0.0
+    (Service.count h.svc "ctl.vms.stranded");
+  List.iter
+    (fun vm ->
+      Alcotest.(check bool)
+        (Ninja_vmm.Vm.name vm ^ " ends on a live Ethernet node")
+        true
+        (let host = Ninja_vmm.Vm.host vm in
+         Cluster.node_alive h.cluster host && not (Node.has_ib host)))
+    (Service.vms h.svc)
+
+let test_failed_after_attempts () =
+  (* Every pre-copy toward t0-vm0 aborts, forever: each dispatch rolls
+     back, the request re-queues, and after max_attempts it is Failed —
+     with the VM safely at its origin and the books balanced. *)
+  let config = { Service.default_config with max_attempts = 2 } in
+  let h = harness ~faults:[ "precopy-abort@t0-vm0:count=inf" ] ~config () in
+  Service.inject h.svc ~after:(Time.sec 1) (fun svc ->
+      Service.make svc ~tenant:"t0" ~kind:Request.Fallback ());
+  finish h;
+  (match Service.outcomes h.svc with
+  | [ (_, Service.Failed _) ] -> ()
+  | other ->
+    Alcotest.failf "expected one Failed outcome, got [%s]"
+      (String.concat "; " (List.map (fun (_, o) -> Service.outcome_name o) other)));
+  Alcotest.(check (float 0.0)) "requeued once" 1.0
+    (Service.count h.svc "ctl.requests.requeued");
+  Alcotest.(check (float 0.0)) "two rollbacks" 2.0
+    (Service.count h.svc "ctl.batches.rolled_back");
+  Alcotest.(check bool) "vm still home on IB" true
+    (Node.has_ib (Ninja_vmm.Vm.host (List.hd (Service.vms h.svc))))
+
+let test_deadline_drop () =
+  (* With one batch slot taken by a slow fallback, a 1-second deadline has
+     expired by the time the second request reaches the head of the queue:
+     it must be dropped at dispatch, not served late. *)
+  let config = { Service.default_config with max_inflight = 1 } in
+  let h = harness ~config () in
+  Service.inject h.svc ~after:(Time.sec 1) (fun svc ->
+      Service.make svc ~tenant:"t0" ~kind:Request.Fallback ());
+  Service.inject h.svc ~after:(Time.sec 2) (fun svc ->
+      Service.make svc ~tenant:"t1" ~kind:Request.Fallback
+        ~deadline:(Time.sec 1) ());
+  finish h;
+  Alcotest.(check (list string))
+    "served then dropped for deadline"
+    [ "completed"; "dropped:deadline-missed" ]
+    (outcome_names h);
+  Alcotest.(check (float 0.0)) "expiry counted" 1.0
+    (Service.count h.svc "ctl.requests.expired")
+
+(* {1 Open-loop fuzz under faults} *)
+
+let fault_menu =
+  [ [];
+    [ "precopy-abort:p=0.3,count=inf" ];
+    [ "qmp-timeout:p=0.2,count=inf" ];
+    [ "node-death@eth00" ];
+    [ "node-death@eth01"; "precopy-stall:p=0.2,count=inf" ];
+    [ "agent-crash:n=2" ]
+  ]
+
+let test_fuzz_open_loop () =
+  let prng = Prng.create ~seed:99L in
+  for case = 1 to 30 do
+    let seed = Int64.of_int (Prng.int prng 100000) in
+    let faults = List.nth fault_menu (Prng.int prng (List.length fault_menu)) in
+    let rate = 0.02 +. Prng.float prng 0.2 in
+    let config =
+      { Service.default_config with max_inflight = 1 + Prng.int prng 3 }
+    in
+    let h =
+      harness
+        ~spec:(Spec.make ~ib_nodes:3 ~eth_nodes:3 ())
+        ~seed ~faults ~config
+        ~tenants:[ ("t0", 3.0); ("t1", 1.0) ]
+        ~vms_per_tenant:(1 + Prng.int prng 2) ()
+    in
+    Service.open_loop h.svc ~process:(Poisson { rate }) ~horizon:400.0;
+    Sim.run h.sim;
+    Ninja_check.Checker.check_finish h.checker;
+    Ninja_check.Checker.detach h.checker;
+    let violations = Ninja_check.Checker.violations h.checker in
+    if violations <> [] then
+      Alcotest.failf "case %d (seed %Ld, faults [%s]): %s" case seed
+        (String.concat "; " faults)
+        (Format.asprintf "%a" Ninja_check.Checker.pp_violation (List.hd violations));
+    match Service.accounting h.svc with
+    | Ok () -> ()
+    | Error msg ->
+      Alcotest.failf "case %d (seed %Ld, faults [%s]): accounting: %s" case seed
+        (String.concat "; " faults) msg
+  done
+
+(* {1 Experiment: parallel identical to serial} *)
+
+let experiment_csv ctx =
+  Ninja_experiments.Exp_controlplane.run ctx
+  |> List.map Ninja_metrics.Table.to_csv
+  |> String.concat "\n"
+
+let test_experiment_parallel_matches_serial () =
+  let serial = experiment_csv (Run_ctx.make ~seed:5L ()) in
+  let parallel =
+    Pool.with_pool ~size:4 (fun pool -> experiment_csv (Run_ctx.make ~seed:5L ~pool ()))
+  in
+  Alcotest.(check string) "-j 4 is byte-identical to serial" serial parallel
+
+(* {1 CLI exit codes} *)
+
+let ninja_sim args =
+  (* `dune runtest` runs in _build/default/test (the binary is a declared
+     dep one directory up); `dune exec` runs from the project root. *)
+  let binary =
+    List.find Sys.file_exists
+      [ "../bin/ninja_sim.exe"; "_build/default/bin/ninja_sim.exe"; "bin/ninja_sim.exe" ]
+  in
+  Sys.command (Filename.quote_command binary args ^ " > /dev/null")
+
+let test_cli_exit_codes () =
+  Alcotest.(check int) "clean serve exits 0" 0
+    (ninja_sim
+       [ "serve"; "--duration"; "300"; "--rate"; "0.1"; "--seed"; "1" ]);
+  Alcotest.(check int) "SLO breach exits 3" 3
+    (ninja_sim
+       [ "serve"; "--duration"; "300"; "--rate"; "0.1"; "--seed"; "1"; "--slo"; "0.0001" ]);
+  Alcotest.(check int) "planted protocol bug exits 1" 1
+    (ninja_sim
+       [ "check"; "-n"; "2"; "--no-shrink"; "--plant"; "skip-fence"; "--out";
+         Filename.concat (Filename.get_temp_dir_name ()) "ctl-repros" ]);
+  Alcotest.(check int) "bad flags exit 1" 1
+    (ninja_sim [ "serve"; "--duration"; "0" ])
+
+let () =
+  (* Exit-code tests spawn the CLI; silence its stdout to keep the test
+     output readable. *)
+  Alcotest.run "ninja_controlplane"
+    [
+      ( "arrivals",
+        [
+          Alcotest.test_case "deterministic" `Quick test_arrivals_deterministic;
+          Alcotest.test_case "shape and bounds" `Quick test_arrivals_shape;
+          Alcotest.test_case "validation" `Quick test_arrivals_validation;
+        ] );
+      ( "fair-queue",
+        [
+          Alcotest.test_case "order and weights" `Quick test_fair_queue_order;
+          Alcotest.test_case "idle tenant rejoins level" `Quick test_fair_queue_idle_rejoin;
+        ] );
+      ("locks", [ Alcotest.test_case "claims" `Quick test_locks ]);
+      ( "service",
+        [
+          Alcotest.test_case "smoke: placement requests complete" `Quick test_service_smoke;
+          Alcotest.test_case "admission control" `Quick test_service_admission;
+          Alcotest.test_case "same seed, same run" `Quick test_service_deterministic;
+          Alcotest.test_case "node death re-queues, not strands" `Quick
+            test_requeue_on_node_death;
+          Alcotest.test_case "attempt budget exhausts to Failed" `Quick
+            test_failed_after_attempts;
+          Alcotest.test_case "expired deadline dropped" `Quick test_deadline_drop;
+        ] );
+      ("fuzz", [ Alcotest.test_case "open loop under faults" `Slow test_fuzz_open_loop ]);
+      ( "experiment",
+        [
+          Alcotest.test_case "parallel matches serial" `Slow
+            test_experiment_parallel_matches_serial;
+        ] );
+      ("cli", [ Alcotest.test_case "exit codes" `Slow test_cli_exit_codes ]);
+    ]

@@ -21,7 +21,7 @@ let test_registry_complete () =
     [
       "table1"; "table2"; "fig6"; "fig7"; "fig8";
       "ablation-bypass"; "ablation-rdma"; "ablation-quiesce"; "ablation-postcopy";
-      "evacuation"; "scalability"; "power";
+      "evacuation"; "scalability"; "controlplane"; "power";
     ]
     Registry.names;
   Alcotest.(check bool) "find" true (Registry.find "fig6" <> None);
