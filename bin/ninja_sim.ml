@@ -25,6 +25,23 @@ let fault_conv =
   in
   Arg.conv (parse, Ninja_faults.Injector.pp_spec)
 
+let topology_conv =
+  let parse s =
+    Ninja_hardware.Topology.of_string s |> Result.map_error (fun e -> `Msg e)
+  in
+  Arg.conv (parse, Ninja_hardware.Topology.pp)
+
+let topology_arg =
+  let doc =
+    "Build clusters from a generated datacenter topology instead of the AGC testbed \
+     spec. $(docv) is TIER[:K=V{,K=V}] where TIER is leaf-spine or fat-tree and keys \
+     are pods, racks (per pod), hosts (per rack), ib-pods (leading pods that are \
+     InfiniBand islands), oversub (leaf oversubscription ratio), cores, mem-gb and \
+     seed (drives VM placement). Example: \
+     'leaf-spine:pods=4,racks=2,hosts=8,ib-pods=2,oversub=4'."
+  in
+  Arg.(value & opt (some topology_conv) None & info [ "topology" ] ~docv:"TOPO" ~doc)
+
 let fault_args =
   let doc =
     "Arm a fault before the run (repeatable). $(docv) is \
@@ -103,7 +120,7 @@ let run_cmd =
     in
     Arg.(value & opt (some string) None & info [ "spans" ] ~docv:"FILE" ~doc)
   in
-  let run name full csv_dir seed faults jobs trace_file metrics_file spans_file =
+  let run name full csv_dir seed faults topology jobs trace_file metrics_file spans_file =
     if jobs < 1 then begin
       prerr_endline "run: --jobs must be at least 1";
       exit 1
@@ -150,7 +167,8 @@ let run_cmd =
       with_out trace_file @@ fun trace_oc ->
       with_out metrics_file @@ fun metrics_oc ->
       with_pool @@ fun pool ->
-      let ctx = Run_ctx.make ?seed ~mode ~faults ?pool () in
+      let topology = Option.map Ninja_hardware.Topology.to_string topology in
+      let ctx = Run_ctx.make ?seed ~mode ~faults ?topology ?pool () in
       (* Span fragments accumulate across all experiments (in submission
          order) and are assembled into one JSON document at the end. *)
       let all_fragments = ref [] in
@@ -197,8 +215,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run $ name_arg $ full $ csv_dir $ seed_arg $ fault_args $ jobs $ trace_file
-      $ metrics_file $ spans_file)
+      const run $ name_arg $ full $ csv_dir $ seed_arg $ fault_args $ topology_arg $ jobs
+      $ trace_file $ metrics_file $ spans_file)
 
 (* `ninja_sim script [FILE]`: execute a Fig. 5-style migration script
    against a canned demo scenario (2 VMs on the IB cluster running a
@@ -351,7 +369,7 @@ let check_cmd =
     let doc = "Re-run the exact scenario serialised in $(docv) instead of fuzzing." in
     Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
   in
-  let run n jobs out_dir plant no_shrink replay seed =
+  let run n jobs out_dir plant no_shrink replay seed topology =
     let open Ninja_check in
     match replay with
     | Some path ->
@@ -381,7 +399,9 @@ let check_cmd =
       in
       with_pool @@ fun pool ->
       let ctx = Run_ctx.make ?seed ?pool () in
-      let summary = Fuzz.campaign ctx ~n ?plant ~shrink:(not no_shrink) () in
+      let summary =
+        Fuzz.campaign ctx ~n ?plant ?topology ~shrink:(not no_shrink) ()
+      in
       Format.printf "%a@." Fuzz.pp_summary summary;
       if summary.Fuzz.failures <> [] then begin
         if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
@@ -397,7 +417,9 @@ let check_cmd =
       end
   in
   Cmd.v (Cmd.info "check" ~doc)
-    Term.(const run $ n $ jobs $ out_dir $ plant $ no_shrink $ replay $ seed_arg)
+    Term.(
+      const run $ n $ jobs $ out_dir $ plant $ no_shrink $ replay $ seed_arg
+      $ topology_arg)
 
 (* `ninja_sim serve`: run the continuous control plane — an open-loop
    request stream served by the long-running migration scheduler — under
@@ -489,7 +511,7 @@ let serve_cmd =
   in
   let run duration rate burst_period burst_size burst_spread tenants_n vms_per_tenant
       mem_gb strategy max_inflight queue_cap slo seed seeds jobs show_log faults
-      trace_file metrics_file spans_file =
+      topology trace_file metrics_file spans_file =
     if duration <= 0.0 || rate < 0.0 || tenants_n < 1 || vms_per_tenant < 0
        || max_inflight < 1 || queue_cap < 1 || jobs < 1
     then begin
@@ -538,7 +560,8 @@ let serve_cmd =
     with_out trace_file @@ fun trace_oc ->
     with_out metrics_file @@ fun metrics_oc ->
     with_pool @@ fun pool ->
-    let ctx = Run_ctx.make ~faults ?pool ~label:"serve" () in
+    let topology = Option.map Ninja_hardware.Topology.to_string topology in
+    let ctx = Run_ctx.make ~faults ?topology ?pool ~label:"serve" () in
     let all_fragments = ref [] in
     let serve_one ctx seed =
       let tbuf = Buffer.create 256 and mbuf = Buffer.create 256 in
@@ -646,7 +669,8 @@ let serve_cmd =
     Term.(
       const run $ duration $ rate $ burst_period $ burst_size $ burst_spread $ tenants
       $ vms_per_tenant $ mem_gb $ strategy $ max_inflight $ queue_cap $ slo $ seed_arg
-      $ seeds $ jobs $ show_log $ fault_args $ trace_file $ metrics_file $ spans_file)
+      $ seeds $ jobs $ show_log $ fault_args $ topology_arg $ trace_file $ metrics_file
+      $ spans_file)
 
 let () =
   let doc = "Ninja migration reproduction: run the paper's experiments on the simulator." in

@@ -49,10 +49,27 @@ let shrink_result ?(budget = default_shrink_budget) (r : Runner.result) =
     !best
   end
 
-let campaign ctx ~n ?plant ?(shrink = true) () =
+(* Force a fixed topology onto a generated scenario, re-clamping the
+   dimensions the generator would have constrained had it drawn this
+   topology itself. *)
+let impose_topology topo (sc : Scenario.t) =
+  let open Ninja_hardware in
+  {
+    sc with
+    Scenario.topo = Some topo;
+    vms =
+      min sc.Scenario.vms
+        (min topo.Topology.hosts_per_rack (Topology.eth_host_count topo));
+    mem_gb = Float.min sc.Scenario.mem_gb topo.Topology.mem_gb;
+    uplink_gbps = None;
+  }
+
+let campaign ctx ~n ?plant ?topology ?(shrink = true) () =
   let scenarios =
     generate ~seed:ctx.Run_ctx.seed ~n
-    |> List.map (fun sc -> { sc with Scenario.plant })
+    |> List.map (fun sc ->
+           let sc = { sc with Scenario.plant } in
+           match topology with None -> sc | Some topo -> impose_topology topo sc)
   in
   let results = Run_ctx.map ctx ~f:Runner.run scenarios in
   let failures =

@@ -31,10 +31,18 @@ val shrink_result : ?budget:int -> Runner.result -> Runner.result option
     candidate fails. *)
 
 val campaign :
-  Ninja_engine.Run_ctx.t -> n:int -> ?plant:string -> ?shrink:bool -> unit -> summary
+  Ninja_engine.Run_ctx.t ->
+  n:int ->
+  ?plant:string ->
+  ?topology:Ninja_hardware.Topology.t ->
+  ?shrink:bool ->
+  unit ->
+  summary
 (** Run a campaign of [n] scenarios seeded from the context. [plant]
     installs the named planted bug (see {!Runner}) into every scenario;
-    [shrink] (default true) controls counterexample minimisation. *)
+    [topology] forces every scenario onto the given datacenter topology
+    (clamping fleet size and memory to fit it); [shrink] (default true)
+    controls counterexample minimisation. *)
 
 val repro_of : failure -> string
 (** The replay file for a failure (the shrunk scenario when available),

@@ -29,20 +29,35 @@ let effective_faults (sc : Scenario.t) =
     sc.Scenario.faults @ [ abort_forever ]
   | _ -> sc.Scenario.faults
 
-let trigger_of cluster (sc : Scenario.t) =
+(* The VMs' starting nodes. On the spec path these are ib00..ibNN (rack
+   0); on the topology path, the first hosts of the first IB rack —
+   either way origin 0 anchors the Drain and Disaster triggers, so the
+   two cluster shapes share one trigger/check definition. *)
+let origin_hosts cluster (sc : Scenario.t) =
+  let names =
+    match sc.Scenario.topo with
+    | None -> List.init sc.Scenario.vms (Printf.sprintf "ib%02d")
+    | Some _ ->
+      List.init sc.Scenario.vms (fun i -> Topology.host_name ~pod:0 ~rack:0 ~host:i)
+  in
+  List.map (Cluster.find_node cluster) names
+
+let trigger_of cluster ~origins (sc : Scenario.t) =
   let eth = Cluster.eth_only_nodes cluster in
+  let origin0 : Node.t = List.hd origins in
   match sc.Scenario.trigger with
   | Scenario.Drain ->
-    Cloud_scheduler.Maintenance { avoid = (fun n -> n.Node.name = "ib00") }
-  | Scenario.Disaster -> Cloud_scheduler.Disaster { rack = 0 }
+    Cloud_scheduler.Maintenance { avoid = (fun n -> n.Node.name = origin0.Node.name) }
+  | Scenario.Disaster -> Cloud_scheduler.Disaster { rack = origin0.Node.rack }
   | Scenario.Consolidate k ->
     Cloud_scheduler.Consolidate { vms_per_host = k; targets = eth }
   | Scenario.Rebalance -> Cloud_scheduler.Rebalance { targets = eth }
 
-let trigger_satisfied (sc : Scenario.t) host =
+let trigger_satisfied ~origins (sc : Scenario.t) host =
+  let origin0 : Node.t = List.hd origins in
   match sc.Scenario.trigger with
-  | Scenario.Drain -> host.Node.name <> "ib00"
-  | Scenario.Disaster -> host.Node.rack <> 0
+  | Scenario.Drain -> host.Node.name <> origin0.Node.name
+  | Scenario.Disaster -> host.Node.rack <> origin0.Node.rack
   | Scenario.Consolidate _ | Scenario.Rebalance -> not (Node.has_ib host)
 
 (* Time-bounded loop with a collectively agreed exit: rank 0 evaluates the
@@ -91,7 +106,7 @@ let apply_plant (sc : Scenario.t) cluster ninja =
     | Some Ninja.Completed | None -> ())
   | Some other -> invalid_arg (Printf.sprintf "unknown plant %S" other)
 
-let final_checks (sc : Scenario.t) ninja checker =
+let final_checks ~origins (sc : Scenario.t) ninja checker =
   match Ninja.last_outcome ninja with
   | None ->
     Checker.record checker ~invariant:"migration-ran"
@@ -100,7 +115,7 @@ let final_checks (sc : Scenario.t) ninja checker =
     List.iter
       (fun vm ->
         let host = Vm.host vm in
-        if not (trigger_satisfied sc host) then
+        if not (trigger_satisfied ~origins sc host) then
           Checker.record checker ~invariant:"trigger-satisfied"
             ~detail:
               (Printf.sprintf "%s ended on %s, which violates trigger %s" (Vm.name vm)
@@ -110,7 +125,7 @@ let final_checks (sc : Scenario.t) ninja checker =
   | Some (Ninja.Rolled_back _) ->
     List.iteri
       (fun i vm ->
-        let origin = Printf.sprintf "ib%02d" i in
+        let origin = (List.nth origins i).Node.name in
         if
           (not (Checker.excused checker (Vm.name vm)))
           && (Vm.host vm).Node.name <> origin
@@ -131,10 +146,16 @@ let run ?attach scenario =
       try
         let sim = Sim.create ~seed:scenario.Scenario.seed () in
         sim_ref := Some sim;
-        let spec =
-          Spec.make ~ib_nodes:scenario.Scenario.ib ~eth_nodes:scenario.Scenario.eth ()
+        let cluster =
+          match scenario.Scenario.topo with
+          | Some topo -> Cluster.create sim ~topology:topo ()
+          | None ->
+            let spec =
+              Spec.make ~ib_nodes:scenario.Scenario.ib
+                ~eth_nodes:scenario.Scenario.eth ()
+            in
+            Cluster.create sim ~spec ()
         in
-        let cluster = Cluster.create sim ~spec () in
         (match scenario.Scenario.uplink_gbps with
         | Some g ->
           Cluster.set_inter_rack cluster ~rack_a:0 ~rack_b:1 ~capacity:(Units.gbps g)
@@ -149,12 +170,9 @@ let run ?attach scenario =
         (* Extra observers (e.g. a telemetry recorder under test) join the
            bus before any fleet activity. *)
         Option.iter (fun f -> f cluster) attach;
-        let hosts =
-          List.init scenario.Scenario.vms (fun i ->
-              Cluster.find_node cluster (Printf.sprintf "ib%02d" i))
-        in
+        let origins = origin_hosts cluster scenario in
         let ninja =
-          Ninja.setup cluster ~hosts ~mem_gb:scenario.Scenario.mem_gb ()
+          Ninja.setup cluster ~hosts:origins ~mem_gb:scenario.Scenario.mem_gb ()
         in
         Checker.with_checker cluster ~vms:(Ninja.vms ninja) @@ fun checker ->
         checker_ref := Some checker;
@@ -165,14 +183,14 @@ let run ?attach scenario =
         let sched = Cloud_scheduler.create ~strategy:scenario.Scenario.strategy ninja in
         Cloud_scheduler.schedule sched
           ~after:(Time.of_sec_f scenario.Scenario.trigger_at)
-          (trigger_of cluster scenario);
+          (trigger_of cluster ~origins scenario);
         if scenario.Scenario.plant <> None then
           Sim.spawn sim ~name:"plant" (fun () ->
               Ninja.wait_job ninja;
               apply_plant scenario cluster ninja);
         Sim.run sim;
         Checker.check_finish checker;
-        final_checks scenario ninja checker;
+        final_checks ~origins scenario ninja checker;
         match Checker.violations checker with [] -> Passed | vs -> Violated vs
       with
       | Sim.Deadlock stuck ->

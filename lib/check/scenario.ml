@@ -1,4 +1,5 @@
 open Ninja_engine
+open Ninja_hardware
 open Ninja_planner
 
 type trigger = Drain | Disaster | Consolidate of int | Rebalance
@@ -7,6 +8,7 @@ type t = {
   seed : int64;
   ib : int;
   eth : int;
+  topo : Topology.t option;
   vms : int;
   procs : int;
   mem_gb : float;
@@ -29,7 +31,7 @@ let frange prng lo hi = lo +. Prng.float prng (hi -. lo)
 (* One random fault spec, constrained so an un-planted scenario is
    expected to pass: sources never die (node-death only targets Ethernet
    destinations), probabilities stay moderate, budgets stay finite. *)
-let gen_fault prng ~vms ~eth =
+let gen_fault prng ~vms ~eth_names =
   let vm_site = Printf.sprintf "vm%d" (Prng.int prng vms) in
   match Prng.int prng 6 with
   | 0 -> Printf.sprintf "precopy-stall@%s:count=%d" vm_site (1 + Prng.int prng 2)
@@ -42,11 +44,25 @@ let gen_fault prng ~vms ~eth =
       (1 + Prng.int prng 3)
   | 3 -> Printf.sprintf "attach-fail@%s:n=%d" vm_site (1 + Prng.int prng 2)
   | 4 -> Printf.sprintf "agent-crash@%s" vm_site
-  | _ -> Printf.sprintf "node-death@eth%02d:n=1" (Prng.int prng eth)
+  | _ ->
+    Printf.sprintf "node-death@%s:n=1"
+      eth_names.(Prng.int prng (Array.length eth_names))
 
 let gen prng =
   let seed = Prng.next_int64 prng in
-  let vms = 1 + Prng.int prng 4 in
+  (* One in four scenarios runs on a generated datacenter topology
+     instead of the two-rack spec, exercising multi-tier routes and the
+     incremental solver's component tracking under the checker. *)
+  let topo = if Prng.int prng 4 = 0 then Some (Topology.gen prng) else None in
+  let vms =
+    let v = 1 + Prng.int prng 4 in
+    match topo with
+    | None -> v
+    | Some topo ->
+      (* All origins stay in the first (IB) rack, and the Ethernet side
+         must absorb the whole fleet for every trigger. *)
+      min v (min topo.Topology.hosts_per_rack (Topology.eth_host_count topo))
+  in
   let procs = 1 + Prng.int prng 2 in
   let ib = vms + Prng.int prng 3 in
   (* Every trigger needs room on the Ethernet side: [eth >= vms] makes
@@ -56,7 +72,9 @@ let gen prng =
   let compute = frange prng 0.1 0.4 in
   let msg_bytes = frange prng 1e6 2e8 in
   let until = frange prng 40.0 90.0 in
-  let uplink_gbps = if Prng.int prng 4 = 0 then Some (frange prng 5.0 25.0) else None in
+  let uplink_gbps =
+    if Prng.int prng 4 = 0 && topo = None then Some (frange prng 5.0 25.0) else None
+  in
   let strategy = if Prng.bool prng then Solver.Grouped else Solver.Sequential in
   let trigger =
     match Prng.int prng 4 with
@@ -66,11 +84,20 @@ let gen prng =
     | _ -> Rebalance
   in
   let trigger_at = frange prng 3.0 10.0 in
-  let faults = List.init (Prng.int prng 3) (fun _ -> gen_fault prng ~vms ~eth) in
+  let eth_names =
+    match topo with
+    | None -> Array.init eth (Printf.sprintf "eth%02d")
+    | Some topo ->
+      List.init (topo.Topology.pods - topo.Topology.ib_pods) (fun i ->
+          Topology.pod_hosts topo (topo.Topology.ib_pods + i))
+      |> List.concat |> Array.of_list
+  in
+  let faults = List.init (Prng.int prng 3) (fun _ -> gen_fault prng ~vms ~eth_names) in
   {
     seed;
     ib;
     eth;
+    topo;
     vms;
     procs;
     mem_gb;
@@ -91,8 +118,32 @@ let gen prng =
 let validate t =
   let ( let* ) = Result.bind in
   let check cond msg = if cond then Ok () else Error msg in
-  let* () = check (t.ib >= 1 && t.eth >= 1) "need at least one node per rack" in
-  let* () = check (t.vms >= 1 && t.vms <= t.ib) "vms must be in [1, ib]" in
+  let* () =
+    match t.topo with
+    | None ->
+      let* () = check (t.ib >= 1 && t.eth >= 1) "need at least one node per rack" in
+      check (t.vms >= 1 && t.vms <= t.ib) "vms must be in [1, ib]"
+    | Some topo ->
+      let* () = Topology.validate topo in
+      let* () = check (topo.Topology.ib_pods >= 1) "topology needs at least one IB pod" in
+      let* () =
+        check (Topology.eth_host_count topo >= 1) "topology needs Ethernet hosts"
+      in
+      (* Origins fill the first IB rack, so a Disaster trigger (evacuate
+         the origin rack) covers the whole fleet. *)
+      let* () =
+        check
+          (t.vms >= 1 && t.vms <= topo.Topology.hosts_per_rack)
+          "vms must fit the first topology rack"
+      in
+      let* () =
+        check (t.mem_gb <= topo.Topology.mem_gb) "mem_gb exceeds topology host memory"
+      in
+      check (t.uplink_gbps = None) "uplink_gbps is not supported with a topology"
+  in
+  let eth_capacity =
+    match t.topo with None -> t.eth | Some topo -> Topology.eth_host_count topo
+  in
   let* () = check (t.procs >= 1) "procs must be >= 1" in
   let* () = check (t.mem_gb > 0.0 && Float.is_finite t.mem_gb) "mem_gb must be positive" in
   let* () = check (t.compute > 0.0) "compute must be positive" in
@@ -107,10 +158,10 @@ let validate t =
   let* () =
     match t.trigger with
     | Drain -> Ok ()
-    | Disaster | Rebalance -> check (t.eth >= t.vms) "trigger needs eth >= vms"
+    | Disaster | Rebalance -> check (eth_capacity >= t.vms) "trigger needs eth >= vms"
     | Consolidate k ->
       let* () = check (k >= 1) "consolidate factor must be >= 1" in
-      check (((t.vms + k - 1) / k) <= t.eth) "consolidate needs enough eth targets"
+      check (((t.vms + k - 1) / k) <= eth_capacity) "consolidate needs enough eth targets"
   in
   List.fold_left
     (fun acc f ->
@@ -150,6 +201,7 @@ let to_string t =
   line "seed" (Int64.to_string t.seed);
   line "ib" (string_of_int t.ib);
   line "eth" (string_of_int t.eth);
+  (match t.topo with Some topo -> line "topology" (Topology.to_string topo) | None -> ());
   line "vms" (string_of_int t.vms);
   line "procs" (string_of_int t.procs);
   line "mem_gb" (fstr t.mem_gb);
@@ -169,6 +221,7 @@ let default =
     seed = 1L;
     ib = 2;
     eth = 2;
+    topo = None;
     vms = 1;
     procs = 1;
     mem_gb = 4.0;
@@ -214,6 +267,8 @@ let of_string text =
         | None -> Error (Printf.sprintf "bad seed %S" v))
       | "ib" -> Result.map (fun n -> { t with ib = n }) (parse_int k v)
       | "eth" -> Result.map (fun n -> { t with eth = n }) (parse_int k v)
+      | "topology" ->
+        Result.map (fun topo -> { t with topo = Some topo }) (Topology.of_string v)
       | "vms" -> Result.map (fun n -> { t with vms = n }) (parse_int k v)
       | "procs" -> Result.map (fun n -> { t with procs = n }) (parse_int k v)
       | "mem_gb" -> Result.map (fun f -> { t with mem_gb = f }) (parse_float k v)
@@ -253,6 +308,12 @@ let shrink t =
         | _ -> true)
       faults
   in
+  (* Most aggressive first: collapse the topology to the two-rack spec,
+     then try smaller topologies. *)
+  if t.topo <> None then add { t with topo = None };
+  (match t.topo with
+  | Some topo -> List.iter (fun c -> add { t with topo = Some c }) (Topology.shrink topo)
+  | None -> ());
   if t.trigger <> Drain then add { t with trigger = Drain };
   if t.strategy <> Ninja_planner.Solver.Sequential then
     add { t with strategy = Ninja_planner.Solver.Sequential };
@@ -265,11 +326,17 @@ let shrink t =
   if t.vms > 1 then
     add { t with vms = t.vms - 1; faults = prune_vm_faults (t.vms - 1) t.faults };
   List.iteri (fun i _ -> add { t with faults = drop_nth i t.faults }) t.faults;
-  List.rev !candidates
+  (* A candidate produced by one simplification can violate another
+     dimension's constraint (e.g. a shrunken topology's rack no longer
+     holds the fleet); only valid scenarios may reach the re-runner. *)
+  List.rev !candidates |> List.filter (fun c -> validate c = Ok ())
 
 let pp fmt t =
-  Format.fprintf fmt "seed=%Ld %d+%d nodes, %d vm(s) x%d, %s/%s @%.1fs%s%s" t.seed t.ib
-    t.eth t.vms t.procs
+  Format.fprintf fmt "seed=%Ld %s, %d vm(s) x%d, %s/%s @%.1fs%s%s" t.seed
+    (match t.topo with
+    | None -> Printf.sprintf "%d+%d nodes" t.ib t.eth
+    | Some topo -> Topology.to_string topo)
+    t.vms t.procs
     (trigger_to_string t.trigger)
     (String.lowercase_ascii (Solver.name t.strategy))
     t.trigger_at

@@ -19,8 +19,13 @@ type trigger =
 
 type t = {
   seed : int64;  (** seeds the simulation (and nothing else) *)
-  ib : int;  (** IB-equipped node count (rack 0) *)
-  eth : int;  (** Ethernet-only node count (rack 1) *)
+  ib : int;  (** IB-equipped node count (rack 0); ignored under [topo] *)
+  eth : int;  (** Ethernet-only node count (rack 1); ignored under [topo] *)
+  topo : Ninja_hardware.Topology.t option;
+      (** when set, the cluster is a generated datacenter topology
+          instead of the two-rack spec; VM [i] starts on the [i]-th host
+          of the first IB rack, and [ib]/[eth]/[uplink_gbps] are unused
+          (validation requires [uplink_gbps = None]) *)
   vms : int;  (** VM fleet size; VM [i] starts on node [ib<i>] *)
   procs : int;  (** MPI processes per VM *)
   mem_gb : float;  (** VM memory size *)
@@ -39,7 +44,8 @@ val gen : Ninja_engine.Prng.t -> t
 (** Draw a random well-formed scenario: destination capacity always
     suffices for the trigger, fault sites reference existing VMs/nodes,
     and node-death is only ever aimed at Ethernet (destination) nodes so
-    migration sources never die. No plant is ever generated. *)
+    migration sources never die. One in four scenarios carries a
+    generated {!Ninja_hardware.Topology}. No plant is ever generated. *)
 
 val validate : t -> (unit, string) result
 (** Structural sanity (positive counts, parsable fault specs, trigger

@@ -622,9 +622,9 @@ let open_loop t ~process ~horizon =
 (* {1 Construction} *)
 
 let boot_tenants cluster ~tenants ~vms_per_tenant ~mem_bytes =
-  let nodes = List.sort by_node_id (Cluster.alive_nodes cluster) in
-  if nodes = [] then failwith "Service.boot_tenants: no alive nodes";
-  let k = List.length nodes in
+  let nodes = Array.of_list (List.sort by_node_id (Cluster.alive_nodes cluster)) in
+  if Array.length nodes = 0 then failwith "Service.boot_tenants: no alive nodes";
+  let k = Array.length nodes in
   let used = Hashtbl.create 8 in
   let used_of (n : Node.t) = Option.value (Hashtbl.find_opt used n.Node.id) ~default:0.0 in
   let cursor = ref 0 in
@@ -632,7 +632,7 @@ let boot_tenants cluster ~tenants ~vms_per_tenant ~mem_bytes =
     let rec probe i =
       if i >= k then failwith "Service.boot_tenants: cluster out of memory"
       else
-        let n = List.nth nodes ((!cursor + i) mod k) in
+        let n = nodes.((!cursor + i) mod k) in
         if used_of n +. mem_bytes <= n.Node.mem_bytes *. (1.0 +. 1e-9) then begin
           cursor := (!cursor + i + 1) mod k;
           Hashtbl.replace used n.Node.id (used_of n +. mem_bytes);

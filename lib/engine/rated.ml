@@ -6,6 +6,8 @@ type 'a task = {
   mutable live : bool;
 }
 
+type 'a change = Joined of 'a task | Left of 'a task
+
 type 'a t = {
   sim : Sim.t;
   name : string;
@@ -13,10 +15,19 @@ type 'a t = {
   mutable tasks : 'a task list; (* reversed insertion order *)
   mutable last_settle : Time.t;
   mutable timer : Sim.handle option;
+  mutable rev_changes : 'a change list; (* membership deltas since last rerate *)
 }
 
 let create sim ~name ~rerate =
-  { sim; name; rerate; tasks = []; last_settle = Sim.now sim; timer = None }
+  {
+    sim;
+    name;
+    rerate;
+    tasks = [];
+    last_settle = Sim.now sim;
+    timer = None;
+    rev_changes = [];
+  }
 
 let payload task = task.payload
 
@@ -47,9 +58,21 @@ let remaining t task =
   settle t;
   task.remaining
 
-let complete task =
-  task.live <- false;
+let complete t task =
+  if task.live then begin
+    task.live <- false;
+    t.rev_changes <- Left task :: t.rev_changes
+  end;
   ignore (Ivar.fill_if_empty task.finished ())
+
+let changes t = List.rev t.rev_changes
+
+(* The rerate policy consumes the change log exactly once: it is cleared
+   as soon as the callback returns, so an incremental policy that keeps
+   per-resource task registries in sync never sees a delta twice. *)
+let run_rerate t =
+  t.rerate t;
+  t.rev_changes <- []
 
 (* A task is done when its remaining work is negligible relative to the
    unit scale; the argmin task forced below guarantees progress despite
@@ -86,19 +109,19 @@ and on_timer t argmin =
      of work (modulo rounding): force it, then sweep any ties. *)
   if argmin.live then begin
     argmin.remaining <- 0.0;
-    complete argmin
+    complete t argmin
   end;
-  List.iter (fun task -> if task.live && task.remaining <= eps then complete task) t.tasks;
+  List.iter (fun task -> if task.live && task.remaining <= eps then complete t task) t.tasks;
   t.tasks <- List.filter (fun task -> task.live) t.tasks;
-  t.rerate t;
+  run_rerate t;
   reschedule t
 
 let change t f =
   settle t;
   let result = f () in
-  List.iter (fun task -> if task.live && task.remaining <= eps then complete task) t.tasks;
+  List.iter (fun task -> if task.live && task.remaining <= eps then complete t task) t.tasks;
   t.tasks <- List.filter (fun task -> task.live) t.tasks;
-  t.rerate t;
+  run_rerate t;
   reschedule t;
   result
 
@@ -110,6 +133,7 @@ let add t ~payload ~work =
         { payload; remaining = work; rate = 0.0; finished = Ivar.create (); live = true }
       in
       t.tasks <- task :: t.tasks;
+      t.rev_changes <- Joined task :: t.rev_changes;
       task)
 
 let await task = Ivar.read task.finished
@@ -117,6 +141,6 @@ let await task = Ivar.read task.finished
 let cancel t task =
   if task.live then
     change t (fun () ->
-        complete task)
+        complete t task)
 
 let kick t = change t (fun () -> ())

@@ -16,9 +16,19 @@ type 'a t
 
 type 'a task
 
+type 'a change = Joined of 'a task | Left of 'a task
+
 val create : Sim.t -> name:string -> rerate:('a t -> unit) -> 'a t
-(** [rerate] must assign a rate to every active task with {!set_rate}; it
-    is called with the set already settled to the current instant. *)
+(** [rerate] assigns rates with {!set_rate}; it is called with the set
+    already settled to the current instant. A global policy re-rates every
+    active task; an incremental policy may consult {!changes} and leave
+    unaffected tasks' rates untouched. *)
+
+val changes : 'a t -> 'a change list
+(** Membership deltas since the previous [rerate] call, oldest first —
+    only meaningful from within the [rerate] callback (the log is cleared
+    when it returns). A task added and completed within one change shows
+    up as [Joined] then [Left]. *)
 
 val add : 'a t -> payload:'a -> work:float -> 'a task
 (** Register a new task (non-blocking). [work] must be non-negative; a

@@ -6,6 +6,7 @@ type t = {
   seed : int64;
   mode : mode;
   faults : string list;
+  topology : string option;
   label : string;
   trace : sink option;
   metrics : sink option;
@@ -14,9 +15,9 @@ type t = {
   pool : Pool.t option;
 }
 
-let make ?(seed = 42L) ?(mode = Quick) ?(faults = []) ?(label = "") ?trace ?metrics
-    ?spans ?observe ?pool () =
-  { seed; mode; faults; label; trace; metrics; spans; observe; pool }
+let make ?(seed = 42L) ?(mode = Quick) ?(faults = []) ?topology ?(label = "") ?trace
+    ?metrics ?spans ?observe ?pool () =
+  { seed; mode; faults; topology; label; trace; metrics; spans; observe; pool }
 
 let default = make ()
 
@@ -27,6 +28,8 @@ let full = make ~mode:Full ()
 let with_seed seed t = { t with seed }
 
 let with_mode mode t = { t with mode }
+
+let with_topology topology t = { t with topology }
 
 let with_pool pool t = { t with pool }
 

@@ -28,6 +28,10 @@ type t = {
   faults : string list;
       (** textual fault specs in the [Ninja_faults.Injector] grammar,
           armed on every cluster the run creates; validated upstream *)
+  topology : string option;
+      (** textual topology spec in the [Ninja_hardware.Topology] grammar;
+          when set, experiment clusters are built from the generated
+          topology instead of the default spec; validated upstream *)
   label : string;
       (** names this run's simulations in telemetry exports (e.g. the
           experiment entry and sweep-point index), so tracks from
@@ -49,6 +53,7 @@ val make :
   ?seed:int64 ->
   ?mode:mode ->
   ?faults:string list ->
+  ?topology:string ->
   ?label:string ->
   ?trace:sink ->
   ?metrics:sink ->
@@ -69,6 +74,8 @@ val full : t
 val with_seed : int64 -> t -> t
 
 val with_mode : mode -> t -> t
+
+val with_topology : string option -> t -> t
 
 val with_pool : Pool.t option -> t -> t
 

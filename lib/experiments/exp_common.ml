@@ -11,9 +11,21 @@ type env = {
   recorder : Recorder.t option;
 }
 
-let fresh ?(spec = Spec.agc) ctx =
+let fresh ?spec ctx =
   let sim = Sim.create ~seed:ctx.Run_ctx.seed () in
-  let cluster = Cluster.create sim ~spec () in
+  (* An explicit spec wins (experiments that hardcode their population);
+     otherwise a topology in the context shapes the cluster, and the AGC
+     testbed remains the default. *)
+  let cluster =
+    match (spec, ctx.Run_ctx.topology) with
+    | Some spec, _ -> Cluster.create sim ~spec ()
+    | None, Some text -> (
+      match Topology.of_string text with
+      | Ok topo -> Cluster.create sim ~topology:topo ()
+      | Error msg ->
+        failwith (Printf.sprintf "Exp_common.fresh: bad topology %S: %s" text msg))
+    | None, None -> Cluster.create sim ~spec:Spec.agc ()
+  in
   List.iter
     (fun text ->
       match Ninja_faults.Injector.parse_spec text with

@@ -25,8 +25,11 @@ type env = {
     telemetry recorder is attached to the cluster's probe bus. *)
 
 val fresh : ?spec:Spec.t -> Run_ctx.t -> env
-(** Raises [Failure] on a malformed fault spec in the context (the CLI
-    validates them upstream, so this indicates a programming error). *)
+(** Cluster population: an explicit [spec] wins; otherwise the context's
+    topology (parsed with {!Topology.of_string}) if set; otherwise
+    {!Spec.agc}. Raises [Failure] on a malformed fault or topology spec
+    in the context (the CLI validates them upstream, so this indicates a
+    programming error). *)
 
 val hosts : Cluster.t -> prefix:string -> first:int -> count:int -> Node.t list
 (** e.g. [hosts c ~prefix:"ib" ~first:8 ~count:8] = ib08..ib15. *)

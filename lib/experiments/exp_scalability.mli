@@ -20,5 +20,41 @@ type row = {
 
 val measure : Ninja_engine.Run_ctx.t -> n_vms:int -> uplink_gbps:float -> row
 
+(** {1 Datacenter evacuation at scale}
+
+    A leaf-spine datacenter's IB pods are drained completely into its
+    Ethernet pods under a bounded migration window, with least-loaded
+    packing against the cluster's occupancy index. All reported
+    quantities are simulated (deterministic at any [-j]); the host-side
+    cost of the run is what the bench harness and the scale regression
+    test measure. *)
+
+type evac = {
+  e_vms : int;
+  e_hosts : int;  (** total hosts in the topology *)
+  e_window : int;  (** concurrent-migration bound *)
+  e_moved_gb : float;  (** wire bytes actually transferred *)
+  e_makespan : float;  (** simulated seconds until the fleet is drained *)
+  e_mean_migration : float;  (** mean per-VM migration seconds *)
+}
+
+val default_window : int
+
+val dc_topology :
+  pods:int -> racks:int -> hosts:int -> mem_gb:float -> Ninja_hardware.Topology.t
+(** Leaf-spine, half the pods IB ([max 1 (pods/2)]), 4:1
+    oversubscription, placement seed 9. *)
+
+val evacuate :
+  Ninja_engine.Run_ctx.t ->
+  topo:Ninja_hardware.Topology.t ->
+  vms:int ->
+  vm_gb:float ->
+  window:int ->
+  evac
+(** Place [vms] VMs across the IB pods ({!Ninja_hardware.Topology.place})
+    and migrate every one to an Ethernet host. *)
+
 val run : Ninja_engine.Run_ctx.t -> Ninja_metrics.Table.t list
-(** VM-count sweep, domain-parallel when the context carries a pool. *)
+(** VM-count sweep plus the datacenter evacuation study (1000 VMs in
+    quick mode too), domain-parallel when the context carries a pool. *)

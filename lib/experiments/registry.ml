@@ -59,7 +59,9 @@ let all =
     };
     {
       name = "scalability";
-      description = "Section V open issue: N simultaneous migrations under uplink congestion";
+      description =
+        "Section V open issue: N simultaneous migrations under uplink congestion, plus a \
+         1000-VM datacenter evacuation over a leaf-spine topology";
       run = Exp_scalability.run;
     };
     {

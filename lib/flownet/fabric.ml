@@ -7,83 +7,207 @@ type link = {
   (* Scratch fields for the progressive-filling pass. *)
   mutable residual : float;
   mutable unfrozen : int;
+  (* Live flows crossing this link (fid -> task), maintained by the
+     incremental solver from the rated set's change log. Stays empty under
+     the [Global] reference solver. *)
+  flows_on : (int, info Rated.task) Hashtbl.t;
+  (* Epoch stamp: equal to the state's epoch iff this link is already in
+     the current rerate's affected set. Replaces a per-rerate hashtable so
+     a small-fabric rerate allocates nothing beyond the work queue. *)
+  mutable mark : int;
 }
 
-type info = { route : link list }
+and info = { fid : int; route : link list; mutable fmark : int }
 
-type t = { set : info Rated.t; mutable next_link : int; mutable all_links : link list }
+type solver = Incremental | Global
+
+type state = {
+  solver : solver;
+  mutable dirty_links : link list; (* capacity changes since last rerate *)
+  mutable freeze_log : int list; (* bottleneck ids of the last solve, reversed *)
+  mutable epoch : int; (* bumped per incremental rerate; validates marks *)
+}
+
+type t = {
+  set : info Rated.t;
+  state : state;
+  mutable next_link : int;
+  mutable next_fid : int;
+  mutable all_links : link list;
+}
 
 type flow = info Rated.task
 
-(* Progressive filling (max–min fairness): repeatedly pick the link whose
-   fair share (residual / unfrozen flows) is smallest, freeze the unfrozen
-   flows crossing it at that share, subtract their rate along their whole
-   routes, and repeat until every flow is frozen. *)
-let rerate set =
-  let flows = Array.of_list (Rated.active set) in
+(* Bottleneck choice: lexicographic minimum of (fair share, link id). A
+   strictly smaller fair share wins; an exact floating-point tie goes to
+   the smaller link id. Shared by both solvers, so they freeze links in
+   the same order and a replay is deterministic. *)
+let better (fair, l) acc =
+  match acc with
+  | Some (bfair, bl) when bfair < fair || (bfair = fair && bl.id < l.id) -> acc
+  | _ -> Some (fair, l)
+
+(* Progressive filling (max–min fairness) over a closed subproblem:
+   [links] is exactly the union of the [flows]' routes, and [flows] are in
+   insertion (fid) order — the order the global solve scans them in, so a
+   component-local solve performs the identical arithmetic. Repeatedly
+   pick the bottleneck link (smallest fair share = residual / unfrozen
+   flows), freeze the unfrozen flows crossing it at that share, subtract
+   their rate along their whole routes, and repeat until every flow is
+   frozen. *)
+let solve_subset state flows links =
   let n = Array.length flows in
-  if n > 0 then begin
-    let routes = Array.map (fun fl -> (Rated.payload fl).route) flows in
+  let routes = Array.map (fun fl -> (Rated.payload fl).route) flows in
+  List.iter
+    (fun l ->
+      l.residual <- l.capacity;
+      l.unfrozen <- 0)
+    links;
+  Array.iter (fun route -> List.iter (fun l -> l.unfrozen <- l.unfrozen + 1) route) routes;
+  let frozen = Array.make n false in
+  let remaining = ref n in
+  while !remaining > 0 do
+    let bottleneck =
+      List.fold_left
+        (fun acc l ->
+          if l.unfrozen = 0 then acc
+          else better (Float.max 0.0 (l.residual /. float_of_int l.unfrozen), l) acc)
+        None links
+    in
+    match bottleneck with
+    | None ->
+      (* Unreachable: every unfrozen flow crosses at least one link that
+         therefore has unfrozen > 0. *)
+      assert false
+    | Some (fair, bottleneck_link) ->
+      state.freeze_log <- bottleneck_link.id :: state.freeze_log;
+      for i = 0 to n - 1 do
+        if (not frozen.(i)) && List.exists (fun l -> l.id = bottleneck_link.id) routes.(i)
+        then begin
+          frozen.(i) <- true;
+          Rated.set_rate flows.(i) fair;
+          decr remaining;
+          List.iter
+            (fun l ->
+              l.residual <- Float.max 0.0 (l.residual -. fair);
+              l.unfrozen <- l.unfrozen - 1)
+            routes.(i)
+        end
+      done
+  done
+
+(* Reference solver: re-solve the whole fabric from scratch. *)
+let global_rerate state set =
+  let flows = Array.of_list (Rated.active set) in
+  if Array.length flows > 0 then begin
     let links =
       let tbl = Hashtbl.create 16 in
       Array.iter
-        (fun route ->
-          List.iter (fun l -> if not (Hashtbl.mem tbl l.id) then Hashtbl.add tbl l.id l) route)
-        routes;
+        (fun fl ->
+          List.iter
+            (fun l -> if not (Hashtbl.mem tbl l.id) then Hashtbl.add tbl l.id l)
+            (Rated.payload fl).route)
+        flows;
       Hashtbl.fold (fun _ l acc -> l :: acc) tbl []
     in
-    List.iter
-      (fun l ->
-        l.residual <- l.capacity;
-        l.unfrozen <- 0)
-      links;
-    Array.iter (fun route -> List.iter (fun l -> l.unfrozen <- l.unfrozen + 1) route) routes;
-    let frozen = Array.make n false in
-    let remaining = ref n in
-    while !remaining > 0 do
-      (* Bottleneck link: minimum fair share among links that still carry
-         unfrozen flows. Ties broken by link id for determinism. *)
-      let bottleneck =
-        List.fold_left
-          (fun acc l ->
-            if l.unfrozen = 0 then acc
-            else
-              let fair = Float.max 0.0 (l.residual /. float_of_int l.unfrozen) in
-              match acc with
-              | Some (best, bl) when best < fair || (best = fair && bl.id <= l.id) -> acc
-              | _ -> Some (fair, l))
-          None links
-      in
-      match bottleneck with
-      | None ->
-        (* Unreachable: every unfrozen flow crosses at least one link that
-           therefore has unfrozen > 0. *)
-        assert false
-      | Some (fair, bottleneck_link) ->
-        for i = 0 to n - 1 do
-          if (not frozen.(i)) && List.exists (fun l -> l.id = bottleneck_link.id) routes.(i)
-          then begin
-            frozen.(i) <- true;
-            Rated.set_rate flows.(i) fair;
-            decr remaining;
-            List.iter
-              (fun l ->
-                l.residual <- Float.max 0.0 (l.residual -. fair);
-                l.unfrozen <- l.unfrozen - 1)
-              routes.(i)
-          end
-        done
-    done
+    solve_subset state flows links
   end
 
-let create sim = { set = Rated.create sim ~name:"fabric" ~rerate; next_link = 0; all_links = [] }
+(* Incremental solver: flows partition into connected components of the
+   link-sharing graph, and components are independent — freezing a flow
+   never touches another component's links. So only the component(s)
+   reachable from this change need re-solving; every other flow's rate is
+   already exactly what a global re-solve would assign (see DESIGN). *)
+let incremental_rerate state set =
+  let deltas = Rated.changes set in
+  let dirty = state.dirty_links in
+  state.dirty_links <- [];
+  state.epoch <- state.epoch + 1;
+  let epoch = state.epoch in
+  (* A link enters the work queue at most once per rerate: its mark is
+     stamped with the current epoch on enqueue. *)
+  let queue = Queue.create () in
+  let seed l =
+    if l.mark <> epoch then begin
+      l.mark <- epoch;
+      Queue.add l queue
+    end
+  in
+  (* Sync the per-link flow registries — each membership delta arrives
+     exactly once — and seed the affected set with every touched link. *)
+  List.iter
+    (fun delta ->
+      match delta with
+      | Rated.Joined fl ->
+        let { fid; route; _ } = Rated.payload fl in
+        List.iter
+          (fun l ->
+            Hashtbl.replace l.flows_on fid fl;
+            seed l)
+          route
+      | Rated.Left fl ->
+        let { fid; route; _ } = Rated.payload fl in
+        List.iter
+          (fun l ->
+            Hashtbl.remove l.flows_on fid;
+            seed l)
+          route)
+    deltas;
+  List.iter seed dirty;
+  if not (Queue.is_empty queue) then begin
+    (* Close over the seeds: every flow on an affected link is affected,
+       and every link of an affected flow is affected — the resulting
+       subproblem is self-contained. *)
+    let aff_links = ref [] in
+    let aff_flows = ref [] in
+    while not (Queue.is_empty queue) do
+      let l = Queue.pop queue in
+      aff_links := l :: !aff_links;
+      Hashtbl.iter
+        (fun _ fl ->
+          let inf = Rated.payload fl in
+          if inf.fmark <> epoch then begin
+            inf.fmark <- epoch;
+            aff_flows := fl :: !aff_flows;
+            List.iter seed inf.route
+          end)
+        l.flows_on
+    done;
+    let flows =
+      List.sort (fun a b -> compare (Rated.payload a).fid (Rated.payload b).fid) !aff_flows
+      |> Array.of_list
+    in
+    if Array.length flows > 0 then solve_subset state flows !aff_links
+  end
+
+let rerate state set =
+  state.freeze_log <- [];
+  match state.solver with
+  | Global -> global_rerate state set
+  | Incremental -> incremental_rerate state set
+
+let create ?(solver = Incremental) sim =
+  let state = { solver; dirty_links = []; freeze_log = []; epoch = 0 } in
+  {
+    set = Rated.create sim ~name:"fabric" ~rerate:(rerate state);
+    state;
+    next_link = 0;
+    next_fid = 0;
+    all_links = [];
+  }
+
+let solver t = t.state.solver
+
+let last_bottlenecks t = List.rev t.state.freeze_log
 
 let add_link t ~name ~capacity =
   if not (capacity > 0.0 && Float.is_finite capacity) then
     invalid_arg "Fabric.add_link: capacity must be positive and finite";
   let id = t.next_link in
   t.next_link <- id + 1;
-  let l = { id; name; capacity; residual = 0.0; unfrozen = 0 } in
+  let l =
+    { id; name; capacity; residual = 0.0; unfrozen = 0; flows_on = Hashtbl.create 4; mark = 0 }
+  in
   t.all_links <- l :: t.all_links;
   l
 
@@ -99,6 +223,9 @@ let set_link_capacity t l c =
   if not (c > 0.0 && Float.is_finite c) then
     invalid_arg "Fabric.set_link_capacity: capacity must be positive and finite";
   l.capacity <- c;
+  (match t.state.solver with
+  | Incremental -> t.state.dirty_links <- l :: t.state.dirty_links
+  | Global -> ());
   Rated.kick t.set
 
 let check_route route =
@@ -109,7 +236,9 @@ let check_route route =
 
 let start t ~route ~bytes =
   check_route route;
-  Rated.add t.set ~payload:{ route } ~work:bytes
+  let fid = t.next_fid in
+  t.next_fid <- fid + 1;
+  Rated.add t.set ~payload:{ fid; route; fmark = 0 } ~work:bytes
 
 let await fl = Rated.await fl
 
@@ -124,9 +253,21 @@ let is_done fl = Rated.is_done fl
 let active_flows t = List.length (Rated.active t.set)
 
 let link_utilization t l =
-  List.fold_left
-    (fun acc fl ->
-      if List.exists (fun l' -> l'.id = l.id) (Rated.payload fl).route then acc +. Rated.rate fl
-      else acc)
-    0.0
-    (Rated.active t.set)
+  match t.state.solver with
+  | Incremental ->
+    (* The registry holds exactly the live flows crossing [l]. Summing in
+       table order is reproducible: hashing is unseeded and the table's
+       layout is a pure function of the simulation's (deterministic)
+       insert/remove history, so replays and [-j N] runs see the same
+       order. Checkers probe this on every event — keep it allocation-free. *)
+    let total = ref 0.0 in
+    Hashtbl.iter (fun _ fl -> total := !total +. Rated.rate fl) l.flows_on;
+    !total
+  | Global ->
+    List.fold_left
+      (fun acc fl ->
+        if List.exists (fun l' -> l'.id = l.id) (Rated.payload fl).route then
+          acc +. Rated.rate fl
+        else acc)
+      0.0
+      (Rated.active t.set)

@@ -20,7 +20,25 @@ type link
 
 type flow
 
-val create : Ninja_engine.Sim.t -> t
+type solver =
+  | Incremental
+      (** Re-run progressive filling only over the affected bottleneck set
+          — the connected component (flows linked by shared links) touched
+          by a join/leave/capacity change. Produces rates identical to
+          [Global] (components are independent; see DESIGN), at cost
+          proportional to the component instead of the fabric. *)
+  | Global  (** Reference implementation: full re-solve on every change. *)
+
+val create : ?solver:solver -> Ninja_engine.Sim.t -> t
+(** Default solver is [Incremental]; pass [~solver:Global] to run the
+    reference implementation (differential tests race the two). *)
+
+val solver : t -> solver
+
+val last_bottlenecks : t -> int list
+(** Link ids frozen by the most recent re-rate, in freeze order — the
+    solve's deterministic tie-break trace, exposed for tests. Under
+    [Incremental] it covers only the re-solved component. *)
 
 val add_link : t -> name:string -> capacity:float -> link
 (** [capacity] in bytes per second; must be positive. *)

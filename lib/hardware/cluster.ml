@@ -5,11 +5,36 @@ type net = Ib | Eth
 
 type inter_rack = { link_ab : Fabric.link; link_ba : Fabric.link; latency : Time.span }
 
+(* Aggregation layers of a generated topology: per-rack leaf (top of
+   rack) uplink/downlink pairs, per-pod core uplink/downlink pairs, and
+   — within IB pods only — per-rack IB aggregation pairs. *)
+type topo_links = {
+  topo : Topology.t;
+  leaf_up : Fabric.link array; (* indexed by global rack id *)
+  leaf_down : Fabric.link array;
+  pod_up : Fabric.link array; (* indexed by pod *)
+  pod_down : Fabric.link array;
+  ib_up : Fabric.link option array; (* None outside IB pods *)
+  ib_down : Fabric.link option array;
+}
+
+(* A registered VM: current node id and memory footprint. The registry
+   lives here (below the VMM layer, which depends on this one) so it is
+   keyed by name; {!Ninja_vmm.Vm} keeps it in sync from create/set_host. *)
+type vm_entry = { mutable vm_node : int; vm_bytes : float }
+
 type t = {
   sim : Sim.t;
   fabric : Fabric.t;
   spec : Spec.t;
+  topo : topo_links option;
   nodes : Node.t array;
+  by_name : (string, Node.t) Hashtbl.t;
+  ib_list : Node.t list;
+  eth_only_list : Node.t list;
+  vms : (string, vm_entry) Hashtbl.t;
+  residents : (string, unit) Hashtbl.t array; (* per node id *)
+  used_bytes : float array; (* per node id, registered VM memory *)
   trace : Trace.t;
   probes : Probe.t;
   inter_racks : (int * int, inter_rack) Hashtbl.t;
@@ -29,8 +54,45 @@ let spec t = t.spec
 
 let trace t = t.trace
 
-let create sim ?(spec = Spec.agc) () =
-  let fabric = Fabric.create sim in
+(* Aggregation links are created rack-major then pod-major, so link ids
+   (and therefore solver tie-breaks) depend only on the topology. *)
+let build_topo_links fabric topo =
+  let racks = Topology.rack_count topo in
+  let pods = topo.Topology.pods in
+  let leaf = Topology.leaf_capacity topo in
+  let pod_cap = Topology.pod_capacity topo in
+  let ib_cap = Topology.ib_capacity topo in
+  let mk fmt_dir r capacity = Fabric.add_link fabric ~name:(fmt_dir r) ~capacity in
+  let leaf_up =
+    Array.init racks (fun r -> mk (Printf.sprintf "leaf.up.r%d") r leaf)
+  in
+  let leaf_down =
+    Array.init racks (fun r -> mk (Printf.sprintf "leaf.down.r%d") r leaf)
+  in
+  let pod_up =
+    Array.init pods (fun p -> mk (Printf.sprintf "pod.up.p%d") p pod_cap)
+  in
+  let pod_down =
+    Array.init pods (fun p -> mk (Printf.sprintf "pod.down.p%d") p pod_cap)
+  in
+  let ib_rack dir r =
+    if Topology.is_ib_pod topo (Topology.pod_of_rack topo r) then
+      Some (mk (Printf.sprintf "ibagg.%s.r%d" dir) r ib_cap)
+    else None
+  in
+  let ib_up = Array.init racks (ib_rack "up") in
+  let ib_down = Array.init racks (ib_rack "down") in
+  { topo; leaf_up; leaf_down; pod_up; pod_down; ib_up; ib_down }
+
+let create sim ?spec ?topology ?solver () =
+  let spec =
+    match (topology, spec) with
+    | Some topo, _ -> Topology.to_spec topo
+    | None, Some s -> s
+    | None, None -> Spec.agc
+  in
+  let fabric = Fabric.create ?solver sim in
+  let topo = Option.map (build_topo_links fabric) topology in
   let nodes =
     List.concat_map
       (fun (g : Spec.group) ->
@@ -43,6 +105,11 @@ let create sim ?(spec = Spec.agc) () =
              ~with_ib:g.with_ib)
     |> Array.of_list
   in
+  let by_name = Hashtbl.create (Array.length nodes) in
+  Array.iter (fun (n : Node.t) -> Hashtbl.replace by_name n.name n) nodes;
+  let node_list = Array.to_list nodes in
+  let ib_list = List.filter Node.has_ib node_list in
+  let eth_only_list = List.filter (fun n -> not (Node.has_ib n)) node_list in
   let trace = Trace.create sim in
   let probes = Probe.create sim in
   let injector = Ninja_faults.Injector.create sim in
@@ -52,13 +119,22 @@ let create sim ?(spec = Spec.agc) () =
     sim;
     fabric;
     spec;
+    topo;
     nodes;
+    by_name;
+    ib_list;
+    eth_only_list;
+    vms = Hashtbl.create 64;
+    residents = Array.init (Array.length nodes) (fun _ -> Hashtbl.create 4);
+    used_bytes = Array.make (Array.length nodes) 0.0;
     trace;
     probes;
     inter_racks = Hashtbl.create 4;
     injector;
     dead_nodes = Hashtbl.create 4;
   }
+
+let topology t = Option.map (fun (tl : topo_links) -> tl.topo) t.topo
 
 let injector t = t.injector
 
@@ -79,14 +155,69 @@ let node t i = t.nodes.(i)
 
 let nodes t = Array.to_list t.nodes
 
-let ib_nodes t = List.filter Node.has_ib (nodes t)
+let ib_nodes t = t.ib_list
 
-let eth_only_nodes t = List.filter (fun n -> not (Node.has_ib n)) (nodes t)
+let eth_only_nodes t = t.eth_only_list
 
-let find_node t name =
-  match Array.find_opt (fun (n : Node.t) -> String.equal n.name name) t.nodes with
-  | Some n -> n
+let find_node t name = Hashtbl.find t.by_name name
+
+(* ------------------------------------------------------------------ *)
+(* VM registry *)
+
+let remove_entry t name (e : vm_entry) =
+  Hashtbl.remove t.residents.(e.vm_node) name;
+  t.used_bytes.(e.vm_node) <- Float.max 0.0 (t.used_bytes.(e.vm_node) -. e.vm_bytes)
+
+let register_vm t ~name ~node ~bytes =
+  if node < 0 || node >= Array.length t.nodes then
+    invalid_arg "Cluster.register_vm: node id out of range";
+  if not (bytes >= 0.0 && Float.is_finite bytes) then
+    invalid_arg "Cluster.register_vm: bytes must be non-negative";
+  (* Latest registration wins: restoring a snapshot re-creates a VM under
+     its original name while the stale instance may still linger. *)
+  (match Hashtbl.find_opt t.vms name with
+  | Some stale -> remove_entry t name stale
+  | None -> ());
+  Hashtbl.replace t.vms name { vm_node = node; vm_bytes = bytes };
+  Hashtbl.replace t.residents.(node) name ();
+  t.used_bytes.(node) <- t.used_bytes.(node) +. bytes
+
+let move_vm t ~name ~node =
+  if node < 0 || node >= Array.length t.nodes then
+    invalid_arg "Cluster.move_vm: node id out of range";
+  match Hashtbl.find_opt t.vms name with
   | None -> raise Not_found
+  | Some e ->
+    if e.vm_node <> node then begin
+      remove_entry t name e;
+      e.vm_node <- node;
+      Hashtbl.replace t.residents.(node) name ();
+      t.used_bytes.(node) <- t.used_bytes.(node) +. e.vm_bytes
+    end
+
+let unregister_vm t ~name =
+  match Hashtbl.find_opt t.vms name with
+  | None -> ()
+  | Some e ->
+    remove_entry t name e;
+    Hashtbl.remove t.vms name
+
+let vm_count t = Hashtbl.length t.vms
+
+let vm_node t ~name =
+  Option.map (fun e -> t.nodes.(e.vm_node)) (Hashtbl.find_opt t.vms name)
+
+let vms_on t (n : Node.t) =
+  Hashtbl.fold (fun name () acc -> name :: acc) t.residents.(n.Node.id) []
+  |> List.sort String.compare
+
+let node_used_bytes t (n : Node.t) = t.used_bytes.(n.Node.id)
+
+let node_free_bytes t (n : Node.t) = n.Node.mem_bytes -. t.used_bytes.(n.Node.id)
+
+let nodes_with_free t ~bytes =
+  Array.to_list t.nodes
+  |> List.filter (fun (n : Node.t) -> node_free_bytes t n >= bytes)
 
 let set_inter_rack t ~rack_a ~rack_b ~capacity ~latency =
   let mk a b =
@@ -105,19 +236,55 @@ let inter_rack_hop t (src : Node.t) (dst : Node.t) =
       | Some ir -> Some ([ ir.link_ba ], ir.latency)
       | None -> Some ([], Time.zero))
 
+(* Three-tier routing over a generated topology. Ethernet climbs the
+   hierarchy only as far as needed (rack < pod < core); IB is confined to
+   its pod, crossing the non-blocking per-rack aggregation layer between
+   racks. Same-rack traffic is switched locally (non-blocking leaf), so
+   only the endpoints' ports constrain it. *)
+let topo_route (tl : topo_links) ~net (src : Node.t) (dst : Node.t) =
+  let topo = tl.topo in
+  let spod = Topology.pod_of_rack topo src.rack in
+  let dpod = Topology.pod_of_rack topo dst.rack in
+  match net with
+  | Ib -> (
+    match (src.ib_port, dst.ib_port) with
+    | Some sp, Some dp when src.rack = dst.rack -> Some [ sp.tx; dp.rx ]
+    | Some sp, Some dp when spod = dpod -> (
+      match (tl.ib_up.(src.rack), tl.ib_down.(dst.rack)) with
+      | Some up, Some down -> Some [ sp.tx; up; down; dp.rx ]
+      | _ -> None)
+    | _ -> None)
+  | Eth ->
+    if src.rack = dst.rack then Some [ src.eth_port.tx; dst.eth_port.rx ]
+    else if spod = dpod then
+      Some [ src.eth_port.tx; tl.leaf_up.(src.rack); tl.leaf_down.(dst.rack); dst.eth_port.rx ]
+    else
+      Some
+        [
+          src.eth_port.tx;
+          tl.leaf_up.(src.rack);
+          tl.pod_up.(spod);
+          tl.pod_down.(dpod);
+          tl.leaf_down.(dst.rack);
+          dst.eth_port.rx;
+        ]
+
 let route_opt t ~net ~src ~dst =
   if src.Node.id = dst.Node.id then Some [ src.Node.loopback ]
   else
-    match net with
-    | Ib -> (
-      match (src.Node.ib_port, dst.Node.ib_port) with
-      | Some sp, Some dp when src.Node.rack = dst.Node.rack -> Some [ sp.tx; dp.rx ]
-      | Some _, Some _ | Some _, None | None, Some _ | None, None -> None)
-    | Eth ->
-      let hop =
-        match inter_rack_hop t src dst with Some (links, _) -> links | None -> []
-      in
-      Some (((src.Node.eth_port.tx :: hop) @ [ dst.Node.eth_port.rx ]))
+    match t.topo with
+    | Some tl -> topo_route tl ~net src dst
+    | None -> (
+      match net with
+      | Ib -> (
+        match (src.Node.ib_port, dst.Node.ib_port) with
+        | Some sp, Some dp when src.Node.rack = dst.Node.rack -> Some [ sp.tx; dp.rx ]
+        | Some _, Some _ | Some _, None | None, Some _ | None, None -> None)
+      | Eth ->
+        let hop =
+          match inter_rack_hop t src dst with Some (links, _) -> links | None -> []
+        in
+        Some (((src.Node.eth_port.tx :: hop) @ [ dst.Node.eth_port.rx ])))
 
 let route t ~net ~src ~dst =
   match route_opt t ~net ~src ~dst with
@@ -137,6 +304,18 @@ let path_latency t ~net ~src ~dst =
   in
   if src.Node.id = dst.Node.id then base
   else
-    match inter_rack_hop t src dst with
-    | Some (_, extra) -> Time.add base extra
-    | None -> base
+    match t.topo with
+    | Some tl ->
+      if src.Node.rack = dst.Node.rack then base
+      else
+        let leaf2 = Time.add Topology.leaf_hop_latency Topology.leaf_hop_latency in
+        let spod = Topology.pod_of_rack tl.topo src.Node.rack in
+        let dpod = Topology.pod_of_rack tl.topo dst.Node.rack in
+        if spod = dpod then Time.add base leaf2
+        else
+          Time.add base
+            (Time.add leaf2 (Time.add Topology.spine_hop_latency Topology.spine_hop_latency))
+    | None -> (
+      match inter_rack_hop t src dst with
+      | Some (_, extra) -> Time.add base extra
+      | None -> base)

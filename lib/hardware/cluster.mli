@@ -1,10 +1,15 @@
 (** A simulated data center: nodes plus the shared network fabric.
 
-    Routing is intentionally simple — blade-enclosure switches are
-    non-blocking, so a path is [src.tx → dst.rx] on the chosen network
-    (plus an explicit inter-rack link when one has been configured, which
-    is how the disaster-recovery example models a WAN hop). Same-node
-    paths go through the node's loopback. *)
+    Two construction modes. From a {!Spec.t}, routing is intentionally
+    simple — blade-enclosure switches are non-blocking, so a path is
+    [src.tx → dst.rx] on the chosen network (plus an explicit inter-rack
+    link when one has been configured, which is how the
+    disaster-recovery example models a WAN hop). From a {!Topology.t},
+    the cluster additionally builds the aggregation layers (per-rack
+    leaf uplinks, per-pod core uplinks, per-rack IB aggregation inside
+    IB pods) and Ethernet paths climb the three-tier hierarchy, so
+    cross-rack migration traffic contends on shared oversubscribed
+    links. Same-node paths go through the node's loopback either way. *)
 
 open Ninja_engine
 open Ninja_flownet
@@ -13,8 +18,15 @@ type net = Ib | Eth
 
 type t
 
-val create : Sim.t -> ?spec:Spec.t -> unit -> t
-(** Default spec is {!Spec.agc}. *)
+val create :
+  Sim.t -> ?spec:Spec.t -> ?topology:Topology.t -> ?solver:Fabric.solver -> unit -> t
+(** Default spec is {!Spec.agc}. When [topology] is given it takes
+    precedence: the node population comes from {!Topology.to_spec} and
+    multi-tier routing is enabled. [solver] is passed to
+    {!Fabric.create} (differential tests pit [Incremental] against
+    [Global] on the same topology). *)
+
+val topology : t -> Topology.t option
 
 val sim : t -> Sim.t
 
@@ -39,7 +51,39 @@ val ib_nodes : t -> Node.t list
 val eth_only_nodes : t -> Node.t list
 
 val find_node : t -> string -> Node.t
-(** By name; raises [Not_found]. *)
+(** By name (hash lookup); raises [Not_found]. *)
+
+(** {1 VM registry}
+
+    An indexed store of VM placements, kept in sync by
+    [Ninja_vmm.Vm.create]/[set_host]: name → node plus per-node resident
+    sets and memory aggregates, so occupancy queries cost O(1) per node
+    instead of a scan over every VM. Keyed by name because this layer
+    sits below the VMM. *)
+
+val register_vm : t -> name:string -> node:int -> bytes:float -> unit
+(** Latest registration under a name wins (snapshot restore re-creates a
+    VM under its original name). *)
+
+val move_vm : t -> name:string -> node:int -> unit
+(** Raises [Not_found] for an unregistered name. *)
+
+val unregister_vm : t -> name:string -> unit
+(** No-op for an unregistered name. *)
+
+val vm_count : t -> int
+
+val vm_node : t -> name:string -> Node.t option
+
+val vms_on : t -> Node.t -> string list
+(** Registered VMs resident on the node, sorted by name. *)
+
+val node_used_bytes : t -> Node.t -> float
+
+val node_free_bytes : t -> Node.t -> float
+
+val nodes_with_free : t -> bytes:float -> Node.t list
+(** Nodes with at least [bytes] of unregistered memory, in id order. *)
 
 (** {1 Faults}
 

@@ -18,11 +18,18 @@ type t = {
   mutable rev_steps : step list;
   by_id : (int, step) Hashtbl.t;
   deps : (int, int list ref) Hashtbl.t;  (* after id -> before ids *)
+  dep_set : (int * int, unit) Hashtbl.t;  (* (after, before) membership *)
 }
 
 exception Cyclic of string
 
-let create () = { rev_steps = []; by_id = Hashtbl.create 16; deps = Hashtbl.create 16 }
+let create () =
+  {
+    rev_steps = [];
+    by_id = Hashtbl.create 16;
+    deps = Hashtbl.create 16;
+    dep_set = Hashtbl.create 16;
+  }
 
 let length t = Hashtbl.length t.by_id
 
@@ -55,7 +62,10 @@ let add_dep t ~before ~after =
       Hashtbl.add t.deps after.id c;
       c
   in
-  if not (List.mem before.id !cell) then cell := before.id :: !cell
+  if not (Hashtbl.mem t.dep_set (after.id, before.id)) then begin
+    Hashtbl.add t.dep_set (after.id, before.id) ();
+    cell := before.id :: !cell
+  end
 
 let dep_ids t step =
   match Hashtbl.find_opt t.deps step.id with Some c -> List.sort compare !c | None -> []
@@ -63,7 +73,7 @@ let dep_ids t step =
 let deps_of t step = List.map (find t) (dep_ids t step)
 
 let dependents_of t step =
-  List.filter (fun s -> List.mem step.id (dep_ids t s)) (steps t)
+  List.filter (fun s -> Hashtbl.mem t.dep_set (s.id, step.id)) (steps t)
 
 let dep_count t = Hashtbl.fold (fun _ c acc -> acc + List.length !c) t.deps 0
 

@@ -2,9 +2,10 @@ open Ninja_hardware
 open Ninja_vmm
 
 let nodes_free cluster ~vms =
-  let occupied = List.map (fun vm -> (Vm.host vm).Node.id) vms in
+  let occupied = Hashtbl.create (List.length vms) in
+  List.iter (fun vm -> Hashtbl.replace occupied (Vm.host vm).Node.id ()) vms;
   Cluster.nodes cluster
-  |> List.filter (fun (n : Node.t) -> not (List.mem n.Node.id occupied))
+  |> List.filter (fun (n : Node.t) -> not (Hashtbl.mem occupied n.Node.id))
   |> List.sort (fun (a : Node.t) (b : Node.t) -> compare a.Node.id b.Node.id)
 
 let evacuation_plan cluster ~vms ~avoid =

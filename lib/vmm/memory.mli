@@ -48,3 +48,9 @@ val dirty_bytes : t -> float
 val clear_dirty : t -> unit
 
 val used_fraction : t -> float
+
+(** {1 Page-level inspection (tests)} *)
+
+val page_nonzero : t -> int -> bool
+
+val page_dirty : t -> int -> bool

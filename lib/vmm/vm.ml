@@ -94,6 +94,7 @@ let create cluster ~name ~host ~vcpus ~mem_bytes ?(os_resident_bytes = default_o
       migrated_hooks = [];
     }
   in
+  Cluster.register_vm cluster ~name ~node:host.Node.id ~bytes:mem_bytes;
   attach_device t (Device.make ~tag:"virtio0" ~pci_addr:"00:03.0" Device.Virtio_net);
   t
 
@@ -117,6 +118,7 @@ let resume t =
 let set_host t dst =
   let src = t.host in
   t.host <- dst;
+  Cluster.move_vm t.cluster ~name:t.name ~node:dst.Node.id;
   Trace.recordf (Cluster.trace t.cluster) ~category:"vmm" "%s: now on %s" t.name dst.Node.name;
   Probe.emit (Cluster.probes t.cluster) ~topic:"vm" ~action:"migrated" ~subject:t.name
     ~info:
