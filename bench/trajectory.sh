@@ -1,0 +1,67 @@
+#!/bin/sh
+# Bench trajectory: chart wall-time across every committed BENCH_N.json.
+#
+#   bench/trajectory.sh              # all snapshots in the repo root
+#   bench/trajectory.sh evacuation   # one experiment's trajectory only
+#
+# Each snapshot is one PR's `dune exec bench/main.exe` run (see
+# bench/main.ml); compare.sh gates consecutive pairs, this script shows
+# the whole history: total wall per snapshot, then per-experiment rows
+# with an ASCII bar scaled to the slowest snapshot of that experiment.
+set -eu
+
+only="${1:-}"
+
+dir="$(dirname "$0")/.."
+set -- $(ls "$dir"/BENCH_*.json 2>/dev/null | sort -t_ -k2 -n)
+if [ "$#" -eq 0 ]; then
+  echo "bench/trajectory.sh: no BENCH_N.json snapshots found"
+  exit 0
+fi
+
+command -v jq >/dev/null 2>&1 || {
+  echo "bench/trajectory.sh: jq not available"
+  exit 1
+}
+
+bar() { # bar <value> <max> — 1..40 hashes proportional to value/max
+  jq -n --argjson v "$1" --argjson m "$2" \
+    '"#" * (if $m <= 0 then 1 else (($v / $m * 40) | floor + 1) end)' | tr -d '"'
+}
+
+if [ -z "$only" ]; then
+  echo "total wall seconds per snapshot:"
+  max=0
+  for f; do
+    w=$(jq -r '.total_wall_s' "$f")
+    max=$(jq -n --argjson a "$max" --argjson b "$w" 'if $b > $a then $b else $a end')
+  done
+  for f; do
+    pr=$(jq -r '.pr' "$f")
+    w=$(jq -r '.total_wall_s' "$f")
+    jobs=$(jq -r '.jobs' "$f")
+    printf '  PR %-3s %8.3fs -j%-2s %s\n' "$pr" "$w" "$jobs" "$(bar "$w" "$max")"
+  done
+  echo
+fi
+
+# Per-experiment rows over the union of entry names, newest-file order.
+names=$(for f; do jq -r '.entries[].name' "$f"; done | awk '!seen[$0]++')
+for name in $names; do
+  if [ -n "$only" ] && [ "$name" != "$only" ]; then continue; fi
+  max=0
+  for f; do
+    w=$(jq -r --arg n "$name" '[.entries[] | select(.name == $n) | .wall_s] | first // 0' "$f")
+    max=$(jq -n --argjson a "$max" --argjson b "$w" 'if $b > $a then $b else $a end')
+  done
+  echo "$name:"
+  for f; do
+    pr=$(jq -r '.pr' "$f")
+    w=$(jq -r --arg n "$name" '[.entries[] | select(.name == $n) | .wall_s] | first // empty' "$f")
+    if [ -z "$w" ]; then
+      printf '  PR %-3s %8s\n' "$pr" "-"
+    else
+      printf '  PR %-3s %8.3fs %s\n' "$pr" "$w" "$(bar "$w" "$max")"
+    fi
+  done
+done

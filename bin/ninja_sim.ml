@@ -19,6 +19,22 @@ let strategy_conv =
   let parse s = Ninja_planner.Solver.of_string s |> Result.map_error (fun e -> `Msg e) in
   Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Ninja_planner.Solver.name s))
 
+(* Derived from the solver registry, so a newly registered strategy shows
+   up in every command's help without touching this file. *)
+let strategy_doc =
+  Printf.sprintf "Planner strategy: %s." (Ninja_planner.Solver.help ())
+
+let traffic_conv =
+  let parse s = Ninja_workloads.Traffic.of_string s |> Result.map_error (fun e -> `Msg e) in
+  Arg.conv
+    ( parse,
+      fun fmt p -> Format.pp_print_string fmt (Ninja_workloads.Traffic.to_string p) )
+
+let traffic_doc =
+  "Tenant traffic pattern: PATTERN[:K=V{,K=V}] where PATTERN is uniform, ring or \
+   skewed and keys are rate (bytes/s), elephants and factor. Example: \
+   'skewed:elephants=2,rate=1e5,factor=16'."
+
 let fault_conv =
   let parse s =
     Ninja_faults.Injector.parse_spec s |> Result.map_error (fun e -> `Msg e)
@@ -120,7 +136,16 @@ let run_cmd =
     in
     Arg.(value & opt (some string) None & info [ "spans" ] ~docv:"FILE" ~doc)
   in
-  let run name full csv_dir seed faults topology jobs trace_file metrics_file spans_file =
+  let traffic =
+    let doc =
+      traffic_doc
+      ^ " Traffic-aware experiments (placement) sweep this single pattern instead of \
+         their built-in pattern axis."
+    in
+    Arg.(value & opt (some traffic_conv) None & info [ "traffic" ] ~docv:"PATTERN" ~doc)
+  in
+  let run name full csv_dir seed faults topology traffic jobs trace_file metrics_file
+      spans_file =
     if jobs < 1 then begin
       prerr_endline "run: --jobs must be at least 1";
       exit 1
@@ -168,7 +193,8 @@ let run_cmd =
       with_out metrics_file @@ fun metrics_oc ->
       with_pool @@ fun pool ->
       let topology = Option.map Ninja_hardware.Topology.to_string topology in
-      let ctx = Run_ctx.make ?seed ~mode ~faults ?topology ?pool () in
+      let traffic = Option.map Ninja_workloads.Traffic.to_string traffic in
+      let ctx = Run_ctx.make ?seed ~mode ~faults ?topology ?traffic ?pool () in
       (* Span fragments accumulate across all experiments (in submission
          order) and are assembled into one JSON document at the end. *)
       let all_fragments = ref [] in
@@ -215,8 +241,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run $ name_arg $ full $ csv_dir $ seed_arg $ fault_args $ topology_arg $ jobs
-      $ trace_file $ metrics_file $ spans_file)
+      const run $ name_arg $ full $ csv_dir $ seed_arg $ fault_args $ topology_arg
+      $ traffic $ jobs $ trace_file $ metrics_file $ spans_file)
 
 (* `ninja_sim script [FILE]`: execute a Fig. 5-style migration script
    against a canned demo scenario (2 VMs on the IB cluster running a
@@ -284,8 +310,10 @@ let plan_cmd =
     Arg.(value & opt int 4 & info [ "vms" ] ~docv:"N" ~doc)
   in
   let strategy =
-    let doc = "Planner strategy: $(b,sequential) or $(b,grouped)." in
-    Arg.(value & opt strategy_conv Ninja_planner.Solver.Grouped & info [ "strategy" ] ~docv:"STRATEGY" ~doc)
+    Arg.(
+      value
+      & opt strategy_conv Ninja_planner.Solver.default
+      & info [ "strategy" ] ~docv:"STRATEGY" ~doc:strategy_doc)
   in
   let uplink =
     let doc = "Inter-rack uplink capacity in Gb/s." in
@@ -361,6 +389,13 @@ let check_cmd =
       & opt (some (enum (List.map (fun p -> (p, p)) Ninja_check.Runner.plants))) None
       & info [ "plant" ] ~docv:"BUG" ~doc)
   in
+  let strategy =
+    let doc =
+      strategy_doc ^ " Pins every generated scenario to one registered strategy \
+                      (the CI strategy matrix); default: the generator mixes them."
+    in
+    Arg.(value & opt (some strategy_conv) None & info [ "strategy" ] ~docv:"STRATEGY" ~doc)
+  in
   let no_shrink =
     let doc = "Skip counterexample minimisation." in
     Arg.(value & flag & info [ "no-shrink" ] ~doc)
@@ -369,7 +404,7 @@ let check_cmd =
     let doc = "Re-run the exact scenario serialised in $(docv) instead of fuzzing." in
     Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
   in
-  let run n jobs out_dir plant no_shrink replay seed topology =
+  let run n jobs out_dir plant strategy no_shrink replay seed topology =
     let open Ninja_check in
     match replay with
     | Some path ->
@@ -400,7 +435,7 @@ let check_cmd =
       with_pool @@ fun pool ->
       let ctx = Run_ctx.make ?seed ?pool () in
       let summary =
-        Fuzz.campaign ctx ~n ?plant ?topology ~shrink:(not no_shrink) ()
+        Fuzz.campaign ctx ~n ?plant ?topology ?strategy ~shrink:(not no_shrink) ()
       in
       Format.printf "%a@." Fuzz.pp_summary summary;
       if summary.Fuzz.failures <> [] then begin
@@ -418,7 +453,7 @@ let check_cmd =
   in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
-      const run $ n $ jobs $ out_dir $ plant $ no_shrink $ replay $ seed_arg
+      const run $ n $ jobs $ out_dir $ plant $ strategy $ no_shrink $ replay $ seed_arg
       $ topology_arg)
 
 (* `ninja_sim serve`: run the continuous control plane — an open-loop
@@ -464,9 +499,26 @@ let serve_cmd =
     Arg.(value & opt float 8.0 & info [ "mem-gb" ] ~docv:"GB" ~doc)
   in
   let strategy =
-    let doc = "Planner strategy for each batch: $(b,sequential) or $(b,grouped)." in
-    Arg.(value & opt strategy_conv Ninja_planner.Solver.Grouped
-         & info [ "strategy" ] ~docv:"STRATEGY" ~doc)
+    Arg.(
+      value
+      & opt strategy_conv Ninja_planner.Solver.default
+      & info [ "strategy" ] ~docv:"STRATEGY" ~doc:strategy_doc)
+  in
+  let traffic =
+    let doc =
+      traffic_doc
+      ^ " Each tenant draws a seeded matrix; cost-model strategies and the \
+         auto-swap policy price placements against it."
+    in
+    Arg.(value & opt (some traffic_conv) None & info [ "traffic" ] ~docv:"PATTERN" ~doc)
+  in
+  let auto_swap =
+    let doc =
+      "Run the online destination-swap policy: between batches the dispatcher prices \
+       every VM pair against the tenant traffic matrices and submits the best \
+       improving exchange (most useful with --traffic)."
+    in
+    Arg.(value & flag & info [ "auto-swap" ] ~doc)
   in
   let max_inflight =
     let doc = "Concurrent non-overlapping batch plans." in
@@ -510,8 +562,8 @@ let serve_cmd =
     Arg.(value & opt (some string) None & info [ "spans" ] ~docv:"FILE" ~doc)
   in
   let run duration rate burst_period burst_size burst_spread tenants_n vms_per_tenant
-      mem_gb strategy max_inflight queue_cap slo seed seeds jobs show_log faults
-      topology trace_file metrics_file spans_file =
+      mem_gb strategy traffic auto_swap max_inflight queue_cap slo seed seeds jobs
+      show_log faults topology trace_file metrics_file spans_file =
     if duration <= 0.0 || rate < 0.0 || tenants_n < 1 || vms_per_tenant < 0
        || max_inflight < 1 || queue_cap < 1 || jobs < 1
     then begin
@@ -584,10 +636,12 @@ let serve_cmd =
             (Printf.sprintf "t%d" i, [| 3.0; 2.0; 1.0 |].(i mod 3)))
       in
       let specs =
-        Service.boot_tenants env.Exp_common.cluster ~tenants:tenant_names
+        Service.boot_tenants ?traffic env.Exp_common.cluster ~tenants:tenant_names
           ~vms_per_tenant ~mem_bytes:(Ninja_hardware.Units.gb mem_gb)
       in
-      let config = { Service.default_config with strategy; max_inflight; queue_cap } in
+      let config =
+        { Service.default_config with strategy; max_inflight; queue_cap; auto_swap }
+      in
       let svc = Service.create env.Exp_common.cluster ~config ~tenants:specs () in
       let checker =
         Ninja_check.Checker.install env.Exp_common.cluster ~vms:(Service.vms svc)
@@ -668,9 +722,9 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ duration $ rate $ burst_period $ burst_size $ burst_spread $ tenants
-      $ vms_per_tenant $ mem_gb $ strategy $ max_inflight $ queue_cap $ slo $ seed_arg
-      $ seeds $ jobs $ show_log $ fault_args $ topology_arg $ trace_file $ metrics_file
-      $ spans_file)
+      $ vms_per_tenant $ mem_gb $ strategy $ traffic $ auto_swap $ max_inflight
+      $ queue_cap $ slo $ seed_arg $ seeds $ jobs $ show_log $ fault_args $ topology_arg
+      $ trace_file $ metrics_file $ spans_file)
 
 let () =
   let doc = "Ninja migration reproduction: run the paper's experiments on the simulator." in

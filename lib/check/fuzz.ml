@@ -64,12 +64,17 @@ let impose_topology topo (sc : Scenario.t) =
     uplink_gbps = None;
   }
 
-let campaign ctx ~n ?plant ?topology ?(shrink = true) () =
+let campaign ctx ~n ?plant ?topology ?strategy ?(shrink = true) () =
   let scenarios =
     generate ~seed:ctx.Run_ctx.seed ~n
     |> List.map (fun sc ->
            let sc = { sc with Scenario.plant } in
-           match topology with None -> sc | Some topo -> impose_topology topo sc)
+           let sc =
+             match topology with None -> sc | Some topo -> impose_topology topo sc
+           in
+           match strategy with
+           | None -> sc
+           | Some strategy -> { sc with Scenario.strategy })
   in
   let results = Run_ctx.map ctx ~f:Runner.run scenarios in
   let failures =

@@ -35,14 +35,16 @@ val campaign :
   n:int ->
   ?plant:string ->
   ?topology:Ninja_hardware.Topology.t ->
+  ?strategy:Ninja_planner.Solver.t ->
   ?shrink:bool ->
   unit ->
   summary
 (** Run a campaign of [n] scenarios seeded from the context. [plant]
     installs the named planted bug (see {!Runner}) into every scenario;
     [topology] forces every scenario onto the given datacenter topology
-    (clamping fleet size and memory to fit it); [shrink] (default true)
-    controls counterexample minimisation. *)
+    (clamping fleet size and memory to fit it); [strategy] pins every
+    scenario to one registered planner strategy (the CI strategy matrix);
+    [shrink] (default true) controls counterexample minimisation. *)
 
 val repro_of : failure -> string
 (** The replay file for a failure (the shrunk scenario when available),

@@ -180,7 +180,24 @@ let run ?attach scenario =
         ignore
           (Ninja.launch ninja ~procs_per_vm:scenario.Scenario.procs
              (workload scenario stop));
-        let sched = Cloud_scheduler.create ~strategy:scenario.Scenario.strategy ninja in
+        let traffic =
+          match scenario.Scenario.traffic with
+          | None -> []
+          | Some text -> (
+            match Ninja_workloads.Traffic.of_string text with
+            | Error e -> failwith e
+            | Ok pattern ->
+              (* A dedicated split keyed off the sim stream: drawn at a
+                 fixed point in setup, so equal scenarios get equal
+                 matrices and traffic-less scenarios leave the stream
+                 untouched. *)
+              let prng = Prng.split (Sim.prng sim) in
+              Ninja_workloads.Traffic.matrix prng pattern
+                ~vms:(List.map Vm.name (Ninja.vms ninja)))
+        in
+        let sched =
+          Cloud_scheduler.create ~strategy:scenario.Scenario.strategy ~traffic ninja
+        in
         Cloud_scheduler.schedule sched
           ~after:(Time.of_sec_f scenario.Scenario.trigger_at)
           (trigger_of cluster ~origins scenario);

@@ -16,7 +16,8 @@ type t = {
   msg_bytes : float;
   until : float;
   uplink_gbps : float option;
-  strategy : Solver.strategy;
+  strategy : Solver.t;
+  traffic : string option;
   trigger : trigger;
   trigger_at : float;
   faults : string list;
@@ -75,7 +76,18 @@ let gen prng =
   let uplink_gbps =
     if Prng.int prng 4 = 0 && topo = None then Some (frange prng 5.0 25.0) else None
   in
-  let strategy = if Prng.bool prng then Solver.Grouped else Solver.Sequential in
+  let strategy =
+    let all = Solver.all () in
+    List.nth all (Prng.int prng (List.length all))
+  in
+  (* One in three scenarios carries a tenant traffic matrix, so every
+     registered strategy (the swap solver in particular) sees priced
+     communication demand under the checker. *)
+  let traffic =
+    if Prng.int prng 3 = 0 then
+      Some (Ninja_workloads.Traffic.to_string (Ninja_workloads.Traffic.gen prng))
+    else None
+  in
   let trigger =
     match Prng.int prng 4 with
     | 0 -> Drain
@@ -106,6 +118,7 @@ let gen prng =
     until;
     uplink_gbps;
     strategy;
+    traffic;
     trigger;
     trigger_at;
     faults;
@@ -154,6 +167,14 @@ let validate t =
     check
       (match t.uplink_gbps with None -> true | Some g -> g > 0.0)
       "uplink_gbps must be positive"
+  in
+  let* () =
+    match t.traffic with
+    | None -> Ok ()
+    | Some s -> (
+      match Ninja_workloads.Traffic.of_string s with
+      | Ok _ -> Ok ()
+      | Error e -> Error e)
   in
   let* () =
     match t.trigger with
@@ -209,7 +230,8 @@ let to_string t =
   line "msg_bytes" (fstr t.msg_bytes);
   line "until" (fstr t.until);
   (match t.uplink_gbps with Some g -> line "uplink_gbps" (fstr g) | None -> ());
-  line "strategy" (String.lowercase_ascii (Solver.name t.strategy));
+  line "strategy" (Solver.name t.strategy);
+  (match t.traffic with Some p -> line "traffic" p | None -> ());
   line "trigger" (trigger_to_string t.trigger);
   line "trigger_at" (fstr t.trigger_at);
   List.iter (fun f -> line "fault" f) t.faults;
@@ -229,7 +251,8 @@ let default =
     msg_bytes = 1e7;
     until = 40.0;
     uplink_gbps = None;
-    strategy = Solver.Sequential;
+    strategy = Solver.sequential;
+    traffic = None;
     trigger = Drain;
     trigger_at = 5.0;
     faults = [];
@@ -279,6 +302,9 @@ let of_string text =
         Result.map (fun f -> { t with uplink_gbps = Some f }) (parse_float k v)
       | "strategy" ->
         Result.map (fun s -> { t with strategy = s }) (Solver.of_string v)
+      (* The value itself contains '=' and ',' (e.g. skewed:elephants=2);
+         the first-'=' split above keeps it intact. *)
+      | "traffic" -> Ok { t with traffic = Some v }
       | "trigger" -> Result.map (fun tr -> { t with trigger = tr }) (trigger_of_string v)
       | "trigger_at" -> Result.map (fun f -> { t with trigger_at = f }) (parse_float k v)
       | "fault" -> Ok { t with faults = t.faults @ [ v ] }
@@ -315,8 +341,8 @@ let shrink t =
   | Some topo -> List.iter (fun c -> add { t with topo = Some c }) (Topology.shrink topo)
   | None -> ());
   if t.trigger <> Drain then add { t with trigger = Drain };
-  if t.strategy <> Ninja_planner.Solver.Sequential then
-    add { t with strategy = Ninja_planner.Solver.Sequential };
+  if t.strategy <> Solver.sequential then add { t with strategy = Solver.sequential };
+  if t.traffic <> None then add { t with traffic = None };
   if t.uplink_gbps <> None then add { t with uplink_gbps = None };
   if t.until > 40.0 then add { t with until = Float.max 40.0 (t.until /. 2.0) };
   if t.msg_bytes > 1e6 then add { t with msg_bytes = 1e6 };
@@ -332,14 +358,15 @@ let shrink t =
   List.rev !candidates |> List.filter (fun c -> validate c = Ok ())
 
 let pp fmt t =
-  Format.fprintf fmt "seed=%Ld %s, %d vm(s) x%d, %s/%s @%.1fs%s%s" t.seed
+  Format.fprintf fmt "seed=%Ld %s, %d vm(s) x%d, %s/%s @%.1fs%s%s%s" t.seed
     (match t.topo with
     | None -> Printf.sprintf "%d+%d nodes" t.ib t.eth
     | Some topo -> Topology.to_string topo)
     t.vms t.procs
     (trigger_to_string t.trigger)
-    (String.lowercase_ascii (Solver.name t.strategy))
+    (Solver.name t.strategy)
     t.trigger_at
+    (match t.traffic with None -> "" | Some p -> " traffic=" ^ p)
     (match t.faults with
     | [] -> ""
     | fs -> " faults=[" ^ String.concat "; " fs ^ "]")

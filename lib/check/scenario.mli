@@ -33,7 +33,12 @@ type t = {
   msg_bytes : float;  (** per-iteration allreduce payload *)
   until : float;  (** workload iterates until this MPI wtime *)
   uplink_gbps : float option;  (** inter-rack WAN constraint, if any *)
-  strategy : Ninja_planner.Solver.strategy;
+  strategy : Ninja_planner.Solver.t;
+      (** any registered planner strategy (see {!Ninja_planner.Solver.all}) *)
+  traffic : string option;
+      (** tenant traffic pattern in {!Ninja_workloads.Traffic} grammar,
+          priced by cost-model strategies; a seeded matrix is drawn over
+          the fleet at run time *)
   trigger : trigger;
   trigger_at : float;  (** sim seconds before the trigger fires *)
   faults : string list;  (** {!Ninja_faults.Injector} textual specs *)

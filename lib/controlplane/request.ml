@@ -6,6 +6,7 @@ type kind =
   | Fallback
   | Return
   | Failover of { rack : int }
+  | Swap of { vm_a : string; vm_b : string }
 
 type priority = Low | Normal | High
 
@@ -30,11 +31,13 @@ let kind_name = function
   | Fallback -> "fallback"
   | Return -> "return"
   | Failover _ -> "failover"
+  | Swap _ -> "swap"
 
 let describe t =
   match t.kind with
   | Evacuate { node } -> "evacuate " ^ node
   | Failover { rack } -> Printf.sprintf "failover rack%d" rack
+  | Swap { vm_a; vm_b } -> Printf.sprintf "swap %s<->%s" vm_a vm_b
   | k -> kind_name k
 
 let expired t ~now =

@@ -18,6 +18,10 @@ type kind =
   | Return  (** move the tenant's VMs back onto IB-equipped nodes *)
   | Failover of { rack : int }
       (** mass evacuation: move every managed VM off the given rack *)
+  | Swap of { vm_a : string; vm_b : string }
+      (** exchange the hosts of two VMs — the adaptive placement move of
+          Avin et al. (arXiv:1309.5826), submitted by a tenant for its own
+          VMs (intra-tenant) or by [ops] across tenants (inter-tenant) *)
 
 type priority = Low | Normal | High
 

@@ -4,27 +4,34 @@ open Ninja_vmm
 open Ninja_planner
 open Ninja_telemetry
 
-type tenant_spec = { name : string; weight : float; vms : Vm.t list }
+type tenant_spec = {
+  name : string;
+  weight : float;
+  vms : Vm.t list;
+  traffic : Cost_model.traffic;
+}
 
 type config = {
-  strategy : Solver.strategy;
+  strategy : Solver.t;
   max_inflight : int;
   queue_cap : int;
   max_attempts : int;
   max_defers : int;
   retry : Retry.policy;
   max_per_host : int;
+  auto_swap : bool;
 }
 
 let default_config =
   {
-    strategy = Solver.Grouped;
+    strategy = Solver.default;
     max_inflight = 2;
     queue_cap = 8;
     max_attempts = 3;
     max_defers = 25;
     retry = Retry.default_policy;
     max_per_host = Executor.default_max_per_host;
+    auto_swap = false;
   }
 
 type outcome = Completed | Rejected of string | Dropped of string | Failed of string
@@ -42,6 +49,7 @@ type t = {
   cfg : config;
   tenants : tenant_spec list;
   all_vms : Vm.t list;  (* name-sorted *)
+  traffic : Cost_model.traffic;  (* all tenants' matrices, concatenated *)
   queue : Request.t Fair_queue.t;
   locks : Locks.t;
   m : Metrics.t;
@@ -53,6 +61,7 @@ type t = {
   mutable inflight : int;
   mutable feeders : int;
   mutable epoch : int;  (* bumped whenever a batch settles *)
+  mutable swap_pending : bool;  (* an auto-proposed swap is queued or in flight *)
   mutable submitted_n : int;
   mutable rev_done : (Request.t * outcome) list;
   mutable rev_log : string list;
@@ -159,14 +168,47 @@ let acceptable_node (r : Request.t) (n : Node.t) =
   | Request.Fallback -> not (Node.has_ib n)
   | Request.Return -> Node.has_ib n
   | Request.Rebalance -> true
+  | Request.Swap _ -> true (* the reroute pins the fabric class per step *)
 
 let by_vm_name a b = compare (Vm.name a) (Vm.name b)
 
+(* A destination exchange is its own little plan: no packing, just the
+   two VMs aimed at each other's hosts ({!Ninja_planner.Plan.of_assignment}
+   turns the 2-cycle into a staged chain or a traced overcommit). Tenants
+   swap among their own VMs; [ops] may swap across tenants. Exchanges
+   never cross fabric classes — the device plan for each VM was computed
+   for its host's interconnect. *)
+let plan_swap t (r : Request.t) ~vm_a ~vm_b =
+  let pool =
+    if String.equal r.Request.tenant "ops" then t.all_vms
+    else tenant_vms t r.Request.tenant
+  in
+  let find nm = List.find_opt (fun vm -> String.equal (Vm.name vm) nm) pool in
+  match (find vm_a, find vm_b) with
+  | Some a, Some b ->
+    let ha = Vm.host a and hb = Vm.host b in
+    if ha.Node.id = hb.Node.id then Noop
+    else if
+      not (Cluster.node_alive t.cluster ha && Cluster.node_alive t.cluster hb)
+    then Blocked "host-dead"
+    else if Node.has_ib ha <> Node.has_ib hb then Blocked "fabric-class"
+    else if not (Locks.vm_free t.locks vm_a && Locks.vm_free t.locks vm_b) then
+      Blocked "vm-locked"
+    else if
+      not (Locks.host_free t.locks ha.Node.id && Locks.host_free t.locks hb.Node.id)
+    then Blocked "host-locked"
+    else Assignment [ (a, hb); (b, ha) ]
+  | _ -> Noop
+
 let plan_request t (r : Request.t) =
+  match r.Request.kind with
+  | Request.Swap { vm_a; vm_b } -> plan_swap t r ~vm_a ~vm_b
+  | _ ->
   let avail = avail t in
   let mine = tenant_vms t r.Request.tenant in
   let movers, candidates =
     match r.Request.kind with
+    | Request.Swap _ -> assert false
     | Request.Evacuate { node } ->
       ( List.filter (fun vm -> (Vm.host vm).Node.name = node) t.all_vms,
         List.filter (fun (n : Node.t) -> n.Node.name <> node) avail )
@@ -229,6 +271,7 @@ let note_queued t (r : Request.t) =
 
 let finish t (r : Request.t) outcome =
   Hashtbl.remove t.blocked r.Request.id;
+  (match r.Request.kind with Request.Swap _ -> t.swap_pending <- false | _ -> ());
   t.rev_done <- (r, outcome) :: t.rev_done;
   let latency = Time.to_sec_f (Time.diff (Sim.now t.sim) r.Request.submitted) in
   (match outcome with
@@ -281,6 +324,9 @@ let reroute t (r : Request.t) claim (step : Plan.step) =
   |> List.filter (fun (n : Node.t) ->
          n.Node.id <> here.Node.id
          && acceptable_node r n
+         && (match r.Request.kind with
+            | Request.Swap _ -> Node.has_ib n = Node.has_ib step.Plan.dst
+            | _ -> true)
          && Locks.host_free t.locks ~batch:(Locks.batch claim) n.Node.id
          && load_bytes t n +. need <= n.Node.mem_bytes *. (1.0 +. 1e-9))
   |> List.sort (fun a b ->
@@ -331,7 +377,7 @@ let execute_batch t (r : Request.t) claim plan =
             ignore (Vm.detach_device vm ~tag:d.Device.tag))
         (Vm.devices vm))
     moving;
-  let solved = Solver.solve t.cfg.strategy t.cluster plan in
+  let solved = Solver.solve t.cfg.strategy t.cluster ~traffic:t.traffic plan in
   let result =
     match
       Executor.run t.cluster ~max_per_host:t.cfg.max_per_host ~retry:t.cfg.retry
@@ -373,6 +419,9 @@ let execute_batch t (r : Request.t) claim plan =
       ();
     observe t "ctl.batch.makespan.seconds" (Time.to_sec_f report.Executor.makespan);
     count t ~by:report.Executor.total_wire_bytes "ctl.batch.wire.bytes";
+    (match r.Request.kind with
+    | Request.Swap _ -> count t "ctl.swap.applied"
+    | _ -> ());
     if report.Executor.retries > 0 then
       count t ~by:(float_of_int report.Executor.retries) "ctl.batch.retries";
     logf t "req#%d batch %s done: %d steps in %.1fs" r.Request.id bid
@@ -383,6 +432,9 @@ let execute_batch t (r : Request.t) claim plan =
       ~info:(origin_info @ [ ("batch", bid) ])
       ();
     count t "ctl.batches.rolled_back";
+    (match r.Request.kind with
+    | Request.Swap _ -> count t "ctl.swap.rolled_back"
+    | _ -> ());
     logf t "req#%d batch %s rolled back: %s" r.Request.id bid reason);
   Span.emit_end t.probes ~name:"execute" ~proc:"controlplane" ~thread:(thread_of r)
     ~args:
@@ -513,13 +565,6 @@ let rec dispatch_ready t =
       | _ -> ())
   end
 
-let rec dispatcher t =
-  dispatch_ready t;
-  if not (quiesced t) then begin
-    Semaphore.acquire t.wake;
-    dispatcher t
-  end
-
 (* {1 Feeding} *)
 
 let make t ~tenant ~kind ?(priority = Request.Normal) ?deadline () =
@@ -553,6 +598,108 @@ let submit t (r : Request.t) =
     gauge t "ctl.queue.depth.max" depth;
     observe t "ctl.queue.depth" depth;
     Semaphore.release t.wake
+  end
+
+(* {1 The online destination-swap policy (Avin et al., arXiv:1309.5826)}
+
+   Priced exactly like the planner's [swap] strategy: exchanging the
+   hosts of two VMs is worth proposing when the tenant-communication
+   saving, amortised over the cost model's horizon, exceeds the two
+   migrations it costs. Only entries incident to the candidate pair can
+   change, so the scan prices those. *)
+
+let swap_gain t a b =
+  let env = Cost_model.env t.cluster ~traffic:t.traffic () in
+  let ha = Vm.host a and hb = Vm.host b in
+  let na = Vm.name a and nb = Vm.name b in
+  let lookup name = Cluster.vm_node t.cluster ~name in
+  let swapped name =
+    if String.equal name na then Some hb
+    else if String.equal name nb then Some ha
+    else lookup name
+  in
+  let incident =
+    List.filter
+      (fun (x, y, _) ->
+        String.equal x na || String.equal y na || String.equal x nb || String.equal y nb)
+      t.traffic
+  in
+  let cost lk =
+    List.fold_left
+      (fun acc (x, y, rate) ->
+        match (lk x, lk y) with
+        | Some nx, Some ny -> acc +. (rate *. Cost_model.pair_cost env nx ny)
+        | _ -> acc)
+      0.0 incident
+  in
+  let saved = cost lookup -. cost swapped in
+  let mig =
+    Cost_model.move_seconds env ~vm:a ~src:ha ~dst:hb ()
+    +. Cost_model.move_seconds env ~vm:b ~src:hb ~dst:ha ()
+  in
+  (Cost_model.default_horizon *. saved) -. mig
+
+let propose_swap t =
+  if t.traffic = [] then false
+  else begin
+    let vms = Array.of_list t.all_vms in
+    let n = Array.length vms in
+    let best = ref None in
+    let best_gain = ref 1e-9 in
+    for i = 0 to n - 2 do
+      for j = i + 1 to n - 1 do
+        let a = vms.(i) and b = vms.(j) in
+        let ha = Vm.host a and hb = Vm.host b in
+        if
+          ha.Node.id <> hb.Node.id
+          && Cluster.node_alive t.cluster ha
+          && Cluster.node_alive t.cluster hb
+          && Node.has_ib ha = Node.has_ib hb
+          && Locks.vm_free t.locks (Vm.name a)
+          && Locks.vm_free t.locks (Vm.name b)
+        then begin
+          let g = swap_gain t a b in
+          if g > !best_gain then begin
+            best_gain := g;
+            best := Some (a, b)
+          end
+        end
+      done
+    done;
+    match !best with
+    | None ->
+      count t "ctl.swap.noop";
+      false
+    | Some (a, b) ->
+      let tenant_of vm =
+        List.find_opt (fun ts -> List.exists (fun v -> v == vm) ts.vms) t.tenants
+      in
+      let tenant =
+        match (tenant_of a, tenant_of b) with
+        | Some ta, Some tb when String.equal ta.name tb.name -> ta.name
+        | _ -> "ops"
+      in
+      let r =
+        make t ~tenant
+          ~kind:(Request.Swap { vm_a = Vm.name a; vm_b = Vm.name b })
+          ~priority:Request.Low ()
+      in
+      (* Set before [submit]: an admission rejection finishes the request
+         synchronously, which clears the flag again. *)
+      t.swap_pending <- true;
+      count t "ctl.swap.proposed";
+      gauge t "ctl.swap.gain" !best_gain;
+      logf t "swap proposal %s<->%s (gain %.3f)" (Vm.name a) (Vm.name b) !best_gain;
+      submit t r;
+      true
+  end
+
+let rec dispatcher t =
+  if t.cfg.auto_swap && not t.swap_pending then ignore (propose_swap t);
+  dispatch_ready t;
+  if not (quiesced t) then begin
+    Semaphore.acquire t.wake;
+    dispatcher t
   end
 
 let random_request t =
@@ -621,7 +768,7 @@ let open_loop t ~process ~horizon =
 
 (* {1 Construction} *)
 
-let boot_tenants cluster ~tenants ~vms_per_tenant ~mem_bytes =
+let boot_tenants ?traffic cluster ~tenants ~vms_per_tenant ~mem_bytes =
   let nodes = Array.of_list (List.sort by_node_id (Cluster.alive_nodes cluster)) in
   if Array.length nodes = 0 then failwith "Service.boot_tenants: no alive nodes";
   let k = Array.length nodes in
@@ -642,6 +789,13 @@ let boot_tenants cluster ~tenants ~vms_per_tenant ~mem_bytes =
     in
     probe 0
   in
+  (* Split lazily: tenants without traffic must not perturb the sim's
+     PRNG stream (existing seeds keep their draws). *)
+  let traffic_prng =
+    match traffic with
+    | None -> None
+    | Some _ -> Some (Prng.split (Sim.prng (Cluster.sim cluster)))
+  in
   List.map
     (fun (name, weight) ->
       let vms =
@@ -655,13 +809,19 @@ let boot_tenants cluster ~tenants ~vms_per_tenant ~mem_bytes =
             if Node.has_ib host then Vm.attach_device vm (hca ());
             vm)
       in
-      { name; weight; vms })
+      let traffic =
+        match (traffic, traffic_prng) with
+        | Some pattern, Some prng ->
+          Ninja_workloads.Traffic.matrix prng pattern ~vms:(List.map Vm.name vms)
+        | _ -> []
+      in
+      { name; weight; vms; traffic })
     tenants
 
 let create cluster ~config ~tenants () =
   let tenants =
     if List.exists (fun ts -> String.equal ts.name "ops") tenants then tenants
-    else tenants @ [ { name = "ops"; weight = 4.0; vms = [] } ]
+    else tenants @ [ { name = "ops"; weight = 4.0; vms = []; traffic = [] } ]
   in
   let queue = Fair_queue.create () in
   List.iter (fun ts -> Fair_queue.register queue ~name:ts.name ~weight:ts.weight) tenants;
@@ -674,6 +834,7 @@ let create cluster ~config ~tenants () =
       cfg = config;
       tenants;
       all_vms = List.sort by_vm_name (List.concat_map (fun ts -> ts.vms) tenants);
+      traffic = List.concat_map (fun (ts : tenant_spec) -> ts.traffic) tenants;
       queue;
       locks = Locks.create ();
       m = Metrics.create ();
@@ -685,6 +846,7 @@ let create cluster ~config ~tenants () =
       inflight = 0;
       feeders = 0;
       epoch = 0;
+      swap_pending = false;
       submitted_n = 0;
       rev_done = [];
       rev_log = [];

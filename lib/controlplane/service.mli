@@ -40,23 +40,35 @@ open Ninja_hardware
 open Ninja_vmm
 open Ninja_telemetry
 
-type tenant_spec = { name : string; weight : float; vms : Vm.t list }
+type tenant_spec = {
+  name : string;
+  weight : float;
+  vms : Vm.t list;
+  traffic : Ninja_planner.Cost_model.traffic;
+      (** the tenant's steady-state VM-to-VM demand (see
+          {!Ninja_workloads.Traffic}); empty when unknown *)
+}
 (** The VMs a tenant owns; weights shape the fair queues. A VM may appear
     in at most one tenant. *)
 
 type config = {
-  strategy : Ninja_planner.Solver.strategy;
+  strategy : Ninja_planner.Solver.t;
   max_inflight : int;  (** concurrent batch plans; >= 1 *)
   queue_cap : int;  (** admission bound per tenant queue *)
   max_attempts : int;  (** dispatch attempts per request before Failed *)
   max_defers : int;  (** capacity/lock deferrals before Dropped *)
   retry : Retry.policy;  (** per-step and rollback retry policy *)
   max_per_host : int;  (** executor migration slots per node *)
+  auto_swap : bool;
+      (** run the online destination-swap policy: whenever the dispatcher
+          wakes with no swap outstanding, price every VM pair against the
+          tenant traffic matrices and submit the best improving exchange
+          as a [Swap] request (see {!propose_swap}) *)
 }
 
 val default_config : config
 (** Grouped strategy, 2 batches in flight, queue cap 8, 3 attempts,
-    25 deferrals, the executor's defaults otherwise. *)
+    25 deferrals, no auto-swap, the executor's defaults otherwise. *)
 
 type outcome =
   | Completed
@@ -76,6 +88,7 @@ val create : Cluster.t -> config:config -> tenants:tenant_spec list -> unit -> t
     fiber — create the service before running the simulation. *)
 
 val boot_tenants :
+  ?traffic:Ninja_workloads.Traffic.pattern ->
   Cluster.t ->
   tenants:(string * float) list ->
   vms_per_tenant:int ->
@@ -83,7 +96,10 @@ val boot_tenants :
   tenant_spec list
 (** Convenience harness: boots [vms_per_tenant] VMs per (name, weight)
     tenant, round-robin over the cluster's alive nodes under their memory
-    capacity, attaching a VMM-bypass HCA on IB-equipped hosts. *)
+    capacity, attaching a VMM-bypass HCA on IB-equipped hosts. [traffic]
+    draws each tenant a seeded matrix of the given pattern (from a
+    dedicated split of the sim's PRNG; tenants without traffic leave the
+    stream untouched). *)
 
 val cluster : t -> Cluster.t
 
@@ -119,6 +135,17 @@ val open_loop : t -> process:Ninja_workloads.Arrivals.process -> horizon:float -
 (** Spawn the open-loop source: arrival instants drawn over [horizon]
     seconds from now, one {!random_request} submitted at each. May be
     called several times to overlay sources. *)
+
+val propose_swap : t -> bool
+(** One round of the online destination-swap policy: price every
+    same-fabric-class, unlocked VM pair against the tenant traffic
+    matrices ({!Ninja_planner.Cost_model}) and submit the most improving
+    exchange as a [Low]-priority [Swap] request — [true] if one was
+    submitted, [false] when no exchange pays for its migrations within
+    the horizon (counted as [ctl.swap.noop]). Called automatically by
+    the dispatcher under [auto_swap]; harmless to call directly.
+    Telemetry: [ctl.swap.proposed]/[ctl.swap.gain] here,
+    [ctl.swap.applied]/[ctl.swap.rolled_back] when the batch settles. *)
 
 (** {1 Results} *)
 

@@ -7,6 +7,7 @@ type t = {
   mode : mode;
   faults : string list;
   topology : string option;
+  traffic : string option;
   label : string;
   trace : sink option;
   metrics : sink option;
@@ -15,9 +16,9 @@ type t = {
   pool : Pool.t option;
 }
 
-let make ?(seed = 42L) ?(mode = Quick) ?(faults = []) ?topology ?(label = "") ?trace
-    ?metrics ?spans ?observe ?pool () =
-  { seed; mode; faults; topology; label; trace; metrics; spans; observe; pool }
+let make ?(seed = 42L) ?(mode = Quick) ?(faults = []) ?topology ?traffic ?(label = "")
+    ?trace ?metrics ?spans ?observe ?pool () =
+  { seed; mode; faults; topology; traffic; label; trace; metrics; spans; observe; pool }
 
 let default = make ()
 
@@ -30,6 +31,8 @@ let with_seed seed t = { t with seed }
 let with_mode mode t = { t with mode }
 
 let with_topology topology t = { t with topology }
+
+let with_traffic traffic t = { t with traffic }
 
 let with_pool pool t = { t with pool }
 

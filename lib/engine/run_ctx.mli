@@ -32,6 +32,11 @@ type t = {
       (** textual topology spec in the [Ninja_hardware.Topology] grammar;
           when set, experiment clusters are built from the generated
           topology instead of the default spec; validated upstream *)
+  traffic : string option;
+      (** textual tenant traffic pattern in the [Ninja_workloads.Traffic]
+          grammar; when set, traffic-aware experiments draw their tenant
+          matrices from it instead of their built-in default; validated
+          upstream *)
   label : string;
       (** names this run's simulations in telemetry exports (e.g. the
           experiment entry and sweep-point index), so tracks from
@@ -54,6 +59,7 @@ val make :
   ?mode:mode ->
   ?faults:string list ->
   ?topology:string ->
+  ?traffic:string ->
   ?label:string ->
   ?trace:sink ->
   ?metrics:sink ->
@@ -76,6 +82,8 @@ val with_seed : int64 -> t -> t
 val with_mode : mode -> t -> t
 
 val with_topology : string option -> t -> t
+
+val with_traffic : string option -> t -> t
 
 val with_pool : Pool.t option -> t -> t
 

@@ -6,7 +6,7 @@ open Exp_common
 
 type row = {
   rate : float;
-  strategy : Solver.strategy;
+  strategy : Solver.t;
   submitted : int;
   completed : int;
   rejected : int;
@@ -66,8 +66,11 @@ let run rc =
     | Quick -> (600.0, [ 0.05; 0.2 ])
     | Full -> (3600.0, [ 0.1; 0.5; 1.0 ])
   in
+  (* Pinned: the swap solver is exercised by exp_placement; adding it here
+     would grow the bench-gated grid. *)
+  let strategies = [ Solver.sequential; Solver.grouped ] in
   let points =
-    List.concat_map (fun rate -> List.map (fun s -> (rate, s)) Solver.all) rates
+    List.concat_map (fun rate -> List.map (fun s -> (rate, s)) strategies) rates
   in
   let rows =
     sweep rc points ~f:(fun rc (rate, strategy) ->

@@ -9,7 +9,7 @@ open Exp_common
 
 type row = {
   n_vms : int;
-  strategy : Solver.strategy;
+  strategy : Solver.t;
   steps : int;
   makespan : float;
   mean_step : float;
@@ -75,8 +75,12 @@ let run rc =
           "total [s]";
         ]
   in
+  (* Pinned to the two makespan-oriented strategies: this grid feeds the
+     bench trajectory, and the swap solver belongs to the communication
+     -cost experiment (exp_placement), not the evacuation one. *)
+  let strategies = [ Solver.sequential; Solver.grouped ] in
   let grid =
-    List.concat_map (fun n_vms -> List.map (fun s -> (n_vms, s)) Solver.all) counts
+    List.concat_map (fun n_vms -> List.map (fun s -> (n_vms, s)) strategies) counts
   in
   sweep rc
     ~f:(fun rc (n_vms, strategy) -> measure rc ~n_vms ~strategy ~uplink_gbps ())

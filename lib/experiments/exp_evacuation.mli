@@ -10,7 +10,7 @@
 
 type row = {
   n_vms : int;
-  strategy : Ninja_planner.Solver.strategy;
+  strategy : Ninja_planner.Solver.t;
   steps : int;
   makespan : float;  (** migration-phase plan makespan [s] *)
   mean_step : float;  (** mean per-step latency [s] *)
@@ -21,7 +21,7 @@ type row = {
 val measure :
   Ninja_engine.Run_ctx.t ->
   n_vms:int ->
-  strategy:Ninja_planner.Solver.strategy ->
+  strategy:Ninja_planner.Solver.t ->
   ?uplink_gbps:float ->
   unit ->
   row

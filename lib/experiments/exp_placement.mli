@@ -1,0 +1,42 @@
+(** Adaptive placement: communication-cost convergence by strategy.
+
+    Three tenants boot round-robin over a generated leaf-spine
+    datacenter — a communication-oblivious interleaving — each carrying a
+    seeded traffic matrix ({!Ninja_workloads.Traffic}). The control plane
+    then churns them (fallback to Ethernet, return to IB) under every
+    registered planner strategy; under [swap] the online destination-swap
+    policy also runs between batches. The table reports the tenant
+    communication cost ({!Ninja_planner.Cost_model}) of the starting and
+    final placements plus the [ctl.swap.*] counters — on skewed matrices
+    the swap strategy converges to a strictly lower cost than the
+    migration-time baselines, which leave the packer's placement alone.
+
+    A traffic pattern in the run context ({!Ninja_engine.Run_ctx} /
+    [--traffic]) replaces the built-in uniform/ring/skewed pattern axis
+    with that single pattern. *)
+
+type row = {
+  pattern : Ninja_workloads.Traffic.pattern;
+  strategy : Ninja_planner.Solver.t;
+  vms : int;
+  cost_start : float;  (** communication cost of the boot placement *)
+  cost_end : float;  (** communication cost once the service quiesces *)
+  proposed : int;  (** [ctl.swap.proposed] *)
+  applied : int;  (** [ctl.swap.applied] *)
+  noop : int;  (** [ctl.swap.noop] *)
+  sim_end : float;  (** simulated seconds to quiescence *)
+}
+
+val measure :
+  Ninja_engine.Run_ctx.t ->
+  pattern:Ninja_workloads.Traffic.pattern ->
+  strategy:Ninja_planner.Solver.t ->
+  vms_per_tenant:int ->
+  hosts_per_rack:int ->
+  unit ->
+  row
+
+val run : Ninja_engine.Run_ctx.t -> Ninja_metrics.Table.t list
+(** Pattern x strategy matrix over the strategy registry, domain-parallel
+    when the context carries a pool (simulated quantities only, so output
+    is byte-identical at any [-j]). *)

@@ -72,6 +72,13 @@ let all =
       run = Exp_controlplane.run;
     };
     {
+      name = "placement";
+      description =
+        "Adaptive placement: communication-cost convergence of every registered \
+         strategy (traffic pattern x strategy, destination-swap policy)";
+      run = Exp_placement.run;
+    };
+    {
       name = "power";
       description = "Section VII future work: power-aware consolidation (energy vs run time)";
       run = Exp_power.run;

@@ -14,8 +14,11 @@ type estimate = {
 
 let sender_demand transport = Migration.sender_rate transport
 
+let route_between cluster ~src ~dst =
+  Cluster.route cluster ~net:Cluster.Eth ~src ~dst
+
 let route cluster (step : Plan.step) =
-  Cluster.route cluster ~net:Cluster.Eth ~src:step.Plan.src ~dst:step.Plan.dst
+  route_between cluster ~src:step.Plan.src ~dst:step.Plan.dst
 
 let thinnest_link links =
   List.fold_left
@@ -25,13 +28,13 @@ let thinnest_link links =
       | _ -> Some l)
     None links
 
-let estimate cluster ?(transport = Migration.Tcp) (step : Plan.step) =
-  let memory = Vm.memory step.Plan.vm in
-  let wire_bytes = step.Plan.bytes in
+let estimate_move cluster ?(transport = Migration.Tcp) ~vm ~src ~dst ~bytes () =
+  let memory = Vm.memory vm in
+  let wire_bytes = bytes in
   let zero_bytes = Memory.zero_bytes memory in
   let dirty_bytes = Float.min (Memory.dirty_bytes memory) wire_bytes in
   let sender = sender_demand transport in
-  let links = route cluster step in
+  let links = route_between cluster ~src ~dst in
   let thin = thinnest_link links in
   let link_cap = match thin with Some l -> Fabric.link_capacity l | None -> infinity in
   let rate = Float.min sender link_cap in
@@ -46,6 +49,10 @@ let estimate cluster ?(transport = Migration.Tcp) (step : Plan.step) =
     duration = Time.of_sec_f (transfer_sec +. scan_sec);
     bottleneck;
   }
+
+let estimate cluster ?transport (step : Plan.step) =
+  estimate_move cluster ?transport ~vm:step.Plan.vm ~src:step.Plan.src ~dst:step.Plan.dst
+    ~bytes:step.Plan.bytes ()
 
 let shared_links cluster a b =
   let rb = route cluster b in

@@ -29,9 +29,26 @@ type estimate = {
 val sender_demand : Migration.transport -> float
 (** Peak fabric demand of one migration (the sender's private rate). *)
 
+val route_between : Cluster.t -> src:Node.t -> dst:Node.t -> Fabric.link list
+(** The shared Ethernet path between two hosts (the per-migration private
+    sender hop is excluded). *)
+
 val route : Cluster.t -> Plan.step -> Fabric.link list
-(** Fabric links the step's migration traffic crosses (the shared Ethernet
-    path; the per-migration private sender hop is excluded). *)
+(** Fabric links the step's migration traffic crosses
+    ({!route_between} the step's source and destination). *)
+
+val estimate_move :
+  Cluster.t ->
+  ?transport:Migration.transport ->
+  vm:Vm.t ->
+  src:Node.t ->
+  dst:Node.t ->
+  bytes:float ->
+  unit ->
+  estimate
+(** Cost of a hypothetical migration before any {!Plan.step} exists —
+    what a destination-swapping solver prices when it weighs moving [vm]
+    to a different host than the plan proposed. *)
 
 val estimate : Cluster.t -> ?transport:Migration.transport -> Plan.step -> estimate
 

@@ -1,18 +1,64 @@
+open Ninja_engine
 open Ninja_flownet
+open Ninja_hardware
+open Ninja_vmm
 
-type strategy = Sequential | Grouped
+type t = { name : string; aliases : string list; doc : string; cost : Cost_model.t }
 
-let all = [ Sequential; Grouped ]
+type impl = Cost_model.env -> Plan.t -> Plan.t
 
-let name = function Sequential -> "sequential" | Grouped -> "grouped"
+(* Append-only; guarded so registration from two domains cannot tear the
+   list. Reads are unsynchronised single-word loads of an immutable list —
+   register strategies before spawning solver-running domains. *)
+let registry : (t * impl) list ref = ref []
+
+let registry_mutex = Mutex.create ()
+
+let register ~name ?(aliases = []) ?(doc = "") ?(cost = Cost_model.Migration_time) impl =
+  let canon s = String.lowercase_ascii (String.trim s) in
+  let name = canon name in
+  let handle = { name; aliases = List.map canon aliases; doc; cost } in
+  if name = "" then invalid_arg "Solver.register: empty name";
+  Mutex.protect registry_mutex (fun () ->
+      let taken s =
+        List.exists (fun (h, _) -> h.name = s || List.mem s h.aliases) !registry
+      in
+      List.iter
+        (fun s ->
+          if taken s then
+            invalid_arg (Printf.sprintf "Solver.register: strategy %S already registered" s))
+        (name :: handle.aliases);
+      registry := !registry @ [ (handle, impl) ]);
+  handle
+
+let all () = List.map fst !registry
+
+let names () = List.map (fun h -> h.name) (all ())
+
+let help () = String.concat "|" (names ())
+
+let name h = h.name
+
+let doc h = h.doc
+
+let cost_model h = h.cost
 
 let of_string s =
-  match String.lowercase_ascii (String.trim s) with
-  | "sequential" | "seq" -> Ok Sequential
-  | "grouped" | "group" -> Ok Grouped
-  | other -> Error (Printf.sprintf "unknown strategy %S (expected sequential|grouped)" other)
+  let key = String.lowercase_ascii (String.trim s) in
+  match
+    List.find_opt (fun (h, _) -> h.name = key || List.mem key h.aliases) !registry
+  with
+  | Some (h, _) -> Ok h
+  | None -> Error (Printf.sprintf "unknown strategy %S (expected %s)" s (help ()))
 
-let sequential plan =
+let impl_of h =
+  match List.find_opt (fun (h', _) -> h'.name = h.name) !registry with
+  | Some (_, impl) -> impl
+  | None -> invalid_arg (Printf.sprintf "Solver: strategy %S is not registered" h.name)
+
+(* ---- sequential ---- *)
+
+let sequential_impl _env plan =
   let rec chain = function
     | a :: (b :: _ as rest) ->
       Plan.add_dep plan ~before:a ~after:b;
@@ -21,6 +67,8 @@ let sequential plan =
   in
   chain (Plan.topo_order plan);
   plan
+
+(* ---- grouped ---- *)
 
 (* Greedy wave packing. Steps are released in dependency order (Kahn);
    among the released steps the most contended work goes first, and each
@@ -112,8 +160,8 @@ let grouped_waves cluster ?transport plan =
         List.filter (fun (s : Plan.step) -> wave.(s.Plan.id) = i + 1) steps)
   end
 
-let grouped cluster ?transport plan =
-  let waves = grouped_waves cluster ?transport plan in
+let grouped_impl (env : Cost_model.env) plan =
+  let waves = grouped_waves env.Cost_model.cluster ~transport:env.Cost_model.transport plan in
   let rec order earlier = function
     | [] -> ()
     | wave :: rest ->
@@ -121,7 +169,7 @@ let grouped cluster ?transport plan =
         (fun (s : Plan.step) ->
           List.iter
             (fun (s' : Plan.step) ->
-              if Estimator.shared_links cluster s s' <> [] then
+              if Estimator.shared_links env.Cost_model.cluster s s' <> [] then
                 Plan.add_dep plan ~before:s' ~after:s)
             earlier)
         wave;
@@ -130,7 +178,212 @@ let grouped cluster ?transport plan =
   order [] waves;
   plan
 
-let solve strategy cluster ?transport plan =
-  match strategy with
-  | Sequential -> sequential plan
-  | Grouped -> grouped cluster ?transport plan
+(* ---- swap ---- *)
+
+let swap_horizon = Cost_model.default_horizon
+
+(* Greedy best-swap-first hill climb over destination exchanges. Each
+   pass scans every pair of direct steps and applies the single exchange
+   with the largest positive net gain (communication saving over the
+   horizon minus the extra migration seconds); deterministic because ties
+   keep the first (lowest-index) maximum. Destination multisets are
+   invariant under exchanges, so per-node load is exactly what the
+   original assignment committed to. *)
+let swap_impl (env : Cost_model.env) plan =
+  let cluster = env.Cost_model.cluster in
+  let directs =
+    Array.of_list
+      (List.filter (fun (s : Plan.step) -> s.Plan.kind = Plan.Direct) (Plan.steps plan))
+  in
+  let n = Array.length directs in
+  if n < 2 || env.Cost_model.traffic = [] then grouped_impl env plan
+  else begin
+    let proposal = Array.map (fun (s : Plan.step) -> s.Plan.dst) directs in
+    let index_of_vm : (string, int) Hashtbl.t = Hashtbl.create n in
+    Array.iteri
+      (fun i (s : Plan.step) -> Hashtbl.replace index_of_vm (Vm.name s.Plan.vm) i)
+      directs;
+    (* Staged VMs and bystanders resolve through the original plan's final
+       placement; direct movers through the live proposal. *)
+    let base_lookup = Cost_model.plan_placement env plan in
+    let place name =
+      match Hashtbl.find_opt index_of_vm name with
+      | Some i -> Some proposal.(i)
+      | None -> base_lookup name
+    in
+    let pair_cache : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
+    let pair_cost a b =
+      let key =
+        if a.Node.id <= b.Node.id then (a.Node.id, b.Node.id) else (b.Node.id, a.Node.id)
+      in
+      match Hashtbl.find_opt pair_cache key with
+      | Some c -> c
+      | None ->
+        let c = Cost_model.pair_cost env a b in
+        Hashtbl.add pair_cache key c;
+        c
+    in
+    let traffic = Array.of_list env.Cost_model.traffic in
+    let incident = Array.make n [] in
+    Array.iteri
+      (fun ti (a, b, _) ->
+        (match Hashtbl.find_opt index_of_vm a with
+        | Some i -> incident.(i) <- ti :: incident.(i)
+        | None -> ());
+        match Hashtbl.find_opt index_of_vm b with
+        | Some j -> if not (List.mem ti incident.(j)) then incident.(j) <- ti :: incident.(j)
+        | None -> ())
+      traffic;
+    let entry_cost lookup ti =
+      let a, b, rate = traffic.(ti) in
+      match (lookup a, lookup b) with
+      | Some na, Some nb -> rate *. pair_cost na nb
+      | _ -> 0.0
+    in
+    let comm_around i j lookup =
+      List.sort_uniq compare (incident.(i) @ incident.(j))
+      |> List.fold_left (fun acc ti -> acc +. entry_cost lookup ti) 0.0
+    in
+    let mig i dst =
+      let s = directs.(i) in
+      if s.Plan.src.Node.id = dst.Node.id then 0.0
+      else
+        Cost_model.move_seconds env ~vm:s.Plan.vm ~src:s.Plan.src ~dst ~bytes:s.Plan.bytes
+          ()
+    in
+    (* Net gain of exchanging the proposed destinations of i and j;
+       [neg_infinity] vetoes the pair. Fabric classes never mix: a VM the
+       planner aimed at an IB-capable host keeps one (the PR-4 reroute
+       bug family made this a hard invariant). *)
+    let gain i j =
+      let di = proposal.(i) and dj = proposal.(j) in
+      if di.Node.id = dj.Node.id then neg_infinity
+      else if Node.has_ib di <> Node.has_ib dj then neg_infinity
+      else begin
+        let vi = Vm.name directs.(i).Plan.vm and vj = Vm.name directs.(j).Plan.vm in
+        let swapped name =
+          if String.equal name vi then Some dj
+          else if String.equal name vj then Some di
+          else place name
+        in
+        let saved = comm_around i j place -. comm_around i j swapped in
+        let mig_delta = mig i dj +. mig j di -. mig i di -. mig j dj in
+        (swap_horizon *. saved) -. mig_delta
+      end
+    in
+    let swaps = ref 0 in
+    let pass_limit = (4 * n) + 16 in
+    let continue_ = ref true in
+    let passes = ref 0 in
+    while !continue_ && !passes < pass_limit do
+      incr passes;
+      let best_gain = ref 1e-9 and best = ref None in
+      for i = 0 to n - 2 do
+        for j = i + 1 to n - 1 do
+          let g = gain i j in
+          if g > !best_gain then begin
+            best_gain := g;
+            best := Some (i, j)
+          end
+        done
+      done;
+      (match !best with
+      | Some (i, j) ->
+        let d = proposal.(i) in
+        proposal.(i) <- proposal.(j);
+        proposal.(j) <- d;
+        incr swaps
+      | None -> continue_ := false)
+    done;
+    if !swaps = 0 then grouped_impl env plan
+    else begin
+      (* Rebuild a conflict-correct plan for the adjusted assignment; the
+         original plan's staging choices and byte estimates carry over. *)
+      let final : (string, Node.t) Hashtbl.t = Hashtbl.create n in
+      let bytes : (string, float) Hashtbl.t = Hashtbl.create n in
+      let staging = ref [] in
+      let vms = ref [] in
+      List.iter
+        (fun (s : Plan.step) ->
+          let nm = Vm.name s.Plan.vm in
+          (match s.Plan.kind with
+          | Plan.Direct ->
+            Hashtbl.replace final nm proposal.(Hashtbl.find index_of_vm nm);
+            Hashtbl.replace bytes nm s.Plan.bytes
+          | Plan.Stage_in -> Hashtbl.replace final nm s.Plan.dst
+          | Plan.Stage_out ->
+            Hashtbl.replace bytes nm s.Plan.bytes;
+            if not (List.exists (fun (x : Node.t) -> x.Node.id = s.Plan.dst.Node.id) !staging)
+            then staging := s.Plan.dst :: !staging);
+          if not (List.exists (fun v -> String.equal (Vm.name v) nm) !vms) then
+            vms := s.Plan.vm :: !vms)
+        (Plan.steps plan);
+      let vms = List.rev !vms in
+      let plan' =
+        Plan.of_assignment cluster ~vms
+          ~dst_of:(fun vm -> Hashtbl.find final (Vm.name vm))
+          ~staging:(List.rev !staging)
+          ~bytes_of:(fun vm -> Hashtbl.find bytes (Vm.name vm))
+          ()
+      in
+      let probes = Cluster.probes cluster in
+      if Probe.active probes then
+        Probe.emit probes ~topic:"plan" ~action:"swap"
+          ~info:
+            [
+              ("swaps", string_of_int !swaps);
+              ("passes", string_of_int !passes);
+              ("movers", string_of_int n);
+            ]
+          ();
+      grouped_impl env plan'
+    end
+  end
+
+(* ---- registry bootstrap ---- *)
+
+let sequential =
+  register ~name:"sequential" ~aliases:[ "seq" ]
+    ~doc:"one migration at a time, in dependency order" ~cost:Cost_model.Migration_time
+    sequential_impl
+
+let grouped =
+  register ~name:"grouped" ~aliases:[ "group" ]
+    ~doc:"bandwidth-aware parallel waves; no fabric link oversubscribed"
+    ~cost:Cost_model.Migration_time grouped_impl
+
+let swap =
+  register ~name:"swap" ~aliases:[ "destination-swap" ]
+    ~doc:"adaptive destination exchanges minimising tenant communication cost"
+    ~cost:(Cost_model.Composite { horizon = swap_horizon })
+    swap_impl
+
+let default = grouped
+
+let stat probes name v =
+  Probe.emit probes ~topic:"ctl" ~action:"stat" ~subject:name
+    ~info:[ ("kind", "gauge"); ("value", Printf.sprintf "%.17g" v) ]
+    ()
+
+let solve h cluster ?transport ?(traffic = []) plan =
+  let env = Cost_model.env cluster ?transport ~traffic () in
+  let impl = impl_of h in
+  let probes = Cluster.probes cluster in
+  if not (Probe.active probes) then impl env plan
+  else begin
+    let before = Cost_model.plan_cost h.cost env plan in
+    let plan = impl env plan in
+    let after = Cost_model.plan_cost h.cost env plan in
+    stat probes "plan.cost.before" before;
+    stat probes "plan.cost.after" after;
+    Probe.emit probes ~topic:"plan" ~action:"cost"
+      ~info:
+        [
+          ("strategy", h.name);
+          ("model", Cost_model.describe h.cost);
+          ("before", Printf.sprintf "%.17g" before);
+          ("after", Printf.sprintf "%.17g" after);
+        ]
+      ();
+    plan
+  end

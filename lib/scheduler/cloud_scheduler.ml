@@ -21,19 +21,21 @@ type record = {
 type t = {
   ninja : Ninja.t;
   sim : Sim.t;
-  strategy : Solver.strategy;
+  strategy : Solver.t;
+  traffic : Cost_model.traffic;
   max_per_host : int;
   retry : Retry.policy;
   mutable records : record list;
 }
 
-let create ?(strategy = Solver.Grouped) ?(max_per_host = Executor.default_max_per_host)
-    ?(retry = Retry.default_policy) ninja =
+let create ?(strategy = Solver.default) ?(traffic = [])
+    ?(max_per_host = Executor.default_max_per_host) ?(retry = Retry.default_policy) ninja =
   if max_per_host <= 0 then invalid_arg "Cloud_scheduler.create: max_per_host";
   {
     ninja;
     sim = Cluster.sim (Ninja.cluster ninja);
     strategy;
+    traffic;
     max_per_host;
     retry;
     records = [];
@@ -73,7 +75,7 @@ let build_plan t trigger dst_of =
     ~category:"planner" "trigger %s: %d steps, strategy %s, est. serial %a"
     (trigger_name trigger) (Plan.length plan) (Solver.name t.strategy) Time.pp
     (Estimator.sequential_duration cluster plan);
-  Solver.solve t.strategy cluster plan
+  Solver.solve t.strategy cluster ~traffic:t.traffic plan
 
 (* Would [n] be a policy-conformant destination for this trigger? Rerouted
    steps must respect it too: evacuating onto an avoided node would undo
@@ -129,8 +131,12 @@ let make_reroute t trigger plan =
       count_ok && bytes <= n.Node.mem_bytes
     in
     let choice =
-      Cluster.nodes cluster
-      |> List.sort (fun (a : Node.t) b -> compare a.Node.id b.Node.id)
+      (* The indexed free-memory registry pre-filters to nodes whose
+         registered residents leave room for this VM (id order), so the
+         scan below only prices in-flight state — planned arrivals and
+         already-granted reroutes — instead of walking every node. *)
+      Cluster.nodes_with_free cluster
+        ~bytes:(Memory.total_bytes (Vm.memory step.Plan.vm))
       |> List.find_opt (fun n ->
              Cluster.node_alive cluster n
              && n.Node.id <> step.Plan.dst.Node.id

@@ -5,10 +5,12 @@
     Triggers fire at scheduled simulation times. Each computes a placement
     with {!Placement}, turns it into a batch migration plan via
     {!Ninja_planner} (capacity conflicts and swap cycles become dependency
-    edges; the configured {!Ninja_planner.Solver.strategy} — [Grouped] by
-    default — shapes the parallelism), executes the plan inside the
-    SymVirt fence window, and records the overhead breakdown plus the
-    per-step executor report in the history. *)
+    edges; the configured {!Ninja_planner.Solver} strategy — [grouped] by
+    default — shapes the parallelism and, for placement-aware strategies
+    such as [swap], may re-aim destinations against the tenant traffic
+    matrix), executes the plan inside the SymVirt fence window, and
+    records the overhead breakdown plus the per-step executor report in
+    the history. *)
 
 open Ninja_engine
 open Ninja_hardware
@@ -39,18 +41,26 @@ type record = {
 type t
 
 val create :
-  ?strategy:Solver.strategy -> ?max_per_host:int -> ?retry:Retry.policy -> Ninja.t -> t
-(** [strategy] defaults to [Grouped]; [max_per_host] bounds concurrent
-    migrations touching one node (default
+  ?strategy:Solver.t ->
+  ?traffic:Cost_model.traffic ->
+  ?max_per_host:int ->
+  ?retry:Retry.policy ->
+  Ninja.t ->
+  t
+(** [strategy] defaults to {!Ninja_planner.Solver.default} ([grouped]);
+    [traffic] (default empty) is the tenant traffic matrix
+    placement-aware strategies price placements against; [max_per_host]
+    bounds concurrent migrations touching one node (default
     {!Ninja_planner.Executor.default_max_per_host}); [retry] (default
     {!Ninja_engine.Retry.default_policy}) governs both the executor's
     per-step re-attempts and the migrate flow's per-phase re-attempts.
     When a plan step's destination dies, the scheduler reroutes it to the
     first live free node the trigger's placement policy accepts (e.g. not
     an avoided node during maintenance) rather than aborting the
-    trigger. *)
+    trigger; candidates come from the cluster's indexed free-memory
+    registry, not a scan over every node. *)
 
-val strategy : t -> Solver.strategy
+val strategy : t -> Solver.t
 
 val plan_for : t -> trigger -> Ninja_vmm.Vm.t -> Node.t
 

@@ -64,6 +64,8 @@ let test_scenario_parse_errors () =
       (* vms > ib *)
       "until=3\ntrigger_at=5";
       "uplink_gbps=-2";
+      "traffic=bogus";
+      "traffic=skewed:factor=0.5";
     ]
 
 let test_scenario_parse_comments_and_defaults () =
@@ -83,6 +85,121 @@ let test_generate_deterministic () =
   Alcotest.(check int) "count" 5 (List.length a);
   let c = Fuzz.generate ~seed:(Int64.add env_seed 1L) ~n:5 in
   Alcotest.(check bool) "different seed, different stream" true (a <> c)
+
+(* ------------------------------------------------------------------ *)
+(* Strategy registry properties *)
+
+module Plan = Ninja_planner.Plan
+module Solver = Ninja_planner.Solver
+module Estimator = Ninja_planner.Estimator
+module Fabric = Ninja_flownet.Fabric
+module Traffic = Ninja_workloads.Traffic
+
+(* Kahn layering of the solved plan: the waves the executor could run
+   concurrently at the earliest. Two link-sharing steps only share a
+   layer if the solver judged them safe to overlap. *)
+let layers plan =
+  let finished = Hashtbl.create 16 in
+  let rec go acc remaining =
+    if remaining = [] then List.rev acc
+    else begin
+      let ready, rest =
+        List.partition
+          (fun s ->
+            List.for_all
+              (fun (d : Plan.step) -> Hashtbl.mem finished d.Plan.id)
+              (Plan.deps_of plan s))
+          remaining
+      in
+      if ready = [] then QCheck.Test.fail_report "no ready step: plan is cyclic";
+      List.iter (fun (s : Plan.step) -> Hashtbl.add finished s.Plan.id ()) ready;
+      go (ready :: acc) rest
+    end
+  in
+  go [] (Plan.steps plan)
+
+(* Every registered strategy — present and future — must honour the
+   planner's safety contract on arbitrary evacuation mixes: acyclic
+   output, no concurrent layer oversubscribing a fabric link, and no VM
+   silently re-aimed across the IB/Ethernet boundary (the PR-4 reroute
+   bug family, which the swap solver could reintroduce wholesale). *)
+let strategies_safe_prop =
+  QCheck.Test.make ~name:"registered strategies: acyclic, capacity-safe, fabric class kept"
+    ~count:60 QCheck.small_int (fun salt ->
+      let prng = Prng.create ~seed:(salted (1000 + salt)) in
+      let n = 2 + Prng.int prng 3 in
+      let sim = Sim.create ~seed:(salted salt) () in
+      let cluster =
+        Cluster.create sim ~spec:(Spec.make ~ib_nodes:(2 * n) ~eth_nodes:n ()) ()
+      in
+      Cluster.set_inter_rack cluster ~rack_a:0 ~rack_b:1
+        ~capacity:(Units.gbps (5.0 *. float_of_int (1 + Prng.int prng 4)))
+        ~latency:(Time.us 50);
+      let vms =
+        List.init n (fun i ->
+            Vm.create cluster
+              ~name:(Printf.sprintf "vm%d" i)
+              ~host:(Cluster.find_node cluster (Printf.sprintf "ib%02d" i))
+              ~vcpus:2
+              ~mem_bytes:(Units.gb (2.0 +. Prng.float prng 4.0))
+              ())
+      in
+      (* Distinct free destinations, randomly IB or Ethernet, so the
+         fabric-class claim is non-trivial for the swap strategy. *)
+      let assignment =
+        List.mapi
+          (fun i vm ->
+            let name =
+              if Prng.bool prng then Printf.sprintf "ib%02d" (n + i)
+              else Printf.sprintf "eth%02d" i
+            in
+            (vm, Cluster.find_node cluster name))
+          vms
+      in
+      let dst_of vm = List.assq vm assignment in
+      let traffic =
+        Traffic.matrix prng (Traffic.gen prng) ~vms:(List.map Vm.name vms)
+      in
+      List.for_all
+        (fun strategy ->
+          let plan = Plan.of_assignment cluster ~vms ~dst_of () in
+          let solved = Solver.solve strategy cluster ~traffic plan in
+          if not (Plan.is_acyclic solved) then
+            QCheck.Test.fail_reportf "%s: cyclic plan" (Solver.name strategy);
+          List.iter
+            (fun layer ->
+              let usage = Hashtbl.create 8 in
+              List.iter
+                (fun step ->
+                  let rate = (Estimator.estimate cluster step).Estimator.rate in
+                  List.iter
+                    (fun link ->
+                      let id = Fabric.link_id link in
+                      let prev =
+                        Option.value (Hashtbl.find_opt usage id) ~default:(link, 0.0)
+                      in
+                      Hashtbl.replace usage id (link, snd prev +. rate))
+                    (Estimator.route cluster step))
+                layer;
+              Hashtbl.iter
+                (fun _ (link, used) ->
+                  if used > Fabric.link_capacity link +. 1e-3 then
+                    QCheck.Test.fail_reportf "%s: link %s oversubscribed (%.4g > %.4g)"
+                      (Solver.name strategy) (Fabric.link_name link) used
+                      (Fabric.link_capacity link))
+                usage)
+            (layers solved);
+          List.iter
+            (fun (s : Plan.step) ->
+              match s.Plan.kind with
+              | Plan.Direct | Plan.Stage_in ->
+                if Node.has_ib s.Plan.dst <> Node.has_ib (dst_of s.Plan.vm) then
+                  QCheck.Test.fail_reportf "%s: %s crossed the fabric-class boundary"
+                    (Solver.name strategy) (Vm.name s.Plan.vm)
+              | Plan.Stage_out -> ())
+            (Plan.steps solved);
+          true)
+        (Solver.all ()))
 
 (* ------------------------------------------------------------------ *)
 (* Checker invariants on synthetic probe streams *)
@@ -384,6 +501,7 @@ let () =
         :: Alcotest.test_case "generation is deterministic" `Quick
              test_generate_deterministic
         :: qsuite [ scenario_roundtrip_prop; generated_scenarios_validate_prop ] );
+      ("strategies", qsuite [ strategies_safe_prop ]);
       ( "checker",
         [
           Alcotest.test_case "fence pairing" `Quick test_checker_fence_pairing;

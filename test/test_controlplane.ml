@@ -296,6 +296,96 @@ let test_deadline_drop () =
   Alcotest.(check (float 0.0)) "expiry counted" 1.0
     (Service.count h.svc "ctl.requests.expired")
 
+(* {1 Destination swaps (adaptive placement)} *)
+
+(* A leaf-spine datacenter and skewed tenant matrices: the setting where
+   exchanging two destinations can actually lower communication cost. *)
+let swap_harness ?(config = Service.default_config) () =
+  let sim = Sim.create ~seed:11L () in
+  let topo =
+    match
+      Topology.v ~tier:Topology.Leaf_spine ~pods:2 ~racks_per_pod:2
+        ~hosts_per_rack:4 ~ib_pods:1 ~oversub:4.0 ~mem_gb:32.0 ~seed:11L ()
+    with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  let cluster = Cluster.create sim ~topology:topo () in
+  let tenants =
+    Service.boot_tenants
+      ~traffic:
+        (Ninja_workloads.Traffic.Skewed
+           { elephants = 2; rate = Ninja_workloads.Traffic.default_rate; factor = 16.0 })
+      cluster
+      ~tenants:[ ("t0", 3.0); ("t1", 2.0); ("t2", 1.0) ]
+      ~vms_per_tenant:3 ~mem_bytes:(Units.gb 2.0)
+  in
+  let traffic =
+    List.concat_map (fun (ts : Service.tenant_spec) -> ts.Service.traffic) tenants
+  in
+  let svc = Service.create cluster ~config ~tenants () in
+  let checker = Ninja_check.Checker.install cluster ~vms:(Service.vms svc) in
+  ({ sim; cluster; svc; checker }, Ninja_planner.Cost_model.env cluster ~traffic ())
+
+let test_swap_request_exchanges_hosts () =
+  let h, _ = swap_harness () in
+  let host name =
+    (Ninja_vmm.Vm.host
+       (List.find (fun vm -> Ninja_vmm.Vm.name vm = name) (Service.vms h.svc)))
+      .Node.name
+  in
+  Alcotest.(check string) "swap kind name" "swap"
+    (Request.kind_name (Request.Swap { vm_a = "x"; vm_b = "y" }));
+  let a0 = host "t0-vm0" and b0 = host "t0-vm1" in
+  Alcotest.(check bool) "distinct starting hosts" true (a0 <> b0);
+  Service.inject h.svc ~after:(Time.sec 1) (fun svc ->
+      Service.make svc ~tenant:"t0"
+        ~kind:(Request.Swap { vm_a = "t0-vm0"; vm_b = "t0-vm1" })
+        ());
+  finish h;
+  Alcotest.(check (list string)) "completed" [ "completed" ] (outcome_names h);
+  Alcotest.(check string) "t0-vm0 took t0-vm1's host" b0 (host "t0-vm0");
+  Alcotest.(check string) "t0-vm1 took t0-vm0's host" a0 (host "t0-vm1");
+  Alcotest.(check (float 0.0)) "counted as applied" 1.0
+    (Service.count h.svc "ctl.swap.applied")
+
+let test_auto_swap_converges () =
+  (* Under [auto_swap] the dispatcher keeps submitting the best improving
+     exchange until none pays for its migrations: the communication cost
+     of the boot placement must strictly drop, and the policy must
+     terminate in a noop rather than ping-pong forever. *)
+  let config = { Service.default_config with Service.auto_swap = true } in
+  let h, cost_env = swap_harness ~config () in
+  let cost_start = Ninja_planner.Cost_model.current_cost cost_env in
+  (* On the quiescent boot placement no exchange pays for its migrations
+     (that very noop is asserted at the end) — churn the tenants so the
+     placement degrades and the policy has something to recover. *)
+  List.iteri
+    (fun i tenant ->
+      Service.inject h.svc
+        ~after:(Time.of_sec_f (10.0 +. (3.0 *. float_of_int i)))
+        (fun svc -> Service.make svc ~tenant ~kind:Request.Fallback ());
+      Service.inject h.svc
+        ~after:(Time.of_sec_f (45.0 +. (3.0 *. float_of_int i)))
+        (fun svc -> Service.make svc ~tenant ~kind:Request.Return ()))
+    [ "t0"; "t1"; "t2" ];
+  finish h;
+  let cost_end = Ninja_planner.Cost_model.current_cost cost_env in
+  Alcotest.(check bool) "proposals made" true
+    (Service.count h.svc "ctl.swap.proposed" >= 1.0);
+  Alcotest.(check bool) "at least one swap applied" true
+    (Service.count h.svc "ctl.swap.applied" >= 1.0);
+  Alcotest.(check bool) "policy terminated in a noop" true
+    (Service.count h.svc "ctl.swap.noop" >= 1.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "communication cost improves (%.4f -> %.4f)" cost_start
+       cost_end)
+    true (cost_end < cost_start);
+  Alcotest.(check bool) "service quiesced" true (Service.quiesced h.svc);
+  (* Convergence is stable: pricing the final placement proposes nothing. *)
+  Alcotest.(check bool) "a further proposal is a noop" false
+    (Service.propose_swap h.svc)
+
 (* {1 Open-loop fuzz under faults} *)
 
 let fault_menu =
@@ -405,6 +495,12 @@ let () =
           Alcotest.test_case "attempt budget exhausts to Failed" `Quick
             test_failed_after_attempts;
           Alcotest.test_case "expired deadline dropped" `Quick test_deadline_drop;
+        ] );
+      ( "swap",
+        [
+          Alcotest.test_case "swap request exchanges hosts" `Quick
+            test_swap_request_exchanges_hosts;
+          Alcotest.test_case "auto-swap converges" `Quick test_auto_swap_converges;
         ] );
       ("fuzz", [ Alcotest.test_case "open loop under faults" `Slow test_fuzz_open_loop ]);
       ( "experiment",

@@ -21,7 +21,7 @@ let test_registry_complete () =
     [
       "table1"; "table2"; "fig6"; "fig7"; "fig8";
       "ablation-bypass"; "ablation-rdma"; "ablation-quiesce"; "ablation-postcopy";
-      "evacuation"; "scalability"; "controlplane"; "power";
+      "evacuation"; "scalability"; "controlplane"; "placement"; "power";
     ]
     Registry.names;
   Alcotest.(check bool) "find" true (Registry.find "fig6" <> None);
@@ -162,8 +162,8 @@ let test_evacuation_grouped_beats_sequential () =
   (* The acceptance scenario: multi-VM evacuation over one shared uplink.
      Grouped waves must finish strictly sooner than the serial chain, with
      the same number of steps and no extra downtime blowup. *)
-  let seq = Exp_evacuation.measure rc ~n_vms:4 ~strategy:Ninja_planner.Solver.Sequential () in
-  let grp = Exp_evacuation.measure rc ~n_vms:4 ~strategy:Ninja_planner.Solver.Grouped () in
+  let seq = Exp_evacuation.measure rc ~n_vms:4 ~strategy:Ninja_planner.Solver.sequential () in
+  let grp = Exp_evacuation.measure rc ~n_vms:4 ~strategy:Ninja_planner.Solver.grouped () in
   Alcotest.(check int) "same steps" seq.Exp_evacuation.steps grp.Exp_evacuation.steps;
   Alcotest.(check int) "one step per VM" 4 grp.Exp_evacuation.steps;
   Alcotest.(check bool) "grouped strictly faster" true
@@ -174,6 +174,34 @@ let test_evacuation_grouped_beats_sequential () =
     (grp.Exp_evacuation.makespan < 0.7 *. seq.Exp_evacuation.makespan);
   Alcotest.(check bool) "total includes makespan" true
     (grp.Exp_evacuation.total >= grp.Exp_evacuation.makespan)
+
+let test_placement_swap_converges () =
+  (* The PR-8 acceptance scenario: under a skewed (elephant-flow) traffic
+     matrix the destination-swap strategy must land on a strictly cheaper
+     communication placement than the migration-time baseline, which
+     carries the same churn but never re-aims a destination. *)
+  let pattern =
+    Ninja_workloads.Traffic.Skewed
+      { elephants = 2; rate = Ninja_workloads.Traffic.default_rate; factor = 16.0 }
+  in
+  let measure strategy =
+    Exp_placement.measure rc ~pattern ~strategy ~vms_per_tenant:3 ~hosts_per_rack:4 ()
+  in
+  let base = measure Ninja_planner.Solver.grouped in
+  let swap = measure Ninja_planner.Solver.swap in
+  Alcotest.(check bool) "identical starting placement" true
+    (base.Exp_placement.cost_start = swap.Exp_placement.cost_start);
+  Alcotest.(check bool) "baseline proposes no swaps" true
+    (base.Exp_placement.proposed = 0);
+  Alcotest.(check bool) "swap strategy applies swaps" true
+    (swap.Exp_placement.applied > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "swap converges lower (%.4f < %.4f)"
+       swap.Exp_placement.cost_end base.Exp_placement.cost_end)
+    true
+    (swap.Exp_placement.cost_end < base.Exp_placement.cost_end);
+  Alcotest.(check bool) "swap improves on its own start" true
+    (swap.Exp_placement.cost_end < swap.Exp_placement.cost_start)
 
 let test_scalability_congestion () =
   (* Below the uplink's capacity migrations run at the sender rate; well
@@ -290,6 +318,7 @@ let () =
           Alcotest.test_case "ablation quiesce" `Quick test_ablation_quiesce_contrast;
           Alcotest.test_case "ablation postcopy" `Quick test_ablation_postcopy_tradeoff;
           Alcotest.test_case "evacuation planner" `Quick test_evacuation_grouped_beats_sequential;
+          Alcotest.test_case "placement swap converges" `Quick test_placement_swap_converges;
           Alcotest.test_case "scalability congestion" `Quick test_scalability_congestion;
           Alcotest.test_case "power consolidation" `Slow test_power_consolidation;
         ] );

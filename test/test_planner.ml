@@ -206,7 +206,7 @@ let evacuation_scenario ?(n = 4) ?(uplink_gbps = 10.0) () =
 let test_sequential_chains_everything () =
   let _, cluster, vms, dst_of = evacuation_scenario () in
   let plan = Plan.of_assignment cluster ~vms ~dst_of () in
-  let plan = Solver.solve Solver.Sequential cluster plan in
+  let plan = Solver.solve Solver.sequential cluster plan in
   Alcotest.(check int) "n-1 chain edges" (List.length vms - 1) (Plan.dep_count plan);
   Alcotest.(check bool) "acyclic" true (Plan.is_acyclic plan);
   (* Exactly one step has no dependency; every other step has exactly one. *)
@@ -252,11 +252,162 @@ let test_grouped_waves_respect_capacity () =
 
 let test_solver_of_string () =
   Alcotest.(check bool) "grouped parses" true
-    (Solver.of_string "grouped" = Ok Solver.Grouped);
+    (Solver.of_string "grouped" = Ok Solver.grouped);
   Alcotest.(check bool) "seq alias parses" true
-    (Solver.of_string "seq" = Ok Solver.Sequential);
-  Alcotest.(check bool) "garbage rejected" true
-    (Result.is_error (Solver.of_string "fastest"))
+    (Solver.of_string "seq" = Ok Solver.sequential);
+  Alcotest.(check bool) "destination-swap alias parses" true
+    (Solver.of_string "destination-swap" = Ok Solver.swap);
+  Alcotest.(check bool) "lookup is case/space insensitive" true
+    (Solver.of_string "  GROUPED " = Ok Solver.grouped);
+  match Solver.of_string "fastest" with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error msg ->
+    (* The error enumerates the live registry, so a strategy added by a
+       plugin (or an earlier test) shows up without touching this list. *)
+    List.iter
+      (fun name ->
+        Alcotest.(check bool) ("error lists " ^ name) true (contains msg name))
+      [ "sequential"; "grouped"; "swap" ]
+
+let test_solver_registry () =
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " in names ()") true
+        (List.mem name (Solver.names ())))
+    [ "sequential"; "grouped"; "swap" ];
+  (* Registration canonicalises (trim + lowercase) and the handle then
+     resolves through every registry surface. *)
+  let custom =
+    Solver.register ~name:" Chain-Test " ~aliases:[ "ct" ]
+      ~doc:"identity strategy for registry tests" (fun _cluster plan -> plan)
+  in
+  Alcotest.(check string) "name canonicalised" "chain-test" (Solver.name custom);
+  Alcotest.(check bool) "listed" true (List.mem "chain-test" (Solver.names ()));
+  Alcotest.(check bool) "alias resolves, case-insensitively" true
+    (Solver.of_string "CT" = Ok custom);
+  Alcotest.(check bool) "help advertises it" true
+    (contains (Solver.help ()) "chain-test");
+  Alcotest.check_raises "duplicate name rejected"
+    (Invalid_argument "Solver.register: strategy \"chain-test\" already registered")
+    (fun () -> ignore (Solver.register ~name:"chain-test" (fun _ p -> p)));
+  (* The custom instance drives Solver.solve like any built-in. *)
+  let _, cluster, vms, dst_of = evacuation_scenario ~n:2 () in
+  let plan = Plan.of_assignment cluster ~vms ~dst_of () in
+  let plan = Solver.solve custom cluster plan in
+  Alcotest.(check int) "identity strategy adds no edges" 0 (Plan.dep_count plan)
+
+(* A leaf-spine datacenter whose Ethernet pod has two racks: the swap
+   strategy's playground, since same-fabric-class destinations with
+   different route costs exist. *)
+let leaf_spine_cluster () =
+  let sim = Sim.create () in
+  let topo =
+    match
+      Topology.v ~tier:Topology.Leaf_spine ~pods:2 ~racks_per_pod:2
+        ~hosts_per_rack:4 ~ib_pods:1 ~oversub:4.0 ~mem_gb:32.0 ~seed:5L ()
+    with
+    | Ok t -> t
+    | Error e -> Alcotest.fail ("topology: " ^ e)
+  in
+  (sim, Cluster.create sim ~topology:topo ())
+
+let test_swap_lowers_communication_cost () =
+  let _, cluster = leaf_spine_cluster () in
+  let host ~pod ~rack ~host =
+    node cluster (Topology.host_name ~pod ~rack ~host)
+  in
+  let vms =
+    List.init 4 (fun i ->
+        Vm.create cluster
+          ~name:(Printf.sprintf "v%d" i)
+          ~host:(host ~pod:0 ~rack:0 ~host:i)
+          ~vcpus:4 ~mem_bytes:(Units.gb 4.0) ())
+  in
+  (* Both elephant pairs (v0,v1) and (v2,v3) land split across the two
+     Ethernet racks; exchanging v1 and v2's destinations co-racks both
+     pairs, so exactly that swap pays off. *)
+  let dst_of vm =
+    match Vm.name vm with
+    | "v0" -> host ~pod:1 ~rack:0 ~host:0
+    | "v1" -> host ~pod:1 ~rack:1 ~host:0
+    | "v2" -> host ~pod:1 ~rack:0 ~host:1
+    | _ -> host ~pod:1 ~rack:1 ~host:1
+  in
+  let traffic = [ ("v0", "v1", 1e8); ("v2", "v3", 1e8) ] in
+  let plan = Plan.of_assignment cluster ~vms ~dst_of () in
+  let env = Cost_model.env cluster ~traffic () in
+  let before =
+    Cost_model.placement_cost env ~lookup:(Cost_model.plan_placement env plan)
+  in
+  let plan' = Solver.solve Solver.swap cluster ~traffic plan in
+  Alcotest.(check bool) "rewritten plan acyclic" true (Plan.is_acyclic plan');
+  Alcotest.(check int) "still one step per VM" (Plan.length plan)
+    (Plan.length plan');
+  let after =
+    Cost_model.placement_cost env ~lookup:(Cost_model.plan_placement env plan')
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "communication cost drops (%.6f -> %.6f)" before after)
+    true (after < before);
+  (* Swapping permutes destinations among the movers — it never invents
+     or drops a slot. *)
+  let slots p =
+    Plan.steps p
+    |> List.map (fun (s : Plan.step) -> s.Plan.dst.Node.name)
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "destination multiset preserved" (slots plan)
+    (slots plan')
+
+let test_swap_never_crosses_fabric_class () =
+  (* Pinned regression (the PR-4 cross-fabric reroute family): however
+     large the communication gain, the swap solver must not exchange an
+     InfiniBand destination with an Ethernet one. *)
+  let _, cluster = setup () in
+  let a = mk_vm cluster ~name:"a" ~host:"ib00" in
+  let b = mk_vm cluster ~name:"b" ~host:"ib02" in
+  let c = mk_vm cluster ~name:"c" ~host:"eth01" in
+  ignore c;
+  let dst_of vm = node cluster (if Vm.name vm = "a" then "ib01" else "eth00") in
+  (* An enormous elephant a<->c pulls a toward the Ethernet rack, and b's
+     slot over there is the only candidate exchange. *)
+  let traffic = [ ("a", "c", 1e9) ] in
+  let plan = Plan.of_assignment cluster ~vms:[ a; b ] ~dst_of () in
+  let plan' = Solver.solve Solver.swap cluster ~traffic plan in
+  let dst name =
+    (List.find
+       (fun (s : Plan.step) -> Vm.name s.Plan.vm = name)
+       (Plan.steps plan'))
+      .Plan.dst.Node.name
+  in
+  Alcotest.(check string) "a keeps its InfiniBand destination" "ib01" (dst "a");
+  Alcotest.(check string) "b keeps its Ethernet destination" "eth00" (dst "b")
+
+let test_cost_model_decomposition () =
+  let _, cluster = setup () in
+  let a = mk_vm cluster ~name:"a" ~host:"ib00" in
+  ignore (mk_vm cluster ~name:"b" ~host:"eth00");
+  let env =
+    Cost_model.env cluster ~traffic:[ ("a", "b", 1e6); ("a", "ghost", 1e6) ] ()
+  in
+  Alcotest.(check (float 0.0)) "same node is free" 0.0
+    (Cost_model.pair_cost env (node cluster "ib00") (node cluster "ib00"));
+  Alcotest.(check bool) "cross-rack pair costs" true
+    (Cost_model.pair_cost env (node cluster "ib00") (node cluster "eth00") > 0.0);
+  (* Entries whose endpoints are not placed VMs are skipped, not fatal. *)
+  Alcotest.(check bool) "unknown endpoint ignored" true
+    (Cost_model.current_cost env > 0.0);
+  let plan =
+    Plan.of_assignment cluster ~vms:[ a ] ~dst_of:(fun _ -> node cluster "eth01") ()
+  in
+  let m = Cost_model.plan_cost Cost_model.Migration_time env plan in
+  let c = Cost_model.plan_cost Cost_model.Communication env plan in
+  let comp =
+    Cost_model.plan_cost (Cost_model.Composite { horizon = 10.0 }) env plan
+  in
+  Alcotest.(check bool) "migration time positive" true (m > 0.0);
+  Alcotest.(check (float 1e-6)) "composite = time + horizon * communication"
+    (m +. (10.0 *. c)) comp
 
 (* ------------------------------------------------------------------ *)
 (* Executor *)
@@ -279,7 +430,7 @@ let test_executor_swap_via_staging () =
     Plan.of_assignment cluster ~vms:[ a; b ] ~dst_of
       ~staging:[ node cluster "ib02" ] ()
   in
-  let plan = Solver.solve Solver.Grouped cluster plan in
+  let plan = Solver.solve Solver.grouped cluster plan in
   let report = run_plan sim cluster plan in
   Alcotest.(check int) "three steps executed" 3
     (List.length report.Executor.step_results);
@@ -301,7 +452,7 @@ let test_executor_swap_max_per_host_one () =
     Plan.of_assignment cluster ~vms:[ a; b ] ~dst_of
       ~staging:[ node cluster "ib02" ] ()
   in
-  let plan = Solver.solve Solver.Sequential cluster plan in
+  let plan = Solver.solve Solver.sequential cluster plan in
   let report = run_plan sim cluster ~max_per_host:1 plan in
   Alcotest.(check int) "all steps done" 3 (List.length report.Executor.step_results);
   Alcotest.(check string) "a on ib01" "ib01" (Vm.host a).Node.name;
@@ -318,8 +469,8 @@ let test_grouped_beats_sequential () =
     let report = run_plan sim cluster plan in
     Time.to_sec_f report.Executor.makespan
   in
-  let seq = makespan Solver.Sequential in
-  let grp = makespan Solver.Grouped in
+  let seq = makespan Solver.sequential in
+  let grp = makespan Solver.grouped in
   Alcotest.(check bool)
     (Printf.sprintf "grouped (%.1fs) < sequential (%.1fs)" grp seq)
     true (grp < seq);
@@ -450,6 +601,13 @@ let () =
           Alcotest.test_case "grouped waves fit links" `Quick
             test_grouped_waves_respect_capacity;
           Alcotest.test_case "of_string" `Quick test_solver_of_string;
+          Alcotest.test_case "registry" `Quick test_solver_registry;
+          Alcotest.test_case "swap lowers communication cost" `Quick
+            test_swap_lowers_communication_cost;
+          Alcotest.test_case "swap never crosses fabric class" `Quick
+            test_swap_never_crosses_fabric_class;
+          Alcotest.test_case "cost model decomposition" `Quick
+            test_cost_model_decomposition;
         ] );
       ( "executor",
         [

@@ -208,6 +208,89 @@ let test_npb_survives_migration () =
   Sim.run sim;
   Alcotest.(check bool) "finished" true (Runtime.is_finished job)
 
+(* ------------------------------------------------------------------ *)
+(* Traffic matrices *)
+
+let test_traffic_grammar_roundtrip () =
+  let patterns =
+    [
+      Traffic.Uniform { rate = Traffic.default_rate };
+      Traffic.Ring { rate = 0.0 };
+      Traffic.Skewed { elephants = 3; rate = 1.5e5; factor = 16.0 };
+      (* An awkward float must survive the text form exactly. *)
+      Traffic.Uniform { rate = 1.0 /. 3.0 };
+    ]
+  in
+  List.iter
+    (fun p ->
+      match Traffic.of_string (Traffic.to_string p) with
+      | Ok p' ->
+        if p' <> p then
+          Alcotest.failf "%s did not round-trip" (Traffic.to_string p)
+      | Error e -> Alcotest.failf "%s: %s" (Traffic.to_string p) e)
+    patterns;
+  (* Defaults: a bare pattern name parses with the default rate. *)
+  (match Traffic.of_string "uniform" with
+  | Ok (Traffic.Uniform { rate }) ->
+    check_near "default rate" 1.0 Traffic.default_rate rate
+  | Ok p -> Alcotest.failf "expected uniform, got %s" (Traffic.to_string p)
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun text ->
+      match Traffic.of_string text with
+      | Ok _ -> Alcotest.failf "expected %S rejected" text
+      | Error _ -> ())
+    [
+      "spiral"; "uniform:rate=-1"; "uniform:rate=nan"; "ring:elephants=2";
+      "skewed:factor=0.5"; "skewed:elephants=banana"; "uniform:rate";
+    ]
+
+let test_traffic_matrix_shapes () =
+  let prng = Prng.create ~seed:3L in
+  let vms = [ "a"; "b"; "c"; "d" ] in
+  let uni = Traffic.matrix prng (Traffic.Uniform { rate = 2.0 }) ~vms in
+  Alcotest.(check int) "uniform: all unordered pairs" 6 (List.length uni);
+  List.iter
+    (fun (a, b, rate) ->
+      Alcotest.(check bool) "endpoints canonically ordered" true (a < b);
+      check_near "uniform rate" 1e-9 2.0 rate)
+    uni;
+  let ring = Traffic.matrix prng (Traffic.Ring { rate = 1.0 }) ~vms in
+  Alcotest.(check int) "ring: one entry per VM" 4 (List.length ring);
+  let skew =
+    Traffic.matrix prng
+      (Traffic.Skewed { elephants = 2; rate = 1.0; factor = 10.0 })
+      ~vms
+  in
+  let heavy = List.filter (fun (_, _, r) -> r >= 9.0) skew in
+  Alcotest.(check int) "skewed: requested elephant count" 2 (List.length heavy);
+  Alcotest.(check bool) "skewed: mice keep the base rate" true
+    (List.exists (fun (_, _, r) -> r < 9.0) skew);
+  (* Degenerate populations produce no demand rather than self-loops. *)
+  Alcotest.(check int) "one VM: empty" 0
+    (List.length (Traffic.matrix prng (Traffic.Uniform { rate = 1.0 }) ~vms:[ "solo" ]));
+  Alcotest.check_raises "invalid pattern refused"
+    (Invalid_argument "Traffic.matrix: rate must be non-negative and finite")
+    (fun () ->
+      ignore (Traffic.matrix prng (Traffic.Uniform { rate = -1.0 }) ~vms))
+
+let test_traffic_matrix_deterministic () =
+  let draw seed =
+    let prng = Prng.create ~seed in
+    let pattern = Traffic.gen prng in
+    (pattern, Traffic.matrix prng pattern ~vms:[ "a"; "b"; "c"; "d"; "e" ])
+  in
+  Alcotest.(check bool) "same seed, same pattern and matrix" true
+    (draw 11L = draw 11L);
+  Alcotest.(check bool) "seeds decorrelate" true (draw 11L <> draw 12L);
+  (* Generated patterns always validate — the fuzzer relies on it. *)
+  let prng = Prng.create ~seed:99L in
+  for _ = 1 to 200 do
+    match Traffic.validate (Traffic.gen prng) with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "generated pattern invalid: %s" e
+  done
+
 let () =
   Alcotest.run "ninja_workloads"
     [
@@ -232,5 +315,12 @@ let () =
           Alcotest.test_case "baseline ordering" `Quick test_npb_baseline_ordering;
           Alcotest.test_case "extended kernels" `Quick test_npb_extended_kernels;
           Alcotest.test_case "survives migration" `Quick test_npb_survives_migration;
+        ] );
+      ( "traffic",
+        [
+          Alcotest.test_case "grammar round-trips" `Quick test_traffic_grammar_roundtrip;
+          Alcotest.test_case "matrix shapes" `Quick test_traffic_matrix_shapes;
+          Alcotest.test_case "matrix deterministic" `Quick
+            test_traffic_matrix_deterministic;
         ] );
     ]
