@@ -31,11 +31,11 @@ let wall () = Int64.to_float (Mclock.now ()) /. 1e9
 (* Machine-readable companion to the printed tables: per-entry wall-clock,
    CPU and simulated seconds, so perf regressions across PRs can be
    compared without scraping stdout. *)
-let bench_json_path = "BENCH_8.json"
+let bench_json_path = "BENCH_9.json"
 
 let write_bench_json ctx ~total_wall ~total_cpu entries =
   let oc = open_out bench_json_path in
-  Printf.fprintf oc "{\n  \"pr\": 8,\n  \"seed\": %Ld,\n  \"jobs\": %d,\n  \"mode\": %S,\n"
+  Printf.fprintf oc "{\n  \"pr\": 9,\n  \"seed\": %Ld,\n  \"jobs\": %d,\n  \"mode\": %S,\n"
     ctx.Ninja_engine.Run_ctx.seed
     (Ninja_engine.Run_ctx.jobs ctx)
     (match ctx.Ninja_engine.Run_ctx.mode with

@@ -24,6 +24,23 @@ command -v jq >/dev/null 2>&1 || {
   exit 1
 }
 
+# One snapshot (a seed checkout) has no trajectory to chart: every bar
+# would trivially be the maximum. Degrade to a single-row table of that
+# snapshot's entries instead of an empty/degenerate chart.
+if [ "$#" -eq 1 ]; then
+  f="$1"
+  pr=$(jq -r '.pr' "$f")
+  w=$(jq -r '.total_wall_s // 0' "$f")
+  jobs=$(jq -r '.jobs // 1' "$f")
+  printf 'single snapshot (PR %s, -j%s): %ss total wall\n' "$pr" "$jobs" "$w"
+  jq -r '.entries[] | [.name, (.wall_s | tostring)] | @tsv' "$f" \
+    | while IFS="$(printf '\t')" read -r name w; do
+        if [ -n "$only" ] && [ "$name" != "$only" ]; then continue; fi
+        printf '  %-18s %8.3fs\n' "$name" "$w"
+      done
+  exit 0
+fi
+
 bar() { # bar <value> <max> — 1..40 hashes proportional to value/max
   jq -n --argjson v "$1" --argjson m "$2" \
     '"#" * (if $m <= 0 then 1 else (($v / $m * 40) | floor + 1) end)' | tr -d '"'

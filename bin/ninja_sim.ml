@@ -24,6 +24,20 @@ let strategy_conv =
 let strategy_doc =
   Printf.sprintf "Planner strategy: %s." (Ninja_planner.Solver.help ())
 
+let mode_conv =
+  let parse s =
+    Ninja_vmm.Migration.mode_of_string s |> Result.map_error (fun e -> `Msg e)
+  in
+  Arg.conv
+    ( parse,
+      fun fmt m -> Format.pp_print_string fmt (Ninja_vmm.Migration.mode_name m) )
+
+let mode_doc =
+  "Migration copy mode: $(b,precopy) (iterative dirty rounds, then stop-and-copy; \
+   rollback restores the source on failure) or $(b,postcopy) (switch over after a \
+   hot-set push, then demand-page over the fabric; once the switchover commits a \
+   source death makes the VM unrecoverably $(i,lost) — there is no rollback)."
+
 let traffic_conv =
   let parse s = Ninja_workloads.Traffic.of_string s |> Result.map_error (fun e -> `Msg e) in
   Arg.conv
@@ -144,8 +158,16 @@ let run_cmd =
     in
     Arg.(value & opt (some traffic_conv) None & info [ "traffic" ] ~docv:"PATTERN" ~doc)
   in
-  let run name full csv_dir seed faults topology traffic jobs trace_file metrics_file
-      spans_file =
+  let mig_mode =
+    let doc =
+      mode_doc
+      ^ " Experiments that perform Ninja migrations (fig6, ...) use it instead of \
+         their precopy default."
+    in
+    Arg.(value & opt (some mode_conv) None & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
+  let run name full csv_dir seed faults topology traffic mig_mode jobs trace_file
+      metrics_file spans_file =
     if jobs < 1 then begin
       prerr_endline "run: --jobs must be at least 1";
       exit 1
@@ -194,7 +216,10 @@ let run_cmd =
       with_pool @@ fun pool ->
       let topology = Option.map Ninja_hardware.Topology.to_string topology in
       let traffic = Option.map Ninja_workloads.Traffic.to_string traffic in
-      let ctx = Run_ctx.make ?seed ~mode ~faults ?topology ?traffic ?pool () in
+      let migration = Option.map Ninja_vmm.Migration.mode_name mig_mode in
+      let ctx =
+        Run_ctx.make ?seed ~mode ~faults ?topology ?traffic ?migration ?pool ()
+      in
       (* Span fragments accumulate across all experiments (in submission
          order) and are assembled into one JSON document at the end. *)
       let all_fragments = ref [] in
@@ -242,7 +267,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ name_arg $ full $ csv_dir $ seed_arg $ fault_args $ topology_arg
-      $ traffic $ jobs $ trace_file $ metrics_file $ spans_file)
+      $ traffic $ mig_mode $ jobs $ trace_file $ metrics_file $ spans_file)
 
 (* `ninja_sim script [FILE]`: execute a Fig. 5-style migration script
    against a canned demo scenario (2 VMs on the IB cluster running a
@@ -396,6 +421,14 @@ let check_cmd =
     in
     Arg.(value & opt (some strategy_conv) None & info [ "strategy" ] ~docv:"STRATEGY" ~doc)
   in
+  let mig_mode =
+    let doc =
+      mode_doc
+      ^ " Pins every generated scenario to one mode (the CI mode matrix); default: \
+         the generator mixes them, roughly one in three postcopy."
+    in
+    Arg.(value & opt (some mode_conv) None & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
   let no_shrink =
     let doc = "Skip counterexample minimisation." in
     Arg.(value & flag & info [ "no-shrink" ] ~doc)
@@ -404,7 +437,7 @@ let check_cmd =
     let doc = "Re-run the exact scenario serialised in $(docv) instead of fuzzing." in
     Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
   in
-  let run n jobs out_dir plant strategy no_shrink replay seed topology =
+  let run n jobs out_dir plant strategy mig_mode no_shrink replay seed topology =
     let open Ninja_check in
     match replay with
     | Some path ->
@@ -435,7 +468,8 @@ let check_cmd =
       with_pool @@ fun pool ->
       let ctx = Run_ctx.make ?seed ?pool () in
       let summary =
-        Fuzz.campaign ctx ~n ?plant ?topology ?strategy ~shrink:(not no_shrink) ()
+        Fuzz.campaign ctx ~n ?plant ?topology ?strategy ?mode:mig_mode
+          ~shrink:(not no_shrink) ()
       in
       Format.printf "%a@." Fuzz.pp_summary summary;
       if summary.Fuzz.failures <> [] then begin
@@ -453,8 +487,8 @@ let check_cmd =
   in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
-      const run $ n $ jobs $ out_dir $ plant $ strategy $ no_shrink $ replay $ seed_arg
-      $ topology_arg)
+      const run $ n $ jobs $ out_dir $ plant $ strategy $ mig_mode $ no_shrink $ replay
+      $ seed_arg $ topology_arg)
 
 (* `ninja_sim serve`: run the continuous control plane — an open-loop
    request stream served by the long-running migration scheduler — under
@@ -503,6 +537,14 @@ let serve_cmd =
       value
       & opt strategy_conv Ninja_planner.Solver.default
       & info [ "strategy" ] ~docv:"STRATEGY" ~doc:strategy_doc)
+  in
+  let mig_mode =
+    let doc =
+      mode_doc
+      ^ " Stamped on every request the service draws; a postcopy request whose \
+         source dies mid-drain leaves the VM lost (counted, never resumed)."
+    in
+    Arg.(value & opt mode_conv Ninja_vmm.Migration.Precopy & info [ "mode" ] ~docv:"MODE" ~doc)
   in
   let traffic =
     let doc =
@@ -562,8 +604,8 @@ let serve_cmd =
     Arg.(value & opt (some string) None & info [ "spans" ] ~docv:"FILE" ~doc)
   in
   let run duration rate burst_period burst_size burst_spread tenants_n vms_per_tenant
-      mem_gb strategy traffic auto_swap max_inflight queue_cap slo seed seeds jobs
-      show_log faults topology trace_file metrics_file spans_file =
+      mem_gb strategy mig_mode traffic auto_swap max_inflight queue_cap slo seed seeds
+      jobs show_log faults topology trace_file metrics_file spans_file =
     if duration <= 0.0 || rate < 0.0 || tenants_n < 1 || vms_per_tenant < 0
        || max_inflight < 1 || queue_cap < 1 || jobs < 1
     then begin
@@ -640,7 +682,13 @@ let serve_cmd =
           ~vms_per_tenant ~mem_bytes:(Ninja_hardware.Units.gb mem_gb)
       in
       let config =
-        { Service.default_config with strategy; max_inflight; queue_cap; auto_swap }
+        { Service.default_config with
+          strategy;
+          mode = mig_mode;
+          max_inflight;
+          queue_cap;
+          auto_swap
+        }
       in
       let svc = Service.create env.Exp_common.cluster ~config ~tenants:specs () in
       let checker =
@@ -653,16 +701,19 @@ let serve_cmd =
       let violations = Ninja_check.Checker.violations checker in
       let b = Buffer.create 1024 in
       let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
-      pf "== serve: seed %Ld, %.0fs at rate %.3g/s, strategy %s ==\n" seed duration rate
-        (Ninja_planner.Solver.name strategy);
+      pf "== serve: seed %Ld, %.0fs at rate %.3g/s, strategy %s, mode %s ==\n" seed
+        duration rate
+        (Ninja_planner.Solver.name strategy)
+        (Ninja_vmm.Migration.mode_name mig_mode);
       if show_log then List.iter (fun line -> pf "%s\n" line) (Service.log svc);
       let c name = int_of_float (Service.count svc name) in
       pf
         "requests: %d submitted, %d completed, %d rejected, %d dropped, %d failed \
-         (%d deferrals, %d requeues, %d rollbacks, %d stranded VMs)\n"
+         (%d deferrals, %d requeues, %d rollbacks, %d stranded VMs, %d lost VMs)\n"
         (Service.submitted svc) (c "ctl.requests.completed") (c "ctl.requests.rejected")
         (c "ctl.requests.dropped") (c "ctl.requests.failed") (c "ctl.requests.deferred")
-        (c "ctl.requests.requeued") (c "ctl.batches.rolled_back") (c "ctl.vms.stranded");
+        (c "ctl.requests.requeued") (c "ctl.batches.rolled_back") (c "ctl.vms.stranded")
+        (c "ctl.vms.lost");
       (match Service.latency_percentiles svc with
       | None -> pf "request latency: no completed requests\n"
       | Some (p50, p95, p99) ->
@@ -722,9 +773,9 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ duration $ rate $ burst_period $ burst_size $ burst_spread $ tenants
-      $ vms_per_tenant $ mem_gb $ strategy $ traffic $ auto_swap $ max_inflight
-      $ queue_cap $ slo $ seed_arg $ seeds $ jobs $ show_log $ fault_args $ topology_arg
-      $ trace_file $ metrics_file $ spans_file)
+      $ vms_per_tenant $ mem_gb $ strategy $ mig_mode $ traffic $ auto_swap
+      $ max_inflight $ queue_cap $ slo $ seed_arg $ seeds $ jobs $ show_log $ fault_args
+      $ topology_arg $ trace_file $ metrics_file $ spans_file)
 
 let () =
   let doc = "Ninja migration reproduction: run the paper's experiments on the simulator." in

@@ -43,13 +43,13 @@ let () =
       Sim.sleep (Time.sec 15);
       print_endline "\n== maintenance window opens: fallback migration IB -> Ethernet ==";
       ibstat ();
-      let b = Ninja.fallback ninja ~dsts:eth in
+      let b = Ninja.fallback ninja ~dsts:eth () in
       phase := "4 hosts (TCP), fallback operation";
       Format.printf "   overhead: %a@." Breakdown.pp b;
       ibstat ();
       Sim.sleep (Time.sec 40);
       print_endline "\n== maintenance done: recovery migration Ethernet -> IB ==";
-      let b = Ninja.recovery ninja ~dsts:ib in
+      let b = Ninja.recovery ninja ~dsts:ib () in
       phase := "4 hosts (IB), recovered";
       Format.printf "   overhead: %a@." Breakdown.pp b;
       ibstat ();

@@ -45,7 +45,7 @@ let () =
       Sim.sleep (Time.sec 10);
       Printf.printf "[%6.1fs] --- triggering Ninja fallback migration ---\n"
         (Time.to_sec_f (Sim.now sim));
-      let b = Ninja.fallback ninja ~dsts:[ host "eth00"; host "eth01" ] in
+      let b = Ninja.fallback ninja ~dsts:[ host "eth00"; host "eth01" ] () in
       Format.printf "[%6.1fs] --- migration done: %a ---@."
         (Time.to_sec_f (Sim.now sim))
         Breakdown.pp b;

@@ -14,6 +14,14 @@ type t = {
   active_fences : (string, string list) Hashtbl.t;  (* fence id -> vms *)
   attached : (string, string list ref) Hashtbl.t;  (* vm -> attached tags *)
   gave_up : (string, unit) Hashtbl.t;
+  lost : (string, unit) Hashtbl.t;
+      (* VMs reported lost by a ["migration"/"lost"] probe: a committed
+         postcopy switchover whose source died. Never cleared — loss is
+         terminal, so later batches must not move or restore these VMs. *)
+  pull_remaining : (string, float) Hashtbl.t;
+      (* vm -> the last ["migration"/"pull"] probe's remaining bytes;
+         cleared by ["migration"/"done"] (drain finished) or "lost". An
+         entry surviving to the end of the run is an abandoned drain. *)
   origins : (string, (string * string) list) Hashtbl.t;
       (* batch -> (vm, host at migrate start); key "" for unbatched flows *)
   mutable events : int;
@@ -146,10 +154,38 @@ let on_event t (e : Probe.event) =
     List.iter (fun (vm, _) -> Hashtbl.remove t.gave_up vm) origins;
     Hashtbl.replace t.origins batch origins
   | "migrate", "giveup" -> Hashtbl.replace t.gave_up e.Probe.subject ()
+  | "migration", "pull" when watched t e.Probe.subject ->
+    let name = e.Probe.subject in
+    if info "dup_pages" <> "0" then
+      record_at t ~at:e.Probe.at ~invariant:"no-double-resident"
+        ~detail:
+          (Printf.sprintf "%s: a pull re-claimed %s already-resident page(s)" name
+             (info "dup_pages"));
+    (match float_of_string_opt (info "remaining") with
+    | None ->
+      record_at t ~at:e.Probe.at ~invariant:"pull-monotone"
+        ~detail:(Printf.sprintf "%s: pull probe carries no remaining count" name)
+    | Some remaining ->
+      (match Hashtbl.find_opt t.pull_remaining name with
+      | Some prev when remaining >= prev ->
+        record_at t ~at:e.Probe.at ~invariant:"pull-monotone"
+          ~detail:
+            (Printf.sprintf
+               "%s: pull left %.0f bytes remaining, not below the previous %.0f — the \
+                drain is not making progress"
+               name remaining prev)
+      | _ -> ());
+      Hashtbl.replace t.pull_remaining name remaining)
+  | "migration", "lost" when watched t e.Probe.subject ->
+    Hashtbl.replace t.lost e.Probe.subject ();
+    Hashtbl.remove t.pull_remaining e.Probe.subject
+  | "migration", "done" -> Hashtbl.remove t.pull_remaining e.Probe.subject
   | "migrate", "rollback" ->
     List.iter
       (fun (name, origin) ->
-        if not (excused t name) then
+        (* A lost VM is exempt from restore-to-source — there is nothing
+           left to restore; {!check_finish} asserts it ends paused. *)
+        if (not (excused t name)) && not (Hashtbl.mem t.lost name) then
           let vm = Hashtbl.find t.vms name in
           let here = (Vm.host vm).Node.name in
           if here <> origin then
@@ -171,6 +207,8 @@ let install cluster ~vms =
       active_fences = Hashtbl.create 8;
       attached = Hashtbl.create 8;
       gave_up = Hashtbl.create 8;
+      lost = Hashtbl.create 8;
+      pull_remaining = Hashtbl.create 8;
       origins = Hashtbl.create 8;
       events = 0;
       sub = None;
@@ -203,23 +241,61 @@ let check_finish t =
   Hashtbl.iter
     (fun name vm ->
       let host = Vm.host vm in
-      if Vm.state vm <> Vm.Running then
-        record t ~invariant:"vm-running"
-          ~detail:(Printf.sprintf "%s is still paused at the end of the run" name);
-      if not (Cluster.node_alive t.cluster host) then begin
-        if not (excused t name) then
-          record t ~invariant:"vm-on-live-host"
-            ~detail:(Printf.sprintf "%s ends on dead node %s" name host.Node.name)
-      end
-      else if not (excused t name) then begin
-        if Node.has_ib host && Vm.find_device vm ~tag:"vf0" = None then
-          record t ~invariant:"device-consistency"
-            ~detail:(Printf.sprintf "%s on IB node %s without its HCA" name host.Node.name);
-        if (not (Node.has_ib host)) && Vm.has_bypass_device vm then
-          record t ~invariant:"device-consistency"
+      (* Mode-aware terminal states. A lost VM (committed postcopy
+         switchover whose source died) must be frozen: running it would
+         execute over missing pages. A VM that is NOT lost must have
+         finished any postcopy drain it started — silently running with
+         pages still at the source is the failure postcopy's [Lost]
+         accounting exists to make loud. *)
+      if Vm.is_lost vm || Hashtbl.mem t.lost name then begin
+        if Vm.state vm = Vm.Running then
+          record t ~invariant:"postcopy-lost"
             ~detail:
-              (Printf.sprintf "%s on Ethernet node %s with a bypass device attached" name
-                 host.Node.name)
+              (Printf.sprintf "%s was lost mid-postcopy but is still running on %s" name
+                 host.Node.name);
+        if Vm.is_lost vm && not (Hashtbl.mem t.lost name) then
+          record t ~invariant:"postcopy-lost"
+            ~detail:
+              (Printf.sprintf "%s is marked lost but no migration/lost event reported it"
+                 name)
+      end
+      else begin
+        let mem = Vm.memory vm in
+        if Memory.postcopy_active mem && Memory.remote_bytes mem > 0.0 then
+          record t ~invariant:"postcopy-complete"
+            ~detail:
+              (Printf.sprintf
+                 "%s ends the run with %.0f bytes still at its postcopy source" name
+                 (Memory.remote_bytes mem))
+        else (
+          match Hashtbl.find_opt t.pull_remaining name with
+          | Some r when r > 0.0 ->
+            record t ~invariant:"postcopy-complete"
+              ~detail:
+                (Printf.sprintf
+                   "%s's pull stream last reported %.0f bytes remaining and never \
+                    finished"
+                   name r)
+          | _ -> ());
+        if Vm.state vm <> Vm.Running then
+          record t ~invariant:"vm-running"
+            ~detail:(Printf.sprintf "%s is still paused at the end of the run" name);
+        if not (Cluster.node_alive t.cluster host) then begin
+          if not (excused t name) then
+            record t ~invariant:"vm-on-live-host"
+              ~detail:(Printf.sprintf "%s ends on dead node %s" name host.Node.name)
+        end
+        else if not (excused t name) then begin
+          if Node.has_ib host && Vm.find_device vm ~tag:"vf0" = None then
+            record t ~invariant:"device-consistency"
+              ~detail:
+                (Printf.sprintf "%s on IB node %s without its HCA" name host.Node.name);
+          if (not (Node.has_ib host)) && Vm.has_bypass_device vm then
+            record t ~invariant:"device-consistency"
+              ~detail:
+                (Printf.sprintf "%s on Ethernet node %s with a bypass device attached"
+                   name host.Node.name)
+        end
       end)
     t.vms;
   (* Destination overcommit: the watched VMs resident on any one node must

@@ -20,13 +20,27 @@
       no fence is left held at the end of the run;
     - {b rollback-restore} — after a rolled-back migration, every VM
       the rollback did not explicitly give up on is back on its origin
-      host.
+      host;
+    - {b pull-monotone} — every postcopy pull strictly shrinks the
+      VM's remaining remote byte count (the drain always progresses);
+    - {b no-double-resident} — no pull ever re-claims a page that is
+      already resident at the destination;
+    - {b postcopy-lost} — a VM lost to a mid-drain source death ends
+      the run frozen (running it would execute over missing pages), and
+      every loss is announced by a ["migration"/"lost"] event;
+    - {b postcopy-complete} — a VM that is {e not} lost has finished
+      every postcopy drain it started; silently running with pages
+      still at the source is the violation the [Lost] accounting
+      exists to prevent.
 
     Violations are collected, not raised: a single run reports every
     invariant it breaks. VMs the transactional rollback abandoned (a
     ["migrate"/"giveup"] probe) are excused from placement and device
     restoration checks — giving up under a persistent fault is the
-    documented best-effort behaviour, not a bug. *)
+    documented best-effort behaviour, not a bug. Lost VMs are likewise
+    exempt from restore-to-source and placement checks: rollback from a
+    committed postcopy switchover is impossible by construction, and the
+    mode-aware checks above replace the precopy-shaped ones for them. *)
 
 open Ninja_hardware
 open Ninja_vmm
@@ -61,9 +75,10 @@ val excused : t -> string -> bool
 
 val check_finish : t -> unit
 (** End-of-run invariants: no fence held, every watched VM running on a
-    live host, and device state consistent with the host's hardware
-    (IB host ⇒ HCA attached; Ethernet host ⇒ no bypass device). Call
-    after [Sim.run] returns. *)
+    live host, device state consistent with the host's hardware
+    (IB host ⇒ HCA attached; Ethernet host ⇒ no bypass device), every
+    postcopy drain finished, and every lost VM frozen. Call after
+    [Sim.run] returns. *)
 
 val events_seen : t -> int
 

@@ -64,7 +64,7 @@ let impose_topology topo (sc : Scenario.t) =
     uplink_gbps = None;
   }
 
-let campaign ctx ~n ?plant ?topology ?strategy ?(shrink = true) () =
+let campaign ctx ~n ?plant ?topology ?strategy ?mode ?(shrink = true) () =
   let scenarios =
     generate ~seed:ctx.Run_ctx.seed ~n
     |> List.map (fun sc ->
@@ -72,9 +72,12 @@ let campaign ctx ~n ?plant ?topology ?strategy ?(shrink = true) () =
            let sc =
              match topology with None -> sc | Some topo -> impose_topology topo sc
            in
-           match strategy with
-           | None -> sc
-           | Some strategy -> { sc with Scenario.strategy })
+           let sc =
+             match strategy with
+             | None -> sc
+             | Some strategy -> { sc with Scenario.strategy }
+           in
+           match mode with None -> sc | Some mode -> { sc with Scenario.mode })
   in
   let results = Run_ctx.map ctx ~f:Runner.run scenarios in
   let failures =

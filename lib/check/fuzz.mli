@@ -36,6 +36,7 @@ val campaign :
   ?plant:string ->
   ?topology:Ninja_hardware.Topology.t ->
   ?strategy:Ninja_planner.Solver.t ->
+  ?mode:Ninja_vmm.Migration.mode ->
   ?shrink:bool ->
   unit ->
   summary
@@ -44,6 +45,8 @@ val campaign :
     [topology] forces every scenario onto the given datacenter topology
     (clamping fleet size and memory to fit it); [strategy] pins every
     scenario to one registered planner strategy (the CI strategy matrix);
+    [mode] pins every scenario to one migration mode (by default
+    scenarios keep their generated mix, roughly one-in-three postcopy);
     [shrink] (default true) controls counterexample minimisation. *)
 
 val repro_of : failure -> string

@@ -103,7 +103,9 @@ let apply_plant (sc : Scenario.t) cluster ninja =
   | Some "skip-rollback" -> (
     match Ninja.last_outcome ninja with
     | Some (Ninja.Rolled_back _) -> sneak_migrate cluster (List.hd (Ninja.vms ninja))
-    | Some Ninja.Completed | None -> ())
+    (* A lost VM cannot be migrated at all — the plant has nothing to
+       sneak past the protocol. *)
+    | Some (Ninja.Lost _) | Some Ninja.Completed | None -> ())
   | Some other -> invalid_arg (Printf.sprintf "unknown plant %S" other)
 
 let final_checks ~origins (sc : Scenario.t) ninja checker =
@@ -123,16 +125,49 @@ let final_checks ~origins (sc : Scenario.t) ninja checker =
                  (Scenario.trigger_to_string sc.Scenario.trigger)))
       (Ninja.vms ninja)
   | Some (Ninja.Rolled_back _) ->
+    (* Mode-aware rollback: a rollback must actually restore-to-source.
+       Reporting [Rolled_back] while a VM is lost would claim a restore
+       that never happened — that is the [Lost] outcome's job. *)
+    List.iter
+      (fun vm ->
+        if Vm.is_lost vm then
+          Checker.record checker ~invariant:"lost-unreported"
+            ~detail:
+              (Printf.sprintf
+                 "%s was lost mid-postcopy but the outcome claims a clean rollback"
+                 (Vm.name vm)))
+      (Ninja.vms ninja);
     List.iteri
       (fun i vm ->
         let origin = (List.nth origins i).Node.name in
         if
-          (not (Checker.excused checker (Vm.name vm)))
+          (not (Vm.is_lost vm))
+          && (not (Checker.excused checker (Vm.name vm)))
           && (Vm.host vm).Node.name <> origin
         then
           Checker.record checker ~invariant:"rollback-restore"
             ~detail:
               (Printf.sprintf "%s ends on %s after a rollback; its origin is %s"
+                 (Vm.name vm) (Vm.host vm).Node.name origin))
+      (Ninja.vms ninja)
+  | Some (Ninja.Lost _) ->
+    (* The terminal postcopy outcome: at least one VM must really be
+       lost (and paused — {!Checker.check_finish} asserts that part),
+       and every surviving VM must still have been restored to source. *)
+    if not (List.exists Vm.is_lost (Ninja.vms ninja)) then
+      Checker.record checker ~invariant:"lost-accounting"
+        ~detail:"outcome is Lost but no VM is marked lost";
+    List.iteri
+      (fun i vm ->
+        let origin = (List.nth origins i).Node.name in
+        if
+          (not (Vm.is_lost vm))
+          && (not (Checker.excused checker (Vm.name vm)))
+          && (Vm.host vm).Node.name <> origin
+        then
+          Checker.record checker ~invariant:"rollback-restore"
+            ~detail:
+              (Printf.sprintf "%s ends on %s after a lost migration; its origin is %s"
                  (Vm.name vm) (Vm.host vm).Node.name origin))
       (Ninja.vms ninja)
 
@@ -196,7 +231,8 @@ let run ?attach scenario =
                 ~vms:(List.map Vm.name (Ninja.vms ninja)))
         in
         let sched =
-          Cloud_scheduler.create ~strategy:scenario.Scenario.strategy ~traffic ninja
+          Cloud_scheduler.create ~strategy:scenario.Scenario.strategy
+            ~mode:scenario.Scenario.mode ~traffic ninja
         in
         Cloud_scheduler.schedule sched
           ~after:(Time.of_sec_f scenario.Scenario.trigger_at)

@@ -17,6 +17,7 @@ type t = {
   until : float;
   uplink_gbps : float option;
   strategy : Solver.t;
+  mode : Ninja_vmm.Migration.mode;
   traffic : string option;
   trigger : trigger;
   trigger_at : float;
@@ -80,6 +81,12 @@ let gen prng =
     let all = Solver.all () in
     List.nth all (Prng.int prng (List.length all))
   in
+  (* One in three scenarios migrates postcopy, so the committed-switchover
+     failure semantics and pull bookkeeping run under the checker as often
+     as the precopy rollback paths do. *)
+  let mode =
+    if Prng.int prng 3 = 0 then Ninja_vmm.Migration.Postcopy else Ninja_vmm.Migration.Precopy
+  in
   (* One in three scenarios carries a tenant traffic matrix, so every
      registered strategy (the swap solver in particular) sees priced
      communication demand under the checker. *)
@@ -118,6 +125,7 @@ let gen prng =
     until;
     uplink_gbps;
     strategy;
+    mode;
     traffic;
     trigger;
     trigger_at;
@@ -231,6 +239,7 @@ let to_string t =
   line "until" (fstr t.until);
   (match t.uplink_gbps with Some g -> line "uplink_gbps" (fstr g) | None -> ());
   line "strategy" (Solver.name t.strategy);
+  line "mode" (Ninja_vmm.Migration.mode_name t.mode);
   (match t.traffic with Some p -> line "traffic" p | None -> ());
   line "trigger" (trigger_to_string t.trigger);
   line "trigger_at" (fstr t.trigger_at);
@@ -252,6 +261,7 @@ let default =
     until = 40.0;
     uplink_gbps = None;
     strategy = Solver.sequential;
+    mode = Ninja_vmm.Migration.Precopy;
     traffic = None;
     trigger = Drain;
     trigger_at = 5.0;
@@ -302,6 +312,8 @@ let of_string text =
         Result.map (fun f -> { t with uplink_gbps = Some f }) (parse_float k v)
       | "strategy" ->
         Result.map (fun s -> { t with strategy = s }) (Solver.of_string v)
+      | "mode" ->
+        Result.map (fun m -> { t with mode = m }) (Ninja_vmm.Migration.mode_of_string v)
       (* The value itself contains '=' and ',' (e.g. skewed:elephants=2);
          the first-'=' split above keeps it intact. *)
       | "traffic" -> Ok { t with traffic = Some v }
@@ -342,6 +354,8 @@ let shrink t =
   | None -> ());
   if t.trigger <> Drain then add { t with trigger = Drain };
   if t.strategy <> Solver.sequential then add { t with strategy = Solver.sequential };
+  if t.mode <> Ninja_vmm.Migration.Precopy then
+    add { t with mode = Ninja_vmm.Migration.Precopy };
   if t.traffic <> None then add { t with traffic = None };
   if t.uplink_gbps <> None then add { t with uplink_gbps = None };
   if t.until > 40.0 then add { t with until = Float.max 40.0 (t.until /. 2.0) };
@@ -358,13 +372,16 @@ let shrink t =
   List.rev !candidates |> List.filter (fun c -> validate c = Ok ())
 
 let pp fmt t =
-  Format.fprintf fmt "seed=%Ld %s, %d vm(s) x%d, %s/%s @%.1fs%s%s%s" t.seed
+  Format.fprintf fmt "seed=%Ld %s, %d vm(s) x%d, %s/%s%s @%.1fs%s%s%s" t.seed
     (match t.topo with
     | None -> Printf.sprintf "%d+%d nodes" t.ib t.eth
     | Some topo -> Topology.to_string topo)
     t.vms t.procs
     (trigger_to_string t.trigger)
     (Solver.name t.strategy)
+    (match t.mode with
+    | Ninja_vmm.Migration.Precopy -> ""
+    | Ninja_vmm.Migration.Postcopy -> "/postcopy")
     t.trigger_at
     (match t.traffic with None -> "" | Some p -> " traffic=" ^ p)
     (match t.faults with

@@ -35,6 +35,11 @@ type t = {
   uplink_gbps : float option;  (** inter-rack WAN constraint, if any *)
   strategy : Ninja_planner.Solver.t;
       (** any registered planner strategy (see {!Ninja_planner.Solver.all}) *)
+  mode : Ninja_vmm.Migration.mode;
+      (** copy strategy for every migration the trigger sets in motion;
+          [Postcopy] commits switchovers, so its failure semantics (the
+          {!Ninja_core.Ninja.Lost} outcome, reroute refusal, mode-aware
+          rollback) run under the checker *)
   traffic : string option;
       (** tenant traffic pattern in {!Ninja_workloads.Traffic} grammar,
           priced by cost-model strategies; a seeded matrix is drawn over
@@ -50,7 +55,8 @@ val gen : Ninja_engine.Prng.t -> t
     suffices for the trigger, fault sites reference existing VMs/nodes,
     and node-death is only ever aimed at Ethernet (destination) nodes so
     migration sources never die. One in four scenarios carries a
-    generated {!Ninja_hardware.Topology}. No plant is ever generated. *)
+    generated {!Ninja_hardware.Topology}. One in three scenarios
+    migrates postcopy. No plant is ever generated. *)
 
 val validate : t -> (unit, string) result
 (** Structural sanity (positive counts, parsable fault specs, trigger

@@ -14,6 +14,7 @@ type t = {
   id : int;
   tenant : string;
   kind : kind;
+  mode : Ninja_vmm.Migration.mode;
   priority : priority;
   deadline : Time.span option;
   submitted : Time.t;
@@ -34,11 +35,16 @@ let kind_name = function
   | Swap _ -> "swap"
 
 let describe t =
-  match t.kind with
-  | Evacuate { node } -> "evacuate " ^ node
-  | Failover { rack } -> Printf.sprintf "failover rack%d" rack
-  | Swap { vm_a; vm_b } -> Printf.sprintf "swap %s<->%s" vm_a vm_b
-  | k -> kind_name k
+  let base =
+    match t.kind with
+    | Evacuate { node } -> "evacuate " ^ node
+    | Failover { rack } -> Printf.sprintf "failover rack%d" rack
+    | Swap { vm_a; vm_b } -> Printf.sprintf "swap %s<->%s" vm_a vm_b
+    | k -> kind_name k
+  in
+  match t.mode with
+  | Ninja_vmm.Migration.Precopy -> base
+  | Ninja_vmm.Migration.Postcopy -> base ^ " (postcopy)"
 
 let expired t ~now =
   match t.deadline with

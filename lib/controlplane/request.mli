@@ -29,6 +29,10 @@ type t = {
   id : int;  (** dense, service-assigned, in submission order *)
   tenant : string;
   kind : kind;
+  mode : Ninja_vmm.Migration.mode;
+      (** copy strategy for every migration this request triggers; a
+          postcopy request's committed switchovers cannot be rolled back
+          or rerouted *)
   priority : priority;
   deadline : Time.span option;  (** relative to [submitted] *)
   submitted : Time.t;

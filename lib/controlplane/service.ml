@@ -13,6 +13,7 @@ type tenant_spec = {
 
 type config = {
   strategy : Solver.t;
+  mode : Migration.mode;
   max_inflight : int;
   queue_cap : int;
   max_attempts : int;
@@ -25,6 +26,7 @@ type config = {
 let default_config =
   {
     strategy = Solver.default;
+    mode = Migration.Precopy;
     max_inflight = 2;
     queue_cap = 8;
     max_attempts = 3;
@@ -187,7 +189,8 @@ let plan_swap t (r : Request.t) ~vm_a ~vm_b =
   match (find vm_a, find vm_b) with
   | Some a, Some b ->
     let ha = Vm.host a and hb = Vm.host b in
-    if ha.Node.id = hb.Node.id then Noop
+    if Vm.is_lost a || Vm.is_lost b then Blocked "vm-lost"
+    else if ha.Node.id = hb.Node.id then Noop
     else if
       not (Cluster.node_alive t.cluster ha && Cluster.node_alive t.cluster hb)
     then Blocked "host-dead"
@@ -244,7 +247,8 @@ let plan_request t (r : Request.t) =
       ( movers,
         List.filter (fun (n : Node.t) -> not (List.mem n.Node.id occupied)) avail )
   in
-  match movers with
+  (* A VM lost to a committed postcopy switchover is unmovable forever. *)
+  match List.filter (fun vm -> not (Vm.is_lost vm)) movers with
   | [] -> Noop
   | movers ->
     if List.exists (fun vm -> not (Locks.vm_free t.locks (Vm.name vm))) movers then
@@ -295,12 +299,15 @@ let give_up t vm =
 
 (* Restore each VM to its origin; a VM whose current or origin host is
    dead cannot be restored and is excused instead, exactly like
-   [Ninja.migrate]'s rollback. *)
+   [Ninja.migrate]'s rollback. A VM lost mid-postcopy has no restorable
+   state anywhere — rollback-to-source is impossible by construction, so
+   it is only counted. *)
 let roll_back t origins =
   List.iter
     (fun (vm, (origin : Node.t)) ->
       let here = Vm.host vm in
-      if here.Node.id <> origin.Node.id then begin
+      if Vm.is_lost vm then count t "ctl.vms.lost"
+      else if here.Node.id <> origin.Node.id then begin
         if
           (not (Cluster.node_alive t.cluster here))
           || not (Cluster.node_alive t.cluster origin)
@@ -318,6 +325,11 @@ let roll_back t origins =
 
 let reroute t (r : Request.t) claim (step : Plan.step) =
   let vm = step.Plan.vm in
+  (* Once a postcopy switchover commits, the VM runs at the destination
+     with pages still in flight — there is no coherent state to aim at a
+     third node, and a lost VM has nothing left to move at all. *)
+  if Vm.switchover_committed vm || Vm.is_lost vm then None
+  else
   let need = vm_bytes vm in
   let here = Vm.host vm in
   Cluster.alive_nodes t.cluster
@@ -380,8 +392,8 @@ let execute_batch t (r : Request.t) claim plan =
   let solved = Solver.solve t.cfg.strategy t.cluster ~traffic:t.traffic plan in
   let result =
     match
-      Executor.run t.cluster ~max_per_host:t.cfg.max_per_host ~retry:t.cfg.retry
-        ~reroute:(reroute t r claim) solved
+      Executor.run t.cluster ~max_per_host:t.cfg.max_per_host ~mode:r.Request.mode
+        ~retry:t.cfg.retry ~reroute:(reroute t r claim) solved
     with
     | report ->
       (* A destination that died after receiving VMs leaves them stranded
@@ -389,26 +401,32 @@ let execute_batch t (r : Request.t) claim plan =
          so the request is re-tried rather than silently degraded. *)
       if
         List.exists
-          (fun vm -> not (Cluster.node_alive t.cluster (Vm.host vm)))
+          (fun vm ->
+            (not (Vm.is_lost vm))
+            && not (Cluster.node_alive t.cluster (Vm.host vm)))
           moving
       then Batch_failed "destination died after arrival"
+      else if List.exists Vm.is_lost moving then
+        Batch_failed "postcopy source died mid-drain"
       else Batch_done report
     | exception Executor.Step_failed { step_id; vm; dst; reason } ->
       Batch_failed (Printf.sprintf "step %d (%s -> %s): %s" step_id vm dst reason)
   in
   (match result with Batch_failed _ -> roll_back t origins | Batch_done _ -> ());
   (* Fence release: restore the device posture for wherever each VM ended
-     up, then resume. *)
+     up, then resume. Lost VMs stay frozen — running one would execute
+     over pages that died with the source. *)
   List.iter
     (fun vm ->
       let h = Vm.host vm in
       if
-        Cluster.node_alive t.cluster h
+        (not (Vm.is_lost vm))
+        && Cluster.node_alive t.cluster h
         && Node.has_ib h
         && Vm.find_device vm ~tag:"vf0" = None
       then Vm.attach_device vm (hca ()))
     moving;
-  List.iter Vm.resume moving;
+  List.iter (fun vm -> if not (Vm.is_lost vm) then Vm.resume vm) moving;
   Probe.emit t.probes ~topic:"fence" ~action:"release" ~info:fence_info ();
   let resident = Time.to_sec_f (Time.diff (Sim.now t.sim) entered) in
   List.iter (fun _ -> observe t "ctl.vm.downtime.seconds" resident) moving;
@@ -567,13 +585,14 @@ let rec dispatch_ready t =
 
 (* {1 Feeding} *)
 
-let make t ~tenant ~kind ?(priority = Request.Normal) ?deadline () =
+let make t ~tenant ~kind ?mode ?(priority = Request.Normal) ?deadline () =
   let id = t.next_id in
   t.next_id <- id + 1;
   {
     Request.id;
     tenant;
     kind;
+    mode = Option.value mode ~default:t.cfg.mode;
     priority;
     deadline;
     submitted = Sim.now t.sim;
@@ -652,6 +671,8 @@ let propose_swap t =
         let ha = Vm.host a and hb = Vm.host b in
         if
           ha.Node.id <> hb.Node.id
+          && (not (Vm.is_lost a))
+          && (not (Vm.is_lost b))
           && Cluster.node_alive t.cluster ha
           && Cluster.node_alive t.cluster hb
           && Node.has_ib ha = Node.has_ib hb

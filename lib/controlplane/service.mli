@@ -53,6 +53,10 @@ type tenant_spec = {
 
 type config = {
   strategy : Ninja_planner.Solver.t;
+  mode : Migration.mode;
+      (** default copy strategy stamped on every request ({!make} can
+          override per request); postcopy requests commit their
+          switchovers and cannot be rolled back to source *)
   max_inflight : int;  (** concurrent batch plans; >= 1 *)
   queue_cap : int;  (** admission bound per tenant queue *)
   max_attempts : int;  (** dispatch attempts per request before Failed *)
@@ -67,8 +71,9 @@ type config = {
 }
 
 val default_config : config
-(** Grouped strategy, 2 batches in flight, queue cap 8, 3 attempts,
-    25 deferrals, no auto-swap, the executor's defaults otherwise. *)
+(** Grouped strategy, precopy mode, 2 batches in flight, queue cap 8,
+    3 attempts, 25 deferrals, no auto-swap, the executor's defaults
+    otherwise. *)
 
 type outcome =
   | Completed
@@ -114,11 +119,13 @@ val make :
   t ->
   tenant:string ->
   kind:Request.kind ->
+  ?mode:Migration.mode ->
   ?priority:Request.priority ->
   ?deadline:Time.span ->
   unit ->
   Request.t
-(** Allocate the next request id, stamped with the current sim time. *)
+(** Allocate the next request id, stamped with the current sim time.
+    [mode] defaults to the service config's mode. *)
 
 val submit : t -> Request.t -> unit
 (** Admission: reject (["queue-full"], ["unknown-tenant"]) or enqueue. *)

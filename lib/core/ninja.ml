@@ -9,7 +9,13 @@ open Ninja_vmm
 
 type vnode = { vm : Vm.t; guest : Guest.t; endpoint : Hypercall.t }
 
-type outcome = Completed | Rolled_back of string
+type outcome =
+  | Completed
+  | Rolled_back of string
+  | Lost of string
+      (* A postcopy switchover committed and then the source died: the VM
+         has no complete image anywhere, so rollback-to-source is
+         impossible. Terminal — surviving VMs are still restored. *)
 
 type t = {
   cluster : Cluster.t;
@@ -153,7 +159,7 @@ let default_attach plan vm =
    fence is released and the guests resume where they were. [migrate]
    never leaks an exception from an injected fault; callers read
    {!last_outcome} to distinguish a completed migration from a rollback. *)
-let migrate t ~plan ?(transport = Migration.Tcp) ?hotplug_noise
+let migrate t ~plan ?(transport = Migration.Tcp) ?(mode = Migration.Precopy) ?hotplug_noise
     ?(protocol = `Multi_fence) ?detach:detach_f ?attach:attach_f ?migration_exec
     ?(retry = Retry.default_policy) () =
   let rt = runtime t in
@@ -303,7 +309,7 @@ let migrate t ~plan ?(transport = Migration.Tcp) ?hotplug_noise
     List.iter (remember_removed vm) devices;
     List.map (fun (d : Device.t) -> Qmp.Device_del { tag = d.Device.tag; noise }) devices
   in
-  let migration_builder vm = [ Qmp.Migrate { dst = plan vm; transport } ] in
+  let migration_builder vm = [ Qmp.Migrate { dst = plan vm; transport; mode } ] in
   let attach_builder vm =
     attach_f vm
     |> List.filter (fun (d : Device.t) -> Vm.find_device vm ~tag:d.Device.tag = None)
@@ -315,12 +321,17 @@ let migrate t ~plan ?(transport = Migration.Tcp) ?hotplug_noise
     try
       in_span "detach" "phase" (fun () -> phase ~name:"detach" detach_builder);
       fence_boundary ~last:false;
-      in_span "precopy" "phase" (fun () ->
+      (* The migration-phase span is named by mode so the breakdown and
+         telemetry consumers can tell the copy strategies apart. *)
+      in_span (Migration.mode_name mode) "phase" (fun () ->
           match migration_exec with
           | Some exec -> exec ()
           | None ->
               phase ~name:"migration"
-                ~retryable:(fun vm _msg -> Cluster.node_alive t.cluster (plan vm))
+                ~retryable:(fun vm _msg ->
+                  (* A lost VM must never be re-issued a migrate; fail the
+                     phase immediately so the rollback can run. *)
+                  (not (Vm.is_lost vm)) && Cluster.node_alive t.cluster (plan vm))
                 migration_builder);
       fence_boundary ~last:false;
       in_span "attach" "phase" (fun () -> phase ~name:"attach" attach_builder);
@@ -343,11 +354,16 @@ let migrate t ~plan ?(transport = Migration.Tcp) ?hotplug_noise
       let rollback =
         Span.enter sc ~name:"rollback" ~cat:"rollback" ~args:[ ("reason", reason) ] ()
       in
+      (* A VM lost to a mid-drain source death has no complete image to
+         restore: it stays paused at the destination and every rollback
+         phase skips it — re-issuing commands to it would be exactly the
+         "silently keep running with missing pages" failure mode. *)
+      let restorable vm = not (Vm.is_lost vm) in
       (* a. Strip bypass devices from any VM that must travel back (a
          partially completed attach would otherwise pin it in place). *)
       in_span "rollback-detach" "phase" (fun () ->
           phase ~name:"rollback-detach" ~best_effort:true (fun vm ->
-              if (Vm.host vm).Node.id <> (origin_of vm).Node.id then begin
+              if restorable vm && (Vm.host vm).Node.id <> (origin_of vm).Node.id then begin
                 let stuck =
                   List.filter
                     (fun (d : Device.t) -> Vm.find_device vm ~tag:d.Device.tag <> None)
@@ -362,24 +378,43 @@ let migrate t ~plan ?(transport = Migration.Tcp) ?hotplug_noise
       (* b. Return every displaced VM to its origin. *)
       in_span "rollback-return" "phase" (fun () ->
           phase ~name:"rollback-return" ~best_effort:true
-            ~retryable:(fun vm _msg -> Cluster.node_alive t.cluster (origin_of vm))
+            ~retryable:(fun vm _msg ->
+              restorable vm && Cluster.node_alive t.cluster (origin_of vm))
             (fun vm ->
-              if (Vm.host vm).Node.id <> (origin_of vm).Node.id then
-                [ Qmp.Migrate { dst = origin_of vm; transport } ]
+              if restorable vm && (Vm.host vm).Node.id <> (origin_of vm).Node.id then
+                (* The return trip is always precopy: the origin still holds
+                   nothing, so there is no hot set to lean on, and a second
+                   committed switchover would compound the failure. *)
+                [ Qmp.Migrate { dst = origin_of vm; transport; mode = Migration.Precopy } ]
               else []));
       (* c. Re-attach what the detach phase removed, where the (source)
          hardware still backs it. *)
       in_span "rollback-attach" "phase" (fun () ->
           phase ~name:"rollback-attach" ~best_effort:true (fun vm ->
-              !(removed_of vm)
+              if not (restorable vm) then []
+              else
+                !(removed_of vm)
               |> List.filter (fun (d : Device.t) ->
                      Vm.find_device vm ~tag:d.Device.tag = None
                      && (not (Device.is_bypass d.Device.kind) || Node.has_ib (Vm.host vm)))
               |> List.map (fun device -> Qmp.Device_add { device; noise })));
       Span.exit_ sc rollback;
-      t.last_outcome <- Some (Rolled_back reason);
-      Trace.record t.trace ~category:"ninja" "rollback complete: VMs restored at source";
-      Probe.emit probes ~topic:"migrate" ~action:"rollback" ~info:[ ("reason", reason) ] ();
+      let lost = List.filter (fun n -> Vm.is_lost n.vm) t.nodes in
+      (match lost with
+      | [] ->
+          t.last_outcome <- Some (Rolled_back reason);
+          Trace.record t.trace ~category:"ninja" "rollback complete: VMs restored at source"
+      | _ ->
+          t.last_outcome <- Some (Lost reason);
+          Trace.recordf t.trace ~category:"ninja"
+            "rollback complete: %d VM(s) lost (no rollback from a committed switchover), \
+             survivors restored at source"
+            (List.length lost));
+      Probe.emit probes ~topic:"migrate" ~action:"rollback"
+        ~info:
+          (("reason", reason)
+          :: List.map (fun n -> ("lost", Vm.name n.vm)) lost)
+        ();
       (* Release the fence exactly like a completed operation would. *)
       t.operation_active <- false;
       Controller.signal ctl);
@@ -405,9 +440,9 @@ let plan_of_dsts t dsts =
   let table = List.combine (vms t) dsts in
   fun vm -> List.assq vm table
 
-let fallback t ~dsts = migrate t ~plan:(plan_of_dsts t dsts) ()
+let fallback t ~dsts ?mode () = migrate t ~plan:(plan_of_dsts t dsts) ?mode ()
 
-let recovery t ~dsts = migrate t ~plan:(plan_of_dsts t dsts) ()
+let recovery t ~dsts ?mode () = migrate t ~plan:(plan_of_dsts t dsts) ?mode ()
 
 let self_migration t = migrate t ~plan:(fun vm -> Vm.host vm) ()
 

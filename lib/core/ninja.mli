@@ -35,6 +35,13 @@ type outcome =
       (** a phase exhausted its retry policy; every VM was returned to its
           origin node with its bypass devices restored, and the guests
           resumed where they were. The payload is the failure reason. *)
+  | Lost of string
+      (** a postcopy switchover committed and then the source died before
+          the page drain completed: no host holds a complete image, so
+          rollback-to-source is impossible for that VM. The lost VM(s)
+          stay paused at the destination and are skipped by every rollback
+          phase; surviving VMs are still restored to their origins. The
+          payload is the failure reason. *)
 
 val setup :
   Cluster.t ->
@@ -88,6 +95,7 @@ val migrate :
   t ->
   plan:(Vm.t -> Node.t) ->
   ?transport:Migration.transport ->
+  ?mode:Migration.mode ->
   ?hotplug_noise:float ->
   ?protocol:[ `Multi_fence | `Single_fence ] ->
   ?detach:(Vm.t -> string list) ->
@@ -119,16 +127,22 @@ val migrate :
     hardware allows, and the fence is released so the job continues where
     it was. [migrate] does not raise on injected faults; the time lost to
     retries and rollback is reported in the breakdown's [retry] field and
-    the result is readable via {!last_outcome}. *)
+    the result is readable via {!last_outcome}.
+
+    [mode] selects the copy strategy (default [Precopy]). Under
+    [Postcopy] the failure semantics change: a fault before the
+    switchover commits still rolls back cleanly, but a source death
+    mid-drain makes the affected VM unrecoverable and the outcome becomes
+    {!Lost} — rollback restores only the surviving VMs. *)
 
 val last_outcome : t -> outcome option
 (** Outcome of the most recent {!migrate} ([None] before the first). *)
 
-val fallback : t -> dsts:Node.t list -> Breakdown.t
+val fallback : t -> dsts:Node.t list -> ?mode:Migration.mode -> unit -> Breakdown.t
 (** Migrate VM i to [dsts.(i)] — e.g. from the IB cluster to the Ethernet
     cluster. Raises [Invalid_argument] on a length mismatch. *)
 
-val recovery : t -> dsts:Node.t list -> Breakdown.t
+val recovery : t -> dsts:Node.t list -> ?mode:Migration.mode -> unit -> Breakdown.t
 (** Same mechanics as {!fallback}; named for the Fig. 2 phase. *)
 
 val self_migration : t -> Breakdown.t

@@ -94,7 +94,8 @@ let migration ctl ~src ~dst =
                match
                  List.find_opt (fun (s, _) -> s.Node.id = (Vm.host vm).Node.id) moves
                with
-               | Some (_, d) -> [ Qmp.Migrate { dst = d; transport = Migration.Tcp } ]
+               | Some (_, d) ->
+                 [ Qmp.Migrate { dst = d; transport = Migration.Tcp; mode = Migration.Precopy } ]
                | None -> [])))
   in
   ctl.migration <- Time.add ctl.migration span

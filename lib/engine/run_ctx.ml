@@ -8,6 +8,7 @@ type t = {
   faults : string list;
   topology : string option;
   traffic : string option;
+  migration : string option;
   label : string;
   trace : sink option;
   metrics : sink option;
@@ -16,9 +17,10 @@ type t = {
   pool : Pool.t option;
 }
 
-let make ?(seed = 42L) ?(mode = Quick) ?(faults = []) ?topology ?traffic ?(label = "")
-    ?trace ?metrics ?spans ?observe ?pool () =
-  { seed; mode; faults; topology; traffic; label; trace; metrics; spans; observe; pool }
+let make ?(seed = 42L) ?(mode = Quick) ?(faults = []) ?topology ?traffic ?migration
+    ?(label = "") ?trace ?metrics ?spans ?observe ?pool () =
+  { seed; mode; faults; topology; traffic; migration; label; trace; metrics; spans;
+    observe; pool }
 
 let default = make ()
 
@@ -33,6 +35,8 @@ let with_mode mode t = { t with mode }
 let with_topology topology t = { t with topology }
 
 let with_traffic traffic t = { t with traffic }
+
+let with_migration migration t = { t with migration }
 
 let with_pool pool t = { t with pool }
 

@@ -37,6 +37,11 @@ type t = {
           grammar; when set, traffic-aware experiments draw their tenant
           matrices from it instead of their built-in default; validated
           upstream *)
+  migration : string option;
+      (** migration copy mode name in the [Ninja_vmm.Migration] grammar
+          (["precopy"] or ["postcopy"]); when set, experiments that
+          perform Ninja migrations use it instead of their precopy
+          default; validated upstream *)
   label : string;
       (** names this run's simulations in telemetry exports (e.g. the
           experiment entry and sweep-point index), so tracks from
@@ -60,6 +65,7 @@ val make :
   ?faults:string list ->
   ?topology:string ->
   ?traffic:string ->
+  ?migration:string ->
   ?label:string ->
   ?trace:sink ->
   ?metrics:sink ->
@@ -84,6 +90,8 @@ val with_mode : mode -> t -> t
 val with_topology : string option -> t -> t
 
 val with_traffic : string option -> t -> t
+
+val with_migration : string option -> t -> t
 
 val with_pool : Pool.t option -> t -> t
 

@@ -46,6 +46,18 @@ let fresh ?spec ctx =
   in
   { ctx; sim; cluster; recorder }
 
+(* The context carries the copy mode as text (the engine cannot depend on
+   the VMM); it was validated at the entry point, so a bad name here is a
+   programming error. *)
+let migration_mode ctx =
+  match ctx.Run_ctx.migration with
+  | None -> Ninja_vmm.Migration.Precopy
+  | Some text -> (
+    match Ninja_vmm.Migration.mode_of_string text with
+    | Ok mode -> mode
+    | Error msg ->
+      failwith (Printf.sprintf "Exp_common.migration_mode: bad mode %S: %s" text msg))
+
 let hosts cluster ~prefix ~first ~count =
   List.init count (fun i ->
       Cluster.find_node cluster (Printf.sprintf "%s%02d" prefix (first + i)))

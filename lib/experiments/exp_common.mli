@@ -31,6 +31,10 @@ val fresh : ?spec:Spec.t -> Run_ctx.t -> env
     in the context (the CLI validates them upstream, so this indicates a
     programming error). *)
 
+val migration_mode : Run_ctx.t -> Ninja_vmm.Migration.mode
+(** The context's migration copy mode ([Precopy] when unset). Raises
+    [Failure] on a malformed mode name (the CLI validates upstream). *)
+
 val hosts : Cluster.t -> prefix:string -> first:int -> count:int -> Node.t list
 (** e.g. [hosts c ~prefix:"ib" ~first:8 ~count:8] = ib08..ib15. *)
 

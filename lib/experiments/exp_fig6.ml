@@ -27,7 +27,7 @@ let measure rc ~size_gb =
   Sim.spawn sim (fun () ->
       (* Let every rank complete at least one full pass first. *)
       Sim.sleep (Time.sec 30);
-      let b = Ninja.fallback ninja ~dsts in
+      let b = Ninja.fallback ninja ~dsts ~mode:(migration_mode rc) () in
       result := Some b;
       Ninja.wait_job ninja);
   run_to_completion env;

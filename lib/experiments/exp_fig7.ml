@@ -41,7 +41,7 @@ let one_run rc kernel ~migrate_once =
   if migrate_once then
     Sim.spawn sim (fun () ->
         Sim.sleep (trigger_at mode);
-        breakdown := Ninja.fallback ninja ~dsts);
+        breakdown := Ninja.fallback ninja ~dsts ());
   Sim.spawn sim (fun () -> Ninja.wait_job ninja);
   run_to_completion env;
   (!finished_at, !breakdown)

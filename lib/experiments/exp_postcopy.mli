@@ -1,0 +1,8 @@
+(** Postcopy experiment: precopy vs postcopy migration of a live,
+    dirtying guest across datacenter topologies — downtime, total time
+    and the prioritized-pull latency tail, per topology. On the
+    oversubscribed leaf-spine entries precopy burns its round budget and
+    pays the residual dirty set as stop-and-copy downtime; postcopy's
+    downtime stays a constant hot-set push. *)
+
+val run : Ninja_engine.Run_ctx.t -> Ninja_metrics.Table.t list

@@ -29,7 +29,7 @@ let measure rc ~n_vms ~uplink_gbps =
   let result = ref None in
   Sim.spawn sim (fun () ->
       Sim.sleep (Time.sec 10);
-      result := Some (Ninja.fallback ninja ~dsts);
+      result := Some (Ninja.fallback ninja ~dsts ());
       Ninja.wait_job ninja);
   run_to_completion env;
   let b = Option.get !result in

@@ -52,6 +52,13 @@ let all =
       run = Exp_ablation.postcopy;
     };
     {
+      name = "postcopy";
+      description =
+        "Postcopy vs precopy across topologies: downtime, total time and the \
+         prioritized-pull latency tail of a live dirtying guest";
+      run = Exp_postcopy.run;
+    };
+    {
       name = "evacuation";
       description =
         "Batch evacuation planner: sequential vs grouped strategy makespan (VM count sweep)";

@@ -41,8 +41,20 @@ let fail_of (step : Plan.step) reason =
       reason;
     }
 
-let default_run_step transport (step : Plan.step) =
-  match Qmp.execute step.Plan.vm (Qmp.Migrate { dst = step.Plan.dst; transport }) with
+(* A staged VM crosses two hops back to back. Running those hops
+   postcopy would commit an irreversible switchover onto a scratch
+   staging node, then immediately commit a second one — doubling the
+   window in which a source death loses the VM, and stranding it on the
+   staging node if the chain fails between hops. Staged hops therefore
+   always run precopy; only Direct steps honour the requested mode. *)
+let step_mode mode (step : Plan.step) =
+  match step.Plan.kind with
+  | Plan.Direct -> mode
+  | Plan.Stage_out | Plan.Stage_in -> Migration.Precopy
+
+let default_run_step transport mode (step : Plan.step) =
+  let mode = step_mode mode step in
+  match Qmp.execute step.Plan.vm (Qmp.Migrate { dst = step.Plan.dst; transport; mode }) with
   | Qmp.Migrated stats -> stats
   | Qmp.Error msg -> raise (fail_of step msg)
   | Qmp.Ok_empty | Qmp.Elapsed _ | Qmp.Status _ ->
@@ -57,14 +69,15 @@ let permit_nodes (step : Plan.step) =
   else if src.Node.id < dst.Node.id then [ src; dst ]
   else [ dst; src ]
 
-let run cluster ?(transport = Migration.Tcp) ?(max_per_host = default_max_per_host)
-    ?run_step ?(retry = Retry.default_policy) ?reroute plan =
+let run cluster ?(transport = Migration.Tcp) ?(mode = Migration.Precopy)
+    ?(max_per_host = default_max_per_host) ?run_step ?(retry = Retry.default_policy)
+    ?reroute plan =
   if max_per_host <= 0 then invalid_arg "Executor.run: max_per_host must be positive";
   ignore (Plan.topo_order plan);
   let sim = Cluster.sim cluster in
   let trace = Cluster.trace cluster in
   let probes = Cluster.probes cluster in
-  let run_step = Option.value run_step ~default:(default_run_step transport) in
+  let run_step = Option.value run_step ~default:(default_run_step transport mode) in
   let steps = Plan.steps plan in
   let started = Sim.now sim in
   let sems : (int, Semaphore.t) Hashtbl.t = Hashtbl.create 8 in

@@ -53,9 +53,18 @@ exception
 
 val default_max_per_host : int
 
+val step_mode : Migration.mode -> Plan.step -> Migration.mode
+(** The mode a step actually migrates under when the caller requested
+    [mode]: [Direct] steps honour the request, [Stage_out]/[Stage_in]
+    hops of a broken swap cycle are always demoted to {!Migration.Precopy}
+    — a postcopy switchover commits irreversibly, and committing onto a
+    scratch staging node mid-chain would strand the VM there if the
+    second hop never runs. *)
+
 val run :
   Cluster.t ->
   ?transport:Migration.transport ->
+  ?mode:Migration.mode ->
   ?max_per_host:int ->
   ?run_step:(Plan.step -> Migration.stats) ->
   ?retry:Retry.policy ->

@@ -22,19 +22,21 @@ type t = {
   ninja : Ninja.t;
   sim : Sim.t;
   strategy : Solver.t;
+  mode : Migration.mode;
   traffic : Cost_model.traffic;
   max_per_host : int;
   retry : Retry.policy;
   mutable records : record list;
 }
 
-let create ?(strategy = Solver.default) ?(traffic = [])
+let create ?(strategy = Solver.default) ?(mode = Migration.Precopy) ?(traffic = [])
     ?(max_per_host = Executor.default_max_per_host) ?(retry = Retry.default_policy) ninja =
   if max_per_host <= 0 then invalid_arg "Cloud_scheduler.create: max_per_host";
   {
     ninja;
     sim = Cluster.sim (Ninja.cluster ninja);
     strategy;
+    mode;
     traffic;
     max_per_host;
     retry;
@@ -42,6 +44,8 @@ let create ?(strategy = Solver.default) ?(traffic = [])
   }
 
 let strategy t = t.strategy
+
+let mode t = t.mode
 
 let trigger_name = function
   | Maintenance _ -> "maintenance"
@@ -102,6 +106,12 @@ let make_reroute t trigger plan =
   let cluster = Ninja.cluster t.ninja in
   let granted : (int, Vm.t list ref) Hashtbl.t = Hashtbl.create 4 in
   fun (step : Plan.step) ->
+    (* A committed postcopy switchover pins the VM: its memory is split
+       between source and destination, so aiming the pull stream at a
+       third node is meaningless. A lost VM has nothing left to move.
+       Either way the step must fail rather than be rerouted. *)
+    if Vm.switchover_committed step.Plan.vm || Vm.is_lost step.Plan.vm then None
+    else begin
     let vms = Ninja.vms t.ninja in
     let headed_to n =
       let residents =
@@ -157,6 +167,7 @@ let make_reroute t trigger plan =
       l := step.Plan.vm :: !l
     | None -> ());
     choice
+    end
 
 let execute t trigger =
   Probe.emit
@@ -166,12 +177,13 @@ let execute t trigger =
   let plan = build_plan t trigger dst_of in
   let report = ref None in
   let breakdown =
-    Ninja.migrate t.ninja ~plan:dst_of ~retry:t.retry
+    Ninja.migrate t.ninja ~plan:dst_of ~mode:t.mode ~retry:t.retry
       ~migration_exec:(fun () ->
         report :=
           Some
-            (Executor.run (Ninja.cluster t.ninja) ~max_per_host:t.max_per_host
-               ~retry:t.retry ~reroute:(make_reroute t trigger plan) plan))
+            (Executor.run (Ninja.cluster t.ninja) ~mode:t.mode
+               ~max_per_host:t.max_per_host ~retry:t.retry
+               ~reroute:(make_reroute t trigger plan) plan))
       ()
   in
   t.records <- { at = Sim.now t.sim; trigger; breakdown; report = !report } :: t.records;

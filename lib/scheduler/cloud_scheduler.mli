@@ -42,12 +42,18 @@ type t
 
 val create :
   ?strategy:Solver.t ->
+  ?mode:Ninja_vmm.Migration.mode ->
   ?traffic:Cost_model.traffic ->
   ?max_per_host:int ->
   ?retry:Retry.policy ->
   Ninja.t ->
   t
 (** [strategy] defaults to {!Ninja_planner.Solver.default} ([grouped]);
+    [mode] (default [Precopy]) is the copy strategy every triggered
+    migration uses — under [Postcopy], a step whose switchover has
+    committed is never rerouted (its memory is split across two hosts),
+    and a source death mid-drain surfaces as the
+    {!Ninja_core.Ninja.Lost} outcome;
     [traffic] (default empty) is the tenant traffic matrix
     placement-aware strategies price placements against; [max_per_host]
     bounds concurrent migrations touching one node (default
@@ -61,6 +67,8 @@ val create :
     registry, not a scan over every node. *)
 
 val strategy : t -> Solver.t
+
+val mode : t -> Ninja_vmm.Migration.mode
 
 val plan_for : t -> trigger -> Ninja_vmm.Vm.t -> Node.t
 

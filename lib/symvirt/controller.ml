@@ -97,9 +97,9 @@ let device_attach t ~mk_device ?(noise = 1.0) () =
          | Some device -> [ Qmp.Device_add { device; noise } ]
          | None -> []))
 
-let migration t ~plan ?(transport = Migration.Tcp) () =
+let migration t ~plan ?(transport = Migration.Tcp) ?(mode = Migration.Precopy) () =
   let results =
-    run_agents t (fun vm -> [ Qmp.Migrate { dst = plan vm; transport } ])
+    run_agents t (fun vm -> [ Qmp.Migrate { dst = plan vm; transport; mode } ])
   in
   List.concat_map
     (fun (vm, responses) ->

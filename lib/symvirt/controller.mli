@@ -48,6 +48,6 @@ val device_detach : t -> tag:string -> ?noise:float -> unit -> unit
 val device_attach : t -> mk_device:(Vm.t -> Device.t option) -> ?noise:float -> unit -> unit
 (** Attach a device to each VM for which [mk_device] returns one. *)
 
-val migration : t -> plan:(Vm.t -> Node.t) -> ?transport:Migration.transport -> unit ->
-  (Vm.t * Migration.stats) list
+val migration : t -> plan:(Vm.t -> Node.t) -> ?transport:Migration.transport ->
+  ?mode:Migration.mode -> unit -> (Vm.t * Migration.stats) list
 (** Migrate every member VM to its planned destination in parallel. *)

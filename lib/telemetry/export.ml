@@ -145,7 +145,9 @@ let breakdown_of_root root =
   {
     Ninja_metrics.Breakdown.coordination = child_dur "coordination";
     detach = child_dur "detach";
-    migration = child_dur "precopy";
+    (* The migration-phase span is named by copy mode; exactly one of the
+       two exists per migration, so the sum is just "the one that ran". *)
+    migration = Time.add (child_dur "precopy") (child_dur "postcopy");
     attach = child_dur "attach";
     linkup = child_dur "link-up";
     retry = Time.add (child_dur "rollback") (retry_outside_rollback Time.zero root);

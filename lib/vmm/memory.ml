@@ -73,6 +73,16 @@ type t = {
   pages : int;
   nonzero : Bitset.t;
   dirty : Bitset.t;
+  (* Postcopy dual residency: while a postcopy migration is active, the
+     [resident] bitmap records which nonzero pages already live at the
+     destination. Pages the guest writes after switchover materialise at
+     the destination directly, so [write] marks them resident; the
+     puller claims the remaining remote (nonzero, not-yet-resident)
+     pages lowest-index-first via [pull_pages]. *)
+  resident : Bitset.t;
+  mutable resident_count : int;
+  mutable postcopy_active : bool;
+  mutable pull_cursor : int; (* word index; remote pages never reappear below it *)
   mutable nonzero_count : int;
   mutable dirty_count : int;
   mutable next_free : int; (* bump allocator; freed regions are recycled *)
@@ -90,6 +100,10 @@ let create ~total_bytes =
     pages;
     nonzero = Bitset.create pages;
     dirty = Bitset.create pages;
+    resident = Bitset.create pages;
+    resident_count = 0;
+    postcopy_active = false;
+    pull_cursor = 0;
     nonzero_count = 0;
     dirty_count = 0;
     next_free = 0;
@@ -126,7 +140,9 @@ let write t r ~offset ~bytes =
       r.start + (pages_of_bytes (offset +. bytes)) |> fun l -> min l (r.start + r.len)
     in
     t.nonzero_count <- t.nonzero_count + Bitset.set_range t.nonzero first last_excl;
-    t.dirty_count <- t.dirty_count + Bitset.set_range t.dirty first last_excl
+    t.dirty_count <- t.dirty_count + Bitset.set_range t.dirty first last_excl;
+    if t.postcopy_active then
+      t.resident_count <- t.resident_count + Bitset.set_range t.resident first last_excl
   end
 
 let write_all t r = write t r ~offset:0.0 ~bytes:(region_bytes r)
@@ -137,6 +153,7 @@ let free t r =
     let last_excl = r.start + r.len in
     t.nonzero_count <- t.nonzero_count - Bitset.clear_range t.nonzero r.start last_excl;
     t.dirty_count <- t.dirty_count - Bitset.clear_range t.dirty r.start last_excl;
+    t.resident_count <- t.resident_count - Bitset.clear_range t.resident r.start last_excl;
     t.free_list <- (r.start, r.len) :: t.free_list
   end
 
@@ -155,3 +172,74 @@ let used_fraction t = float_of_int t.nonzero_count /. float_of_int t.pages
 let page_nonzero t i = Bitset.get t.nonzero i
 
 let page_dirty t i = Bitset.get t.dirty i
+
+(* ------------------------------------------------------------------ *)
+(* Postcopy residency *)
+
+let reset_residency t =
+  Bitset.clear_all t.resident;
+  t.resident_count <- 0;
+  t.pull_cursor <- 0
+
+let begin_postcopy t =
+  reset_residency t;
+  t.postcopy_active <- true
+
+let end_postcopy t =
+  reset_residency t;
+  t.postcopy_active <- false
+
+let postcopy_active t = t.postcopy_active
+
+let resident_bytes t = float_of_int t.resident_count *. float_of_int page_size
+
+(* resident ⊆ nonzero: pulls only claim nonzero pages and [write] marks
+   both bitmaps, so the difference is exactly the still-at-source set. *)
+let remote_bytes t =
+  float_of_int (t.nonzero_count - t.resident_count) *. float_of_int page_size
+
+let page_resident t i = Bitset.get t.resident i
+
+let pull_pages t ~max_pages =
+  if max_pages <= 0 then 0
+  else begin
+    let words = Array.length t.nonzero in
+    let pulled = ref 0 in
+    let w = ref t.pull_cursor in
+    while !pulled < max_pages && !w < words do
+      let remote = t.nonzero.(!w) land lnot t.resident.(!w) land Bitset.full in
+      if remote = 0 then begin
+        (* Drained word: remote pages never reappear (post-switchover
+           writes land resident), so the cursor can skip it for good. *)
+        if !w = t.pull_cursor then t.pull_cursor <- t.pull_cursor + 1;
+        incr w
+      end
+      else begin
+        let need = max_pages - !pulled in
+        let avail = Bitset.popcount remote in
+        if avail <= need then begin
+          t.resident.(!w) <- t.resident.(!w) lor remote;
+          pulled := !pulled + avail;
+          if !w = t.pull_cursor then t.pull_cursor <- t.pull_cursor + 1;
+          incr w
+        end
+        else begin
+          (* Claim the lowest [need] set bits of [remote]. *)
+          let taken = ref 0 and bit = ref 0 in
+          let word = ref t.resident.(!w) in
+          while !taken < need do
+            let m = 1 lsl !bit in
+            if remote land m <> 0 then begin
+              word := !word lor m;
+              incr taken
+            end;
+            incr bit
+          done;
+          t.resident.(!w) <- !word;
+          pulled := !pulled + need
+        end
+      end
+    done;
+    t.resident_count <- t.resident_count + !pulled;
+    !pulled
+  end

@@ -49,8 +49,38 @@ val clear_dirty : t -> unit
 
 val used_fraction : t -> float
 
+(** {1 Postcopy dual residency}
+
+    During a postcopy migration the VMM tracks, per page, whether it is
+    already resident at the destination or still at the source. The
+    resident set starts empty at switchover ({!begin_postcopy}); pulls
+    claim remote (nonzero, not-yet-resident) pages lowest-index-first;
+    guest writes after switchover materialise at the destination, so
+    {!write} marks them resident too. {!end_postcopy} drops the bitmap
+    when the drain completes (or the VM is lost). *)
+
+val begin_postcopy : t -> unit
+(** Switchover commit: clear the resident set and start dual tracking. *)
+
+val end_postcopy : t -> unit
+(** Drain complete (every page moved) or VM lost: stop dual tracking. *)
+
+val postcopy_active : t -> bool
+
+val pull_pages : t -> max_pages:int -> int
+(** Mark up to [max_pages] remote pages resident, lowest index first;
+    returns how many were newly claimed (0 when fully drained). Never
+    claims a page twice — the no-double-resident invariant. *)
+
+val resident_bytes : t -> float
+
+val remote_bytes : t -> float
+(** Nonzero bytes still at the source ([nonzero - resident]). *)
+
 (** {1 Page-level inspection (tests)} *)
 
 val page_nonzero : t -> int -> bool
 
 val page_dirty : t -> int -> bool
+
+val page_resident : t -> int -> bool

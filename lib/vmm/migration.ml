@@ -9,9 +9,18 @@ exception Bypass_device_attached of string
 
 exception Aborted of string
 
+exception Postcopy_lost of string
+
 type transport = Tcp | Rdma
 
 type mode = Precopy | Postcopy
+
+let mode_name = function Precopy -> "precopy" | Postcopy -> "postcopy"
+
+let mode_of_string = function
+  | "precopy" -> Ok Precopy
+  | "postcopy" -> Ok Postcopy
+  | s -> Error (Printf.sprintf "unknown migration mode %S (expected precopy or postcopy)" s)
 
 type stats = {
   duration : Time.span;
@@ -19,6 +28,7 @@ type stats = {
   transferred_bytes : float;
   scanned_zero_bytes : float;
   downtime : Time.span;
+  pulls : Time.span list;
 }
 
 let sender_rate = function
@@ -34,6 +44,11 @@ let precopy_stall_duration = Time.sec 3
 let postcopy_hot_set_bytes = 256.0 *. 1024.0 *. 1024.0
 
 let postcopy_fault_slowdown = 2.5
+
+(* One prioritized pull per chunk: the guest's demand faults front-run the
+   background prefetcher, so each chunk is one rated flow on the fabric
+   and one [migration/pull] probe for the checker/telemetry. *)
+let postcopy_pull_chunk_bytes = 256.0 *. 1024.0 *. 1024.0
 
 (* Shared sender machinery: a private capacity hop modelling the
    single-threaded QEMU sender (§V: one core saturated, < 1.3 Gb/s wire),
@@ -130,7 +145,7 @@ let precopy vm ~dst ~transport =
   (* Restore the pre-migration run state: a VM frozen at a SymVirt fence
      must stay frozen until the controller signals it. *)
   if was_running then Vm.resume vm;
-  (rounds, zero, downtime, sender.sent)
+  (rounds, zero, downtime, sender.sent, [])
 
 let postcopy vm ~dst ~transport =
   let cluster = Vm.cluster vm in
@@ -139,34 +154,113 @@ let postcopy vm ~dst ~transport =
   let sender = start_sender vm ~src ~dst ~transport in
   let memory = Vm.memory vm in
   let was_running = Vm.state vm = Vm.Running in
-  (* Stop-and-switch: push vCPU state plus a small hot set, flip hosts. *)
+  let injector = Cluster.injector cluster in
+  let probes = Cluster.probes cluster in
+  (* Pre-commit fault gate, mirroring precopy's round gate: until the
+     switchover commits the destination holds no unique state, so an
+     injected abort is still a clean return-to-source. *)
+  if Injector.enabled injector then begin
+    if Injector.fire injector Injector.Precopy_stall ~site:(Vm.name vm) then
+      Sim.sleep precopy_stall_duration;
+    if Injector.fire injector Injector.Precopy_abort ~site:(Vm.name vm) then begin
+      stop_sender sender;
+      raise
+        (Aborted
+           (Printf.sprintf "%s: postcopy to %s aborted before switchover" (Vm.name vm)
+              dst.Node.name))
+    end
+  end;
+  (* Stop-and-switch: push vCPU state plus a small hot set, flip hosts.
+     From here on the destination owns the VM; there is no way back. *)
   Vm.pause vm;
   Memory.clear_dirty memory;
+  Memory.begin_postcopy memory;
+  let page = float_of_int Memory.page_size in
   let t0 = Sim.now sim in
-  let hot = Float.min postcopy_hot_set_bytes (Memory.nonzero_bytes memory) in
-  send sender vm hot;
+  let hot_pages =
+    Memory.pull_pages memory ~max_pages:(int_of_float (postcopy_hot_set_bytes /. page))
+  in
+  send sender vm (float_of_int hot_pages *. page);
   let downtime = Time.diff (Sim.now sim) t0 in
-  Span.emit_note (Cluster.probes cluster) ~name:"stop-and-switch" ~cat:"vmm"
-    ~proc:src.Node.name ~thread:(Vm.name vm) ~start:t0 ();
+  Span.emit_note probes ~name:"stop-and-switch" ~cat:"vmm" ~proc:src.Node.name
+    ~thread:(Vm.name vm) ~start:t0 ();
   Vm.set_host vm dst;
+  Vm.set_switchover_committed vm true;
   if was_running then Vm.resume vm;
-  (* Background pull of the residual image; the guest runs at the
-     destination but every cold page is a remote fault. *)
-  let residual = Memory.nonzero_bytes memory -. hot in
+  (* Demand-paged drain: the guest runs at the destination under the
+     remote-fault slowdown while prioritized pulls move the remaining
+     pages chunk by chunk. Pages the guest writes meanwhile materialise
+     at the destination (Memory marks them resident), so each page moves
+     at most once. The source must stay alive for the whole drain: its
+     death at a pull boundary loses the VM. *)
+  let chunk_pages = max 1 (int_of_float (postcopy_pull_chunk_bytes /. page)) in
+  let pulls = ref [] in
+  let lost = ref false in
   Vm.set_compute_slowdown vm postcopy_fault_slowdown;
-  send sender vm residual;
+  while (not !lost) && Memory.remote_bytes memory > 0.0 do
+    if
+      Injector.enabled injector
+      && Injector.fire injector Injector.Node_death ~site:src.Node.name
+    then Cluster.kill_node cluster src;
+    if not (Cluster.node_alive cluster src) then lost := true
+    else begin
+      let t_pull = Sim.now sim in
+      let fresh = Memory.pull_pages memory ~max_pages:chunk_pages in
+      let bytes = float_of_int fresh *. page in
+      send sender vm bytes;
+      pulls := Time.diff (Sim.now sim) t_pull :: !pulls;
+      if Probe.active probes then
+        Probe.emit probes ~topic:"migration" ~action:"pull" ~subject:(Vm.name vm)
+          ~info:
+            [
+              ("bytes", Printf.sprintf "%.0f" bytes);
+              ("fresh_pages", string_of_int fresh);
+              ("dup_pages", "0");
+              ("remaining", Printf.sprintf "%.0f" (Memory.remote_bytes memory));
+            ]
+          ()
+    end
+  done;
   Vm.set_compute_slowdown vm 1.0;
   stop_sender sender;
+  if !lost then begin
+    (* The remote pages died with the source: no host has a complete
+       image any more. Freeze what remains and report the loss. *)
+    let missing = Memory.remote_bytes memory in
+    Vm.pause vm;
+    Vm.mark_lost vm;
+    Vm.set_switchover_committed vm false;
+    Memory.end_postcopy memory;
+    if Probe.active probes then
+      Probe.emit probes ~topic:"migration" ~action:"lost" ~subject:(Vm.name vm)
+        ~info:
+          [
+            ("src", src.Node.name);
+            ("dst", dst.Node.name);
+            ("missing", Printf.sprintf "%.0f" missing);
+          ]
+        ();
+    raise
+      (Postcopy_lost
+         (Printf.sprintf "%s: source %s died mid-postcopy (%.0f bytes unrecoverable)"
+            (Vm.name vm) src.Node.name missing))
+  end;
+  Vm.set_switchover_committed vm false;
+  Memory.end_postcopy memory;
   (* Writes that landed during the pull went straight to the destination;
      nothing is ever re-sent. *)
   Memory.clear_dirty memory;
-  (1, 0.0, downtime, sender.sent)
+  (1, 0.0, downtime, sender.sent, List.rev !pulls)
 
 let migrate vm ~dst ?(transport = Tcp) ?(mode = Precopy) () =
   if Vm.has_bypass_device vm then
     raise
       (Bypass_device_attached
          (Printf.sprintf "%s: cannot migrate with VMM-bypass device attached" (Vm.name vm)));
+  if Vm.is_lost vm then
+    raise
+      (Aborted
+         (Printf.sprintf "%s: VM was lost by an earlier postcopy failure" (Vm.name vm)));
   let cluster = Vm.cluster vm in
   let sim = Cluster.sim cluster in
   let trace = Cluster.trace cluster in
@@ -182,13 +276,13 @@ let migrate vm ~dst ?(transport = Tcp) ?(mode = Precopy) () =
   Semaphore.with_permit (Vm.migration_lock vm) @@ fun () ->
   let src = Vm.host vm in
   let started = Sim.now sim in
-  let mode_name = match mode with Precopy -> "precopy" | Postcopy -> "postcopy" in
+  let mode_name = mode_name mode in
   Trace.recordf trace ~category:"migration" "%s: %s %s -> %s begins" (Vm.name vm) mode_name
     src.Node.name dst.Node.name;
   let probes = Cluster.probes cluster in
   Span.emit_begin probes ~name:mode_name ~cat:"vmm" ~proc:src.Node.name ~thread:(Vm.name vm)
     ~args:[ ("dst", dst.Node.name) ] ();
-  let rounds, zero, downtime, sent =
+  let rounds, zero, downtime, sent, pulls =
     (* The end mirror must fire even when an injected fault aborts the
        attempt mid-copy, or the recorder's track would stay open. *)
     Fun.protect
@@ -214,4 +308,4 @@ let migrate vm ~dst ?(transport = Tcp) ?(mode = Precopy) () =
           ("downtime_ns", Int64.to_string (Time.to_ns downtime));
         ]
       ();
-  { duration; rounds; transferred_bytes = sent; scanned_zero_bytes = zero; downtime }
+  { duration; rounds; transferred_bytes = sent; scanned_zero_bytes = zero; downtime; pulls }

@@ -28,20 +28,39 @@ open Ninja_hardware
 exception Bypass_device_attached of string
 
 exception Aborted of string
-(** An injected mid-flight failure. The VM is left exactly as before the
-    attempt: on its source host, with its pre-migration run state. *)
+(** An injected mid-flight failure {e before} any switchover commit. The
+    VM is left exactly as before the attempt: on its source host, with
+    its pre-migration run state. Also raised when migrating a VM that an
+    earlier postcopy failure already lost. *)
+
+exception Postcopy_lost of string
+(** The source died after a postcopy switchover committed but before the
+    page drain completed: part of the VM's memory is unrecoverable and no
+    host holds a complete image. The VM is paused at the destination,
+    marked {!Vm.is_lost}, and must never run again — there is no rollback
+    from a committed switchover. *)
 
 type transport = Tcp | Rdma
 
 type mode =
   | Precopy
   | Postcopy
-      (** Stop-and-switch after pushing a small hot set, then pull the rest
-          in the background while the guest runs at the destination under a
-          remote-demand-fault slowdown. Total time is footprint-bound like
-          precopy, but downtime is constant and live re-dirtying costs
-          nothing (each page moves exactly once) — the trade-off studied by
-          the authors' later postcopy work (Yabusame). *)
+      (** Stop-and-switch after pushing a small hot set, then demand-page
+          the rest: prioritized chunked pulls over the data fabric (one
+          rated flow and one ["migration"/"pull"] probe each) while the
+          guest runs at the destination under a remote-demand-fault
+          slowdown. Total time is footprint-bound like precopy, but
+          downtime is constant and live re-dirtying costs nothing (each
+          page moves exactly once, tracked by {!Memory}'s dual residency
+          bitmaps) — the trade-off studied by the authors' later postcopy
+          work (Yabusame). Failure semantics differ fundamentally from
+          precopy: an abort before switchover is a clean return-to-source,
+          but once the switchover commits the source's death raises
+          {!Postcopy_lost}. *)
+
+val mode_name : mode -> string
+
+val mode_of_string : string -> (mode, string) result
 
 type stats = {
   duration : Time.span;
@@ -49,6 +68,9 @@ type stats = {
   transferred_bytes : float;  (** actual wire bytes (zero pages excluded) *)
   scanned_zero_bytes : float;
   downtime : Time.span;  (** stop-and-copy pause *)
+  pulls : Time.span list;
+      (** per-chunk postcopy pull latencies in pull order; [[]] for
+          precopy — feeds the pull-latency histogram and tail columns *)
 }
 
 val migrate : Vm.t -> dst:Node.t -> ?transport:transport -> ?mode:mode -> unit -> stats
@@ -64,3 +86,6 @@ val precopy_stall_duration : Ninja_engine.Time.span
 val postcopy_hot_set_bytes : float
 
 val postcopy_fault_slowdown : float
+
+val postcopy_pull_chunk_bytes : float
+(** Bytes moved per prioritized pull (one probe/flow each). *)

@@ -4,7 +4,7 @@ open Ninja_hardware
 type command =
   | Device_del of { tag : string; noise : float }
   | Device_add of { device : Device.t; noise : float }
-  | Migrate of { dst : Node.t; transport : Migration.transport }
+  | Migrate of { dst : Node.t; transport : Migration.transport; mode : Migration.mode }
   | Stop
   | Cont
   | Query_status
@@ -26,8 +26,11 @@ let command_to_string = function
       | Device.Virtio_net -> "virtio"
       | Device.Eth_10g -> "eth"
       | Device.Emulated_nic -> "emulated")
-  | Migrate { dst; transport = Migration.Tcp } -> Printf.sprintf "migrate %s" dst.Node.name
-  | Migrate { dst; transport = Migration.Rdma } -> Printf.sprintf "migrate_rdma %s" dst.Node.name
+  | Migrate { dst; mode = Migration.Postcopy; _ } ->
+    Printf.sprintf "migrate_postcopy %s" dst.Node.name
+  | Migrate { dst; transport = Migration.Tcp; _ } -> Printf.sprintf "migrate %s" dst.Node.name
+  | Migrate { dst; transport = Migration.Rdma; _ } ->
+    Printf.sprintf "migrate_rdma %s" dst.Node.name
   | Stop -> "stop"
   | Cont -> "cont"
   | Query_status -> "query-status"
@@ -45,7 +48,8 @@ let probe_command vm command =
       match command with
       | Device_del { tag; _ } -> ("device_del", [ ("tag", tag) ])
       | Device_add { device; _ } -> ("device_add", [ ("tag", device.Device.tag) ])
-      | Migrate { dst; _ } -> ("migrate", [ ("dst", dst.Node.name) ])
+      | Migrate { dst; mode; _ } ->
+        ("migrate", [ ("dst", dst.Node.name); ("mode", Migration.mode_name mode) ])
       | Stop -> ("stop", [])
       | Cont -> ("cont", [])
       | Query_status -> ("query-status", [])
@@ -78,11 +82,12 @@ let execute vm command =
     | exception Hotplug.No_backing_port msg -> Error msg
     | exception Hotplug.Attach_failed msg -> Error msg
     | exception Invalid_argument msg -> Error msg)
-  | Migrate { dst; transport } -> (
-    match Migration.migrate vm ~dst ~transport () with
+  | Migrate { dst; transport; mode } -> (
+    match Migration.migrate vm ~dst ~transport ~mode () with
     | stats -> Migrated stats
     | exception Migration.Bypass_device_attached msg -> Error msg
     | exception Migration.Aborted msg -> Error msg
+    | exception Migration.Postcopy_lost msg -> Error msg
     | exception Cluster.Node_dead msg -> Error msg
     | exception Cluster.Unreachable msg -> Error msg)
   | Stop ->
@@ -106,11 +111,15 @@ let parse cluster line =
     | _ -> Result.Error (Printf.sprintf "unknown device kind: %s" kind))
   | [ "migrate"; dest ] -> (
     match Cluster.find_node cluster dest with
-    | dst -> Result.Ok (Migrate { dst; transport = Migration.Tcp })
+    | dst -> Result.Ok (Migrate { dst; transport = Migration.Tcp; mode = Migration.Precopy })
     | exception Not_found -> Result.Error (Printf.sprintf "unknown node: %s" dest))
   | [ "migrate_rdma"; dest ] -> (
     match Cluster.find_node cluster dest with
-    | dst -> Result.Ok (Migrate { dst; transport = Migration.Rdma })
+    | dst -> Result.Ok (Migrate { dst; transport = Migration.Rdma; mode = Migration.Precopy })
+    | exception Not_found -> Result.Error (Printf.sprintf "unknown node: %s" dest))
+  | [ "migrate_postcopy"; dest ] -> (
+    match Cluster.find_node cluster dest with
+    | dst -> Result.Ok (Migrate { dst; transport = Migration.Tcp; mode = Migration.Postcopy })
     | exception Not_found -> Result.Error (Printf.sprintf "unknown node: %s" dest))
   | [ "stop" ] -> Result.Ok Stop
   | [ "cont" ] -> Result.Ok Cont

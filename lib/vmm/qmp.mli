@@ -13,7 +13,7 @@ open Ninja_hardware
 type command =
   | Device_del of { tag : string; noise : float }
   | Device_add of { device : Device.t; noise : float }
-  | Migrate of { dst : Node.t; transport : Migration.transport }
+  | Migrate of { dst : Node.t; transport : Migration.transport; mode : Migration.mode }
   | Stop
   | Cont
   | Query_status
@@ -34,12 +34,12 @@ val command_timeout : Time.span
 val execute : Vm.t -> command -> response
 (** Blocking; includes the per-command controller/QMP overhead. Monitor
     commands never raise — failures (including injected timeouts, aborted
-    precopies, hotplug attach failures and dead destinations) surface as
-    [Error]. *)
+    precopies, lost postcopies, hotplug attach failures and dead
+    destinations) surface as [Error]. *)
 
 val parse : Cluster.t -> string -> (command, string) result
 (** Textual command, e.g. ["device_del vf0"], ["device_add vf0 04:00.0 ib"],
-    ["migrate eth03"], ["stop"], ["cont"]. *)
+    ["migrate eth03"], ["migrate_postcopy eth03"], ["stop"], ["cont"]. *)
 
 val command_to_string : command -> string
 

@@ -14,6 +14,12 @@ type t = {
   mutable pause_waiters : (unit -> unit) list;
   migration_lock : Semaphore.t;
   mutable slowdown : float;
+  (* Postcopy failure semantics: once a postcopy switchover commits the
+     VM's only copy of already-pulled state is at the destination, so a
+     rollback-to-source is impossible; if the source then dies before
+     the drain completes, the VM is lost for good. *)
+  mutable switchover_committed : bool;
+  mutable lost : bool;
   mutable added_hooks : (Device.t -> unit) list;
   mutable removed_hooks : (Device.t -> unit) list;
   mutable migrated_hooks : (src:Node.t -> dst:Node.t -> unit) list;
@@ -89,6 +95,8 @@ let create cluster ~name ~host ~vcpus ~mem_bytes ?(os_resident_bytes = default_o
       pause_waiters = [];
       migration_lock = Semaphore.create 1;
       slowdown = 1.0;
+      switchover_committed = false;
+      lost = false;
       added_hooks = [];
       removed_hooks = [];
       migrated_hooks = [];
@@ -99,6 +107,19 @@ let create cluster ~name ~host ~vcpus ~mem_bytes ?(os_resident_bytes = default_o
   t
 
 let migration_lock t = t.migration_lock
+
+let switchover_committed t = t.switchover_committed
+
+let set_switchover_committed t v = t.switchover_committed <- v
+
+let is_lost t = t.lost
+
+let mark_lost t =
+  if not t.lost then begin
+    t.lost <- true;
+    Trace.recordf (Cluster.trace t.cluster) ~category:"vmm" "%s: LOST (postcopy source died)"
+      t.name
+  end
 
 let pause t =
   if t.state = Running then begin

@@ -71,6 +71,22 @@ val set_host : t -> Node.t -> unit
 val migration_lock : t -> Semaphore.t
 (** Serialises migration/snapshot operations on this VM. *)
 
+(** {1 Postcopy failure semantics} *)
+
+val switchover_committed : t -> bool
+(** True between a postcopy switchover commit and the end of its page
+    drain: the VM runs at the destination with pages still at the
+    source, so it must not be rerouted and cannot roll back. *)
+
+val set_switchover_committed : t -> bool -> unit
+(** Used by {!Migration}'s postcopy path. *)
+
+val is_lost : t -> bool
+(** The VM's source died mid-postcopy-drain: part of its memory is gone
+    and no host has a complete image. Terminal. *)
+
+val mark_lost : t -> unit
+
 (** {1 Hooks} *)
 
 val on_device_added : t -> (Device.t -> unit) -> unit

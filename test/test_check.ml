@@ -92,6 +92,7 @@ let test_generate_deterministic () =
 module Plan = Ninja_planner.Plan
 module Solver = Ninja_planner.Solver
 module Estimator = Ninja_planner.Estimator
+module Executor = Ninja_planner.Executor
 module Fabric = Ninja_flownet.Fabric
 module Traffic = Ninja_workloads.Traffic
 
@@ -119,12 +120,16 @@ let layers plan =
   go [] (Plan.steps plan)
 
 (* Every registered strategy — present and future — must honour the
-   planner's safety contract on arbitrary evacuation mixes: acyclic
-   output, no concurrent layer oversubscribing a fabric link, and no VM
-   silently re-aimed across the IB/Ethernet boundary (the PR-4 reroute
-   bug family, which the swap solver could reintroduce wholesale). *)
+   planner's safety contract on arbitrary evacuation mixes, under both
+   migration modes: acyclic output, no concurrent layer oversubscribing
+   a fabric link, no VM silently re-aimed across the IB/Ethernet
+   boundary (the PR-4 reroute bug family, which the swap solver could
+   reintroduce wholesale), and no postcopy step inside a swap-staged
+   cycle — a staged hop commits onto a scratch node, so the executor
+   must demote it to precopy whatever mode the caller asked for. *)
 let strategies_safe_prop =
-  QCheck.Test.make ~name:"registered strategies: acyclic, capacity-safe, fabric class kept"
+  QCheck.Test.make
+    ~name:"registered strategies x modes: acyclic, capacity-safe, staged hops precopy"
     ~count:60 QCheck.small_int (fun salt ->
       let prng = Prng.create ~seed:(salted (1000 + salt)) in
       let n = 2 + Prng.int prng 3 in
@@ -198,8 +203,62 @@ let strategies_safe_prop =
                     (Solver.name strategy) (Vm.name s.Plan.vm)
               | Plan.Stage_out -> ())
             (Plan.steps solved);
+          List.iter
+            (fun mode ->
+              List.iter
+                (fun (s : Plan.step) ->
+                  let effective = Executor.step_mode mode s in
+                  match s.Plan.kind with
+                  | Plan.Stage_out | Plan.Stage_in ->
+                    if effective <> Migration.Precopy then
+                      QCheck.Test.fail_reportf
+                        "%s: staged hop of %s would run %s under requested %s"
+                        (Solver.name strategy) (Vm.name s.Plan.vm)
+                        (Migration.mode_name effective) (Migration.mode_name mode)
+                  | Plan.Direct ->
+                    if effective <> mode then
+                      QCheck.Test.fail_reportf
+                        "%s: direct step of %s ignored requested mode %s"
+                        (Solver.name strategy) (Vm.name s.Plan.vm)
+                        (Migration.mode_name mode))
+                (Plan.steps solved))
+            [ Migration.Precopy; Migration.Postcopy ];
           true)
         (Solver.all ()))
+
+(* The evacuation mixes above rarely stage; pin the demotion on a plan
+   that provably does — a two-VM destination swap with one free staging
+   node yields a Stage_out/Stage_in chain, every hop of which must run
+   precopy even when the request is postcopy. *)
+let test_staged_swap_demotes_postcopy () =
+  let sim = Sim.create ~seed:env_seed () in
+  let cluster = Cluster.create sim ~spec:(Spec.make ~ib_nodes:3 ~eth_nodes:0 ()) () in
+  let host i = Cluster.find_node cluster (Printf.sprintf "ib%02d" i) in
+  let a = Vm.create cluster ~name:"vma" ~host:(host 0) ~vcpus:2 ~mem_bytes:(Units.gb 2.0) () in
+  let b = Vm.create cluster ~name:"vmb" ~host:(host 1) ~vcpus:2 ~mem_bytes:(Units.gb 2.0) () in
+  let dst_of vm = if vm == a then host 1 else host 0 in
+  let plan =
+    Plan.of_assignment cluster ~vms:[ a; b ] ~dst_of ~staging:[ host 2 ] ()
+  in
+  let staged =
+    List.filter (fun (s : Plan.step) -> s.Plan.kind <> Plan.Direct) (Plan.steps plan)
+  in
+  Alcotest.(check bool) "swap produced staged hops" true (staged <> []);
+  List.iter
+    (fun (s : Plan.step) ->
+      Alcotest.(check string)
+        (Printf.sprintf "step %d runs precopy" s.Plan.id)
+        "precopy"
+        (Migration.mode_name (Executor.step_mode Migration.Postcopy s)))
+    staged;
+  List.iter
+    (fun (s : Plan.step) ->
+      if s.Plan.kind = Plan.Direct then
+        Alcotest.(check string)
+          (Printf.sprintf "direct step %d honours postcopy" s.Plan.id)
+          "postcopy"
+          (Migration.mode_name (Executor.step_mode Migration.Postcopy s)))
+    (Plan.steps plan)
 
 (* ------------------------------------------------------------------ *)
 (* Checker invariants on synthetic probe streams *)
@@ -426,24 +485,65 @@ let run_repro text =
     if Runner.failed r then
       Alcotest.failf "repro fails: %s" (Format.asprintf "%a" Runner.pp_result r)
 
+let collective_exit_repro =
+  "seed=-7474594204390484452\n\
+   ib=5\n\
+   eth=3\n\
+   vms=3\n\
+   procs=1\n\
+   mem_gb=6.2994671907966824\n\
+   compute=0.28298897206788182\n\
+   msg_bytes=139048870.1486803\n\
+   until=66.469660177778223\n\
+   strategy=grouped\n\
+   trigger=consolidate:2\n\
+   trigger_at=8.5663234931688166\n"
+
+let reroute_overcommit_repro =
+  "seed=1204786352294408077\n\
+   ib=6\n\
+   eth=6\n\
+   vms=4\n\
+   procs=1\n\
+   mem_gb=13.24583538962561\n\
+   compute=0.1\n\
+   msg_bytes=1000000\n\
+   until=40\n\
+   strategy=grouped\n\
+   trigger=consolidate:2\n\
+   trigger_at=3.7191656196105867\n\
+   fault=node-death@eth01:n=1\n"
+
+let reroute_cross_fabric_repro =
+  "seed=4156674000378942360\n\
+   ib=2\n\
+   eth=3\n\
+   vms=2\n\
+   procs=1\n\
+   mem_gb=4\n\
+   compute=0.10000000000000001\n\
+   msg_bytes=1000000\n\
+   until=40\n\
+   strategy=sequential\n\
+   trigger=drain\n\
+   trigger_at=8.6213324926064843\n\
+   fault=node-death@eth00:n=1\n"
+
+(* The same scenario with every migration run postcopy instead. The
+   three PR-4 repros stress exactly the paths whose failure semantics
+   changed with postcopy — consolidation under contention skew, reroute
+   after a destination death, cross-fabric reroute — so each must also
+   hold when switchovers commit early and a displaced VM may no longer
+   be rerouted (the reroute path refuses a VM whose switchover already
+   committed rather than splitting its memory across hosts). *)
+let postcopy_variant text = text ^ "mode=postcopy\n"
+
 let test_regression_collective_exit_race () =
   (* Found by `check -n 1000 --seed 1337`: ranks decided the workload's
      exit on their local clocks, so CPU-contention skew after a
      consolidation stranded laggards inside an allreduce (Sim.Deadlock).
      The workload now broadcasts rank 0's verdict. *)
-  run_repro
-    "seed=-7474594204390484452\n\
-     ib=5\n\
-     eth=3\n\
-     vms=3\n\
-     procs=1\n\
-     mem_gb=6.2994671907966824\n\
-     compute=0.28298897206788182\n\
-     msg_bytes=139048870.1486803\n\
-     until=66.469660177778223\n\
-     strategy=grouped\n\
-     trigger=consolidate:2\n\
-     trigger_at=8.5663234931688166\n"
+  run_repro collective_exit_repro
 
 let test_regression_reroute_overcommit () =
   (* Found by `check -n 1000 --seed 7` once the host-overcommit invariant
@@ -452,20 +552,7 @@ let test_regression_reroute_overcommit () =
      sent to the first node that merely looked empty — 4 VMs * 14 GB on a
      51.5 GB host. The reroute now counts in-flight destinations and
      checks memory and the vms_per_host cap. *)
-  run_repro
-    "seed=1204786352294408077\n\
-     ib=6\n\
-     eth=6\n\
-     vms=4\n\
-     procs=1\n\
-     mem_gb=13.24583538962561\n\
-     compute=0.1\n\
-     msg_bytes=1000000\n\
-     until=40\n\
-     strategy=grouped\n\
-     trigger=consolidate:2\n\
-     trigger_at=3.7191656196105867\n\
-     fault=node-death@eth01:n=1\n"
+  run_repro reroute_overcommit_repro
 
 let test_regression_reroute_cross_fabric () =
   (* Found by `check -n 1000 --seed 1` once the reroute gained capacity
@@ -474,20 +561,16 @@ let test_regression_reroute_cross_fabric () =
      computed for the Ethernet destination, so the VM landed on IB with
      no HCA. Reroutes now stay in the planned destination's interconnect
      class. *)
-  run_repro
-    "seed=4156674000378942360\n\
-     ib=2\n\
-     eth=3\n\
-     vms=2\n\
-     procs=1\n\
-     mem_gb=4\n\
-     compute=0.10000000000000001\n\
-     msg_bytes=1000000\n\
-     until=40\n\
-     strategy=sequential\n\
-     trigger=drain\n\
-     trigger_at=8.6213324926064843\n\
-     fault=node-death@eth00:n=1\n"
+  run_repro reroute_cross_fabric_repro
+
+let test_regression_collective_exit_race_postcopy () =
+  run_repro (postcopy_variant collective_exit_repro)
+
+let test_regression_reroute_overcommit_postcopy () =
+  run_repro (postcopy_variant reroute_overcommit_repro)
+
+let test_regression_reroute_cross_fabric_postcopy () =
+  run_repro (postcopy_variant reroute_cross_fabric_repro)
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
@@ -501,7 +584,12 @@ let () =
         :: Alcotest.test_case "generation is deterministic" `Quick
              test_generate_deterministic
         :: qsuite [ scenario_roundtrip_prop; generated_scenarios_validate_prop ] );
-      ("strategies", qsuite [ strategies_safe_prop ]);
+      ( "strategies",
+        qsuite [ strategies_safe_prop ]
+        @ [
+            Alcotest.test_case "staged swap hops are demoted to precopy" `Quick
+              test_staged_swap_demotes_postcopy;
+          ] );
       ( "checker",
         [
           Alcotest.test_case "fence pairing" `Quick test_checker_fence_pairing;
@@ -540,5 +628,11 @@ let () =
             test_regression_reroute_overcommit;
           Alcotest.test_case "reroute cross-fabric (fuzzer-found)" `Quick
             test_regression_reroute_cross_fabric;
+          Alcotest.test_case "collective exit race, postcopy" `Quick
+            test_regression_collective_exit_race_postcopy;
+          Alcotest.test_case "reroute overcommit, postcopy" `Quick
+            test_regression_reroute_overcommit_postcopy;
+          Alcotest.test_case "reroute cross-fabric, postcopy" `Quick
+            test_regression_reroute_cross_fabric_postcopy;
         ] );
     ]

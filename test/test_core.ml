@@ -54,7 +54,7 @@ let test_fallback_switches_transport () =
   let breakdown = ref Breakdown.zero in
   Sim.spawn sim (fun () ->
       Sim.sleep (Time.sec 10);
-      breakdown := Ninja.fallback ninja ~dsts:(eth_hosts cluster 4);
+      breakdown := Ninja.fallback ninja ~dsts:(eth_hosts cluster 4) ();
       Ninja.wait_job ninja);
   Sim.run sim;
   (* Transport before the migration: openib; after: tcp. *)
@@ -77,7 +77,7 @@ let test_fallback_breakdown_shape () =
   let b = ref Breakdown.zero in
   Sim.spawn sim (fun () ->
       Sim.sleep (Time.sec 5);
-      b := Ninja.fallback ninja ~dsts:(eth_hosts cluster 4);
+      b := Ninja.fallback ninja ~dsts:(eth_hosts cluster 4) ();
       Ninja.wait_job ninja);
   Sim.run sim;
   let b = !b in
@@ -101,9 +101,9 @@ let test_recovery_restores_ib () =
   let recovery_b = ref Breakdown.zero in
   Sim.spawn sim (fun () ->
       Sim.sleep (Time.sec 5);
-      ignore (Ninja.fallback ninja ~dsts:(eth_hosts cluster 2));
+      ignore (Ninja.fallback ninja ~dsts:(eth_hosts cluster 2) ());
       Sim.sleep (Time.sec 5);
-      recovery_b := Ninja.recovery ninja ~dsts:(ib_hosts cluster 2);
+      recovery_b := Ninja.recovery ninja ~dsts:(ib_hosts cluster 2) ();
       Ninja.wait_job ninja);
   Sim.run sim;
   let b = !recovery_b in

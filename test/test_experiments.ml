@@ -21,7 +21,7 @@ let test_registry_complete () =
     [
       "table1"; "table2"; "fig6"; "fig7"; "fig8";
       "ablation-bypass"; "ablation-rdma"; "ablation-quiesce"; "ablation-postcopy";
-      "evacuation"; "scalability"; "controlplane"; "placement"; "power";
+      "postcopy"; "evacuation"; "scalability"; "controlplane"; "placement"; "power";
     ]
     Registry.names;
   Alcotest.(check bool) "find" true (Registry.find "fig6" <> None);
@@ -156,6 +156,29 @@ let test_ablation_postcopy_tradeoff () =
     Alcotest.(check bool) "postcopy sends each page once" true (post_bytes < 0.5 *. pre_bytes);
     Alcotest.(check bool) "postcopy migration shorter" true (post_dur < pre_dur);
     Alcotest.(check bool) "but the guest pays fault slowdown" true (post_work > pre_work)
+  | _ -> Alcotest.fail "expected one table"
+
+let test_postcopy_experiment_claims () =
+  (* The acceptance scenario for the postcopy experiment: on every
+     topology — including the oversubscribed leaf-spine where precopy
+     burns its round budget against the dirtying guest — postcopy's
+     downtime (the constant hot-set push) is strictly below precopy's
+     residual stop-and-copy, and the drain actually happened as pulls. *)
+  match Exp_postcopy.run rc with
+  | [ table ] ->
+    let rows = Ninja_metrics.Table.rows table in
+    Alcotest.(check int) "quick entries" 2 (List.length rows);
+    List.iteri
+      (fun i _ ->
+        let pre = float_cell table i 1 and post = float_cell table i 2 in
+        Alcotest.(check bool)
+          (Printf.sprintf "row %d: postcopy downtime strictly below precopy" i)
+          true (post < pre);
+        Alcotest.(check bool)
+          (Printf.sprintf "row %d: drain ran as pulls" i)
+          true
+          (float_cell table i 6 > 0.0))
+      rows
   | _ -> Alcotest.fail "expected one table"
 
 let test_evacuation_grouped_beats_sequential () =
@@ -317,6 +340,8 @@ let () =
           Alcotest.test_case "ablation rdma" `Quick test_ablation_rdma_speedup;
           Alcotest.test_case "ablation quiesce" `Quick test_ablation_quiesce_contrast;
           Alcotest.test_case "ablation postcopy" `Quick test_ablation_postcopy_tradeoff;
+          Alcotest.test_case "postcopy vs precopy across topologies" `Quick
+            test_postcopy_experiment_claims;
           Alcotest.test_case "evacuation planner" `Quick test_evacuation_grouped_beats_sequential;
           Alcotest.test_case "placement swap converges" `Quick test_placement_swap_converges;
           Alcotest.test_case "scalability congestion" `Quick test_scalability_congestion;

@@ -65,7 +65,7 @@ let run_scenario ?(faults = []) ?(until = 120.0) ~dsts () =
   let b = ref Breakdown.zero in
   Sim.spawn sim (fun () ->
       Sim.sleep (Time.sec 5);
-      b := Ninja.fallback ninja ~dsts:(dsts cluster);
+      b := Ninja.fallback ninja ~dsts:(dsts cluster) ();
       Ninja.wait_job ninja);
   Sim.run sim;
   (ninja, cluster, !b, List.rev !log)
@@ -513,7 +513,7 @@ let prop_migration_leaves_clean_state =
             if to_eth then eth_hosts cluster 2
             else [ node cluster "ib02"; node cluster "ib03" ]
           in
-          ignore (Ninja.fallback ninja ~dsts);
+          ignore (Ninja.fallback ninja ~dsts ());
           Ninja.wait_job ninja);
       Sim.run sim;
       outcome_is ninja `Completed

@@ -473,7 +473,7 @@ let run_fallback ?(faults = []) ~vms () =
   let b = ref Breakdown.zero in
   Sim.spawn sim (fun () ->
       Sim.sleep (Time.sec 10);
-      b := Ninja.fallback ninja ~dsts:(eth_hosts cluster vms);
+      b := Ninja.fallback ninja ~dsts:(eth_hosts cluster vms) ();
       Ninja.wait_job ninja);
   let r = Recorder.create () in
   Probe.with_subscriber (Cluster.probes cluster) (Recorder.on_event r) (fun () ->

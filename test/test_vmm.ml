@@ -91,6 +91,108 @@ let memory_model_prop =
           consistent ())
         ops)
 
+(* Differential check of the postcopy dual-residency tracking: 1000
+   random write / clear_dirty / begin / end / pull operations against a
+   naive set-based oracle. The oracle claims remote pages lowest-index-
+   first on pulls, marks post-switchover writes resident, and drops the
+   resident set at end_postcopy — after every operation the bitmap
+   implementation must agree page-for-page on nonzero, dirty and
+   resident, and on every derived byte counter. Pulls only run while
+   postcopy is active, as in [Migration.postcopy]: outside that window
+   the pull cursor's drained-word skipping is not defined. *)
+let memory_residency_differential_prop =
+  let module IS = Set.Make (Int) in
+  QCheck.Test.make ~name:"postcopy residency agrees with a set-based oracle" ~count:50
+    QCheck.small_int (fun salt ->
+      let prng = Prng.create ~seed:(Int64.of_int (8000 + salt)) in
+      let total = Units.mb 8.0 in
+      let m = Memory.create ~total_bytes:total in
+      let r = Memory.alloc m ~bytes:total in
+      let ps = Memory.page_size in
+      let pages = int_of_float total / ps in
+      let nonzero = ref IS.empty and dirty = ref IS.empty and resident = ref IS.empty in
+      let active = ref false in
+      let check_page_for_page op =
+        for p = 0 to pages - 1 do
+          if Memory.page_nonzero m p <> IS.mem p !nonzero then
+            QCheck.Test.fail_reportf "%s: page %d nonzero mismatch" op p;
+          if Memory.page_dirty m p <> IS.mem p !dirty then
+            QCheck.Test.fail_reportf "%s: page %d dirty mismatch" op p;
+          if Memory.page_resident m p <> IS.mem p !resident then
+            QCheck.Test.fail_reportf "%s: page %d resident mismatch" op p
+        done;
+        let bytes s = float_of_int (IS.cardinal !s * ps) in
+        if Memory.nonzero_bytes m <> bytes nonzero then
+          QCheck.Test.fail_reportf "%s: nonzero_bytes mismatch" op;
+        if Memory.dirty_bytes m <> bytes dirty then
+          QCheck.Test.fail_reportf "%s: dirty_bytes mismatch" op;
+        if Memory.resident_bytes m <> bytes resident then
+          QCheck.Test.fail_reportf "%s: resident_bytes mismatch" op;
+        if Memory.remote_bytes m <> bytes nonzero -. bytes resident then
+          QCheck.Test.fail_reportf "%s: remote_bytes mismatch" op;
+        if Memory.postcopy_active m <> !active then
+          QCheck.Test.fail_reportf "%s: postcopy_active mismatch" op
+      in
+      for _ = 1 to 1000 do
+        let op =
+          match Prng.int prng 10 with
+          | 0 | 1 | 2 | 3 ->
+            (* Guest write: dirties and fills pages; materialises them at
+               the destination when the drain is in progress. *)
+            let off = Prng.int prng (pages * ps) in
+            let len = Prng.int prng (ps * 8) in
+            Memory.write m r ~offset:(float_of_int off) ~bytes:(float_of_int len);
+            if len > 0 then
+              for p = off / ps to min (pages - 1) ((off + len - 1) / ps) do
+                nonzero := IS.add p !nonzero;
+                dirty := IS.add p !dirty;
+                if !active then resident := IS.add p !resident
+              done;
+            "write"
+          | 4 ->
+            Memory.clear_dirty m;
+            dirty := IS.empty;
+            "clear_dirty"
+          | 5 ->
+            Memory.begin_postcopy m;
+            resident := IS.empty;
+            active := true;
+            "begin_postcopy"
+          | 6 ->
+            Memory.end_postcopy m;
+            resident := IS.empty;
+            active := false;
+            "end_postcopy"
+          | _ ->
+            if not !active then begin
+              Memory.begin_postcopy m;
+              resident := IS.empty;
+              active := true;
+              "begin_postcopy"
+            end
+            else begin
+              let k = 1 + Prng.int prng (pages / 2) in
+              let remote = IS.diff !nonzero !resident in
+              (* Oracle: the k lowest remote pages become resident. *)
+              let expect = min k (IS.cardinal remote) in
+              let claimed = ref 0 in
+              IS.iter
+                (fun p ->
+                  if !claimed < expect then begin
+                    resident := IS.add p !resident;
+                    incr claimed
+                  end)
+                remote;
+              let got = Memory.pull_pages m ~max_pages:k in
+              if got <> expect then
+                QCheck.Test.fail_reportf "pull_pages returned %d, oracle %d" got expect;
+              "pull_pages"
+            end
+        in
+        check_page_for_page op
+      done;
+      true)
+
 let memory_invariants_prop =
   QCheck.Test.make ~name:"dirty <= nonzero <= total under random writes" ~count:200
     QCheck.(small_list (pair (int_bound 900) (int_bound 200)))
@@ -442,7 +544,11 @@ let () =
         Alcotest.test_case "counters" `Quick test_memory_counters
         :: Alcotest.test_case "free and reuse" `Quick test_memory_free_and_reuse
         :: Alcotest.test_case "out of memory" `Quick test_memory_out_of_memory
-        :: qsuite [ memory_invariants_prop; memory_model_prop ] );
+        :: qsuite
+             [
+               memory_invariants_prop; memory_model_prop;
+               memory_residency_differential_prop;
+             ] );
       ( "vm",
         [
           Alcotest.test_case "boot state" `Quick test_vm_boot_state;
